@@ -1,0 +1,71 @@
+package seedb
+
+import "seedb/internal/datagen"
+
+// Demo dataset constructors (paper §4). The real datasets the demo
+// used (Tableau Superstore, FEC contributions, MIMIC-II) are not
+// redistributable; these deterministic synthetic stand-ins share their
+// schema shape and plant the known trends the demo re-identifies. See
+// internal/datagen for the planted-trend documentation.
+
+// SuperstoreTable generates the Store Orders demo dataset.
+func SuperstoreTable(name string, rows int, seed int64) *Table {
+	return datagen.Superstore(name, rows, seed)
+}
+
+// ElectionsTable generates the Election Contributions demo dataset.
+func ElectionsTable(name string, rows int, seed int64) *Table {
+	return datagen.Elections(name, rows, seed)
+}
+
+// MedicalTable generates the Medical admissions demo dataset.
+func MedicalTable(name string, rows int, seed int64) *Table {
+	return datagen.Medical(name, rows, seed)
+}
+
+// SyntheticConfig parameterizes SyntheticTable — the demo Scenario 2
+// "knobs": data size, number of attributes, data distribution, plus
+// planted ground-truth deviations.
+type SyntheticConfig = datagen.SyntheticConfig
+
+// DimSpec configures one synthetic dimension.
+type DimSpec = datagen.DimSpec
+
+// MeasureSpec configures one synthetic measure.
+type MeasureSpec = datagen.MeasureSpec
+
+// Deviation plants one ground-truth interesting view.
+type Deviation = datagen.Deviation
+
+// GroundTruth reports what SyntheticTable planted.
+type GroundTruth = datagen.GroundTruth
+
+// DefaultSyntheticConfig returns a ready-to-use synthetic
+// configuration (10 dims × 10 values, 5 measures, 10% target subset,
+// two planted deviations).
+func DefaultSyntheticConfig(name string, rows int, seed int64) SyntheticConfig {
+	return datagen.DefaultSynthetic(name, rows, seed)
+}
+
+// SyntheticTable generates a synthetic table with planted deviations
+// and returns it with its ground truth.
+func SyntheticTable(cfg SyntheticConfig) (*Table, GroundTruth, error) {
+	return datagen.Synthetic(cfg)
+}
+
+// LaserwaveScenario selects the backdrop for the paper's running
+// example (Figures 2 and 3).
+type LaserwaveScenario = datagen.LaserwaveScenario
+
+// Laserwave example scenarios.
+const (
+	ScenarioA = datagen.ScenarioA // overall trend opposes the subset: interesting
+	ScenarioB = datagen.ScenarioB // overall trend matches the subset: boring
+)
+
+// LaserwaveTable builds the paper's running example: product
+// "Laserwave" has exactly the Table 1 per-store sales totals, with the
+// rest of the table forming the chosen scenario's overall trend.
+func LaserwaveTable(name string, scenario LaserwaveScenario) *Table {
+	return datagen.Laserwave(name, scenario)
+}

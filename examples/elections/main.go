@@ -1,0 +1,71 @@
+// Elections: the non-expert analyst walkthrough of demo Scenario 1 —
+// a journalist explores campaign-finance data without knowing which
+// charts to draw, and also compares deviation metrics (the demo lets
+// attendees "experiment with a variety of distance metrics").
+//
+// Run with: go run ./examples/elections
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seedb"
+)
+
+func main() {
+	ctx := context.Background()
+	db := seedb.Open()
+	if err := db.RegisterTable(seedb.ElectionsTable("contributions", 50_000, 7)); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "SELECT * FROM contributions WHERE party = 'Democratic'"
+	fmt.Printf("journalist's question: what is different about Democratic contributions?\n%s\n\n", query)
+
+	// First pass with the default metric.
+	opts := seedb.DefaultOptions()
+	opts.K = 3
+	res, err := db.RecommendSQL(ctx, query, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rec := range res.Recommendations {
+		fmt.Printf("#%d  %s  (utility %.3f)\n", rec.Rank, rec.Data.View, rec.Data.Utility)
+		fmt.Print(seedb.Chart(rec.Data, true).ASCII(90))
+		fmt.Println()
+	}
+
+	// Metric comparison: does the choice of deviation metric change
+	// the story?
+	fmt.Println("top view per metric:")
+	fmt.Printf("%-10s  %-30s  %s\n", "metric", "top view", "utility")
+	for _, metric := range []string{"emd", "euclidean", "kl", "js", "l1"} {
+		o := seedb.DefaultOptions()
+		o.Metric = metric
+		o.K = 1
+		r, err := db.RecommendSQL(ctx, query, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top := r.Recommendations[0]
+		fmt.Printf("%-10s  %-30s  %.4f\n", metric, top.Data.View.String(), top.Data.Utility)
+	}
+	fmt.Println()
+
+	// A second question using the query-builder style API instead of
+	// SQL: large donations only.
+	res2, err := db.Recommend(ctx, "contributions",
+		seedb.Compare("amount", seedb.OpGt, seedb.Float(500)),
+		func() seedb.Options { o := seedb.DefaultOptions(); o.K = 2; return o }())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("follow-up: what characterizes donations over $500?")
+	for _, rec := range res2.Recommendations {
+		fmt.Printf("#%d  %s  (utility %.3f)\n", rec.Rank, rec.Data.View, rec.Data.Utility)
+		fmt.Print(seedb.Chart(rec.Data, true).ASCII(90))
+		fmt.Println()
+	}
+}

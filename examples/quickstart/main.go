@@ -1,0 +1,65 @@
+// Quickstart: the paper's running example end to end.
+//
+// It loads the Sales table from §1 of the paper (product "Laserwave"
+// has exactly the Table 1 per-store totals), issues the analyst query
+//
+//	SELECT * FROM Sales WHERE product = 'Laserwave'
+//
+// and lets SeeDB find the interesting view — reproducing Figure 1 vs
+// Figure 2 as ASCII charts.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seedb"
+)
+
+func main() {
+	db := seedb.Open()
+
+	// The dataset behind Table 1 / Figure 2 (Scenario A: the overall
+	// trend opposes the Laserwave trend, so the store view is
+	// interesting).
+	if err := db.RegisterTable(seedb.LaserwaveTable("Sales", seedb.ScenarioA)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (paper §1): the analyst poses a query selecting the
+	// subset of data she is interested in.
+	const analystQuery = "SELECT * FROM Sales WHERE product = 'Laserwave'"
+
+	// Steps 2+3, automated by SeeDB: explore all (dimension, measure,
+	// aggregate) views, score each by the deviation between the
+	// subset's distribution and the overall distribution, return the
+	// top k.
+	opts := seedb.DefaultOptions()
+	opts.K = 3
+	opts.IncludeWorst = 1
+
+	res, err := db.RecommendSQL(context.Background(), analystQuery, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("analyst query: %s\n", res.Query)
+	fmt.Printf("subset size |D_Q| = %d rows; %d candidate views evaluated in %.1f ms\n\n",
+		res.TargetRowCount, res.Stats.ExecutedViews, res.Stats.ElapsedMillis)
+
+	for _, rec := range res.Recommendations {
+		fmt.Printf("#%d  %s   (utility %.4f, %s metric)\n",
+			rec.Rank, rec.Data.View, rec.Data.Utility, res.Metric)
+		fmt.Print(seedb.Chart(rec.Data, true).ASCII(88))
+		fmt.Printf("view queries:\n  %s\n  %s\n\n", rec.TargetSQL, rec.ComparisonSQL)
+	}
+
+	if len(res.WorstViews) > 0 {
+		fmt.Println("for contrast, the least interesting view SeeDB saw:")
+		w := res.WorstViews[0]
+		fmt.Printf("    %s   (utility %.4f)\n", w.Data.View, w.Data.Utility)
+	}
+}

@@ -1,0 +1,276 @@
+// Package binpack solves the bin-packing problem behind SeeDB's
+// "combine multiple group-bys" optimization (paper §3.3): grouping
+// attributes are items whose weight is the log of their cardinality,
+// bins are combined queries whose capacity is the log of the group
+// budget (how many composite groups fit in working memory), and the
+// goal is to minimize the number of combined queries. The paper models
+// this "as a variant of bin-packing and appl[ies] ILP techniques to
+// obtain the best solution"; this package provides both the classic
+// first-fit-decreasing heuristic and an exact branch-and-bound solver
+// equivalent to solving the packing ILP.
+package binpack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is one object to pack.
+type Item struct {
+	// ID identifies the item (for SeeDB: the attribute name).
+	ID string
+	// Weight is the item's size; must be positive and at most the bin
+	// capacity.
+	Weight float64
+}
+
+// Packing is a complete assignment of items to bins.
+type Packing struct {
+	// Bins holds the packed items, one slice per bin.
+	Bins [][]Item
+	// Optimal reports whether the solver proved this packing uses the
+	// minimum possible number of bins.
+	Optimal bool
+	// Nodes is the number of search nodes explored (0 for FFD).
+	Nodes int
+}
+
+// NumBins returns the number of bins used.
+func (p Packing) NumBins() int { return len(p.Bins) }
+
+// Validate checks that the packing covers exactly the given items and
+// no bin exceeds capacity. Test helper and invariant guard.
+func (p Packing) Validate(items []Item, capacity float64) error {
+	seen := map[string]int{}
+	for b, bin := range p.Bins {
+		load := 0.0
+		for _, it := range bin {
+			load += it.Weight
+			seen[it.ID]++
+		}
+		if load > capacity*(1+1e-9) {
+			return fmt.Errorf("binpack: bin %d load %v exceeds capacity %v", b, load, capacity)
+		}
+	}
+	if len(seen) != len(items) {
+		return fmt.Errorf("binpack: packed %d distinct items, want %d", len(seen), len(items))
+	}
+	for _, it := range items {
+		if seen[it.ID] != 1 {
+			return fmt.Errorf("binpack: item %q packed %d times", it.ID, seen[it.ID])
+		}
+	}
+	return nil
+}
+
+// LowerBound returns the trivial capacity lower bound
+// ceil(Σweights / capacity).
+func LowerBound(items []Item, capacity float64) int {
+	total := 0.0
+	for _, it := range items {
+		total += it.Weight
+	}
+	if total == 0 {
+		return 0
+	}
+	lb := int(math.Ceil(total/capacity - 1e-9))
+	if lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
+func checkItems(items []Item, capacity float64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("binpack: capacity must be positive, got %v", capacity)
+	}
+	ids := map[string]struct{}{}
+	for _, it := range items {
+		if it.Weight <= 0 {
+			return fmt.Errorf("binpack: item %q has non-positive weight %v", it.ID, it.Weight)
+		}
+		if it.Weight > capacity*(1+1e-9) {
+			return fmt.Errorf("binpack: item %q weight %v exceeds capacity %v", it.ID, it.Weight, capacity)
+		}
+		if _, dup := ids[it.ID]; dup {
+			return fmt.Errorf("binpack: duplicate item id %q", it.ID)
+		}
+		ids[it.ID] = struct{}{}
+	}
+	return nil
+}
+
+// FirstFitDecreasing packs items with the FFD heuristic: sort by
+// decreasing weight, place each item into the first bin it fits,
+// opening a new bin when none fits. FFD is guaranteed within 11/9·OPT+1
+// and is what SeeDB uses when the exact solver's budget is exceeded.
+func FirstFitDecreasing(items []Item, capacity float64) (Packing, error) {
+	if err := checkItems(items, capacity); err != nil {
+		return Packing{}, err
+	}
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+	var bins [][]Item
+	var loads []float64
+	for _, it := range sorted {
+		placed := false
+		for b := range bins {
+			if loads[b]+it.Weight <= capacity*(1+1e-9) {
+				bins[b] = append(bins[b], it)
+				loads[b] += it.Weight
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, []Item{it})
+			loads = append(loads, it.Weight)
+		}
+	}
+	p := Packing{Bins: bins}
+	p.Optimal = len(bins) == LowerBound(items, capacity) || len(bins) <= 1
+	return p, nil
+}
+
+// DefaultNodeBudget bounds the branch-and-bound search. SeeDB packs at
+// most a few dozen attributes, far below this budget.
+const DefaultNodeBudget = 2_000_000
+
+// BranchAndBound finds a provably bin-minimal packing via depth-first
+// branch and bound over item→bin assignments (the search tree of the
+// packing ILP). Items are considered in decreasing weight; at each step
+// an item may join any open bin with room (skipping bins with identical
+// residual capacity, a standard symmetry break) or open one new bin.
+// The incumbent starts at the FFD solution. If nodeBudget (≤0 selects
+// DefaultNodeBudget) is exhausted the best incumbent is returned with
+// Optimal=false.
+func BranchAndBound(items []Item, capacity float64, nodeBudget int) (Packing, error) {
+	ffd, err := FirstFitDecreasing(items, capacity)
+	if err != nil {
+		return Packing{}, err
+	}
+	if len(items) == 0 {
+		return Packing{Optimal: true}, nil
+	}
+	if nodeBudget <= 0 {
+		nodeBudget = DefaultNodeBudget
+	}
+	lb := LowerBound(items, capacity)
+	if ffd.NumBins() == lb {
+		ffd.Optimal = true
+		return ffd, nil
+	}
+
+	sorted := append([]Item(nil), items...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Weight > sorted[j].Weight })
+
+	n := len(sorted)
+	remaining := make([]float64, n+1) // suffix weight sums
+	for i := n - 1; i >= 0; i-- {
+		remaining[i] = remaining[i+1] + sorted[i].Weight
+	}
+
+	best := ffd.NumBins()
+	bestAssign := assignmentOf(ffd, sorted)
+	assign := make([]int, n)
+	loads := make([]float64, 0, best)
+	nodes := 0
+	budgetHit := false
+
+	var dfs func(i, used int) bool // returns true when search completed within budget
+	dfs = func(i, used int) bool {
+		nodes++
+		if nodes > nodeBudget {
+			budgetHit = true
+			return false
+		}
+		if i == n {
+			if used < best {
+				best = used
+				copy(bestAssign, assign)
+			}
+			return true
+		}
+		// Bound: bins already open + capacity bound on what's left.
+		freeRoom := 0.0
+		for _, l := range loads[:used] {
+			freeRoom += capacity - l
+		}
+		extra := 0
+		if remaining[i] > freeRoom {
+			extra = int(math.Ceil((remaining[i] - freeRoom) / capacity))
+		}
+		if used+extra >= best {
+			return true // pruned, but not a budget failure
+		}
+		w := sorted[i].Weight
+		tried := map[float64]struct{}{} // symmetry: skip equal residuals
+		complete := true
+		for b := 0; b < used; b++ {
+			res := capacity - loads[b]
+			if w > res*(1+1e-9) {
+				continue
+			}
+			if _, dup := tried[res]; dup {
+				continue
+			}
+			tried[res] = struct{}{}
+			loads[b] += w
+			assign[i] = b
+			if !dfs(i+1, used) {
+				complete = false
+			}
+			loads[b] -= w
+			if budgetHit {
+				return false
+			}
+		}
+		// Open a new bin (only one — all empty bins are symmetric).
+		if used+1 < best || used == 0 {
+			loads = append(loads, w)
+			assign[i] = used
+			if !dfs(i+1, used+1) {
+				complete = false
+			}
+			loads = loads[:used]
+		}
+		return complete && !budgetHit
+	}
+	dfs(0, 0)
+
+	bins := make([][]Item, 0, best)
+	for i, b := range bestAssign {
+		for len(bins) <= b {
+			bins = append(bins, nil)
+		}
+		bins[b] = append(bins[b], sorted[i])
+	}
+	// Drop any empty bins (possible if FFD's incumbent had a different
+	// shape than the bin indices imply).
+	packed := bins[:0]
+	for _, b := range bins {
+		if len(b) > 0 {
+			packed = append(packed, b)
+		}
+	}
+	p := Packing{Bins: packed, Nodes: nodes}
+	p.Optimal = !budgetHit || len(packed) == lb
+	return p, nil
+}
+
+// assignmentOf converts an FFD packing into the item-index → bin-index
+// form used by the search, following sorted order.
+func assignmentOf(p Packing, sorted []Item) []int {
+	binOf := map[string]int{}
+	for b, bin := range p.Bins {
+		for _, it := range bin {
+			binOf[it.ID] = b
+		}
+	}
+	out := make([]int, len(sorted))
+	for i, it := range sorted {
+		out[i] = binOf[it.ID]
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+	"seedb/internal/stats"
+)
+
+// Engine is the SeeDB backend: it owns an executor over a catalog plus
+// a cached metadata collector, and serves Recommend calls.
+type Engine struct {
+	ex        *engine.Executor
+	collector *stats.Collector
+}
+
+// New builds a SeeDB engine over an executor.
+func New(ex *engine.Executor) *Engine {
+	return &Engine{ex: ex, collector: stats.NewCollector()}
+}
+
+// Executor exposes the underlying engine executor (the frontend uses
+// it for raw SQL and sample-data panes).
+func (e *Engine) Executor() *engine.Executor { return e.ex }
+
+// Collector exposes the metadata collector.
+func (e *Engine) Collector() *stats.Collector { return e.collector }
+
+// Recommend runs the full SeeDB pipeline for the analyst query q:
+// metadata collection, view enumeration, pruning, optimization,
+// execution, scoring, and top-k selection (Problem 2.1 of the paper).
+func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	metric, err := distance.Get(opts.Metric)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := e.ex.Catalog().Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	statsBaseQ, statsBaseS, statsBaseR := e.ex.Stats().Snapshot()
+
+	// |D_Q|: validates the predicate and rejects empty targets early.
+	targetRows, err := e.countTarget(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if targetRows == 0 {
+		return nil, fmt.Errorf("core: query %q selects no rows; nothing to recommend", describePredicate(q.Predicate))
+	}
+
+	// Metadata Collector.
+	ts := e.collector.Stats(tb)
+
+	// Query Generator: enumerate then prune.
+	var predicateCols []string
+	if q.Predicate != nil {
+		predicateCols = q.Predicate.Columns()
+	}
+	roles, err := detectRoles(ts, tb.Schema(), opts, predicateCols)
+	if err != nil {
+		return nil, err
+	}
+	views := EnumerateViews(roles, opts.AggFuncs)
+	res := &Result{
+		Query:          q,
+		Metric:         metric.Name(),
+		TargetRowCount: targetRows,
+	}
+	res.Stats.CandidateViews = len(views)
+
+	outcome, err := pruneViews(views, tb, ts, e.ex.Catalog(), opts, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ExecutedViews = len(outcome.views)
+	if len(outcome.views) == 0 {
+		return nil, fmt.Errorf("core: every candidate view was pruned; relax pruning options")
+	}
+
+	sample := opts.SampleFraction > 0 && tb.NumRows() >= opts.SampleMinRows
+	res.Stats.Sampled = sample
+	if sample {
+		res.Stats.SampleFraction = opts.SampleFraction
+	}
+
+	// Optimizer + DBMS + View Processor.
+	var data []*ViewData
+	if opts.Phases > 1 {
+		data, err = e.runPhased(ctx, outcome.views, ts, q, opts, metric, sample, &res.Stats)
+	} else {
+		var p *plan
+		p, err = buildPlan(outcome.views, ts, q, opts)
+		if err == nil {
+			res.Stats.PlanSummary = p.summary(opts.CombineTargetComparison)
+			data, err = executePlan(ctx, e.ex, p, q, opts, metric, sample, 0, 0)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank and package.
+	sort.SliceStable(data, func(i, j int) bool {
+		if data[i].Utility != data[j].Utility {
+			return data[i].Utility > data[j].Utility
+		}
+		return data[i].View.Key() < data[j].View.Key()
+	})
+	for _, d := range data {
+		res.AllScores = append(res.AllScores, ViewScore{View: d.View, Utility: d.Utility})
+	}
+	k := opts.K
+	if k > len(data) {
+		k = len(data)
+	}
+	for i := 0; i < k; i++ {
+		res.Recommendations = append(res.Recommendations, e.packageRec(i+1, data[i], q, outcome))
+	}
+	if opts.IncludeWorst > 0 {
+		w := opts.IncludeWorst
+		if w > len(data)-k {
+			w = len(data) - k
+		}
+		for i := 0; i < w; i++ {
+			d := data[len(data)-1-i]
+			res.WorstViews = append(res.WorstViews, e.packageRec(i+1, d, q, outcome))
+		}
+	}
+
+	qn, sn, rn := e.ex.Stats().Snapshot()
+	res.Stats.QueriesIssued = qn - statsBaseQ
+	res.Stats.TableScans = sn - statsBaseS
+	res.Stats.RowsRead = rn - statsBaseR
+	res.Stats.ElapsedMillis = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+func (e *Engine) packageRec(rank int, d *ViewData, q Query, outcome pruneOutcome) Recommendation {
+	return Recommendation{
+		Rank:          rank,
+		Data:          d,
+		Represents:    outcome.represents[d.View.Dimension],
+		TargetSQL:     d.View.TargetSQL(q.Table, q.Predicate),
+		ComparisonSQL: d.View.ComparisonSQL(q.Table),
+	}
+}
+
+// countTarget runs SELECT COUNT(*) FROM D WHERE predicate.
+func (e *Engine) countTarget(ctx context.Context, q Query) (int64, error) {
+	res, err := e.ex.Run(ctx, &engine.Query{
+		Table: q.Table,
+		Where: q.Predicate,
+		Aggs:  []engine.AggSpec{{Func: engine.AggCount, Alias: "n"}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return res.Rows[0][0].I, nil
+}

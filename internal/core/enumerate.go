@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seedb/internal/engine"
+	"seedb/internal/stats"
+)
+
+// attributeRoles holds the detected dimension and measure attributes
+// of a table, plus bin widths for continuous dimensions.
+type attributeRoles struct {
+	dims      []string
+	binWidths map[string]float64 // dimension -> bin width (0/absent = raw)
+	measures  []string
+}
+
+// detectRoles classifies the table's columns into dimension attributes
+// A (groupable: strings, ints, timestamps with bounded cardinality)
+// and measure attributes M (numeric), honoring explicit overrides.
+// A low-cardinality numeric column can play both roles, but a view
+// never groups and aggregates the same column.
+//
+// Attributes referenced by the analyst's predicate are excluded from
+// the dimension set (unless explicitly requested via opts.Dimensions):
+// grouping the selected subset by its own selection attribute always
+// yields a degenerate point-mass distribution whose "deviation" is
+// maximal but tells the analyst nothing they didn't state themselves.
+func detectRoles(ts *stats.TableStats, schema engine.Schema, opts Options, predicateCols []string) (attributeRoles, error) {
+	excluded := map[string]bool{}
+	for _, c := range predicateCols {
+		excluded[c] = true
+	}
+	roles := attributeRoles{binWidths: map[string]float64{}}
+	if len(opts.Dimensions) > 0 {
+		for _, d := range opts.Dimensions {
+			if _, err := ts.Column(d); err != nil {
+				return roles, fmt.Errorf("core: dimension %w", err)
+			}
+		}
+		roles.dims = append(roles.dims, opts.Dimensions...)
+	} else {
+		for _, def := range schema {
+			if excluded[def.Name] {
+				continue
+			}
+			cs, err := ts.Column(def.Name)
+			if err != nil {
+				return roles, err
+			}
+			if cs.IsDimension(opts.MaxGroupsPerDim) {
+				roles.dims = append(roles.dims, def.Name)
+				continue
+			}
+			// Continuous or over-wide numeric/timestamp columns become
+			// binned dimensions (paper §1: "binning, grouping, and
+			// aggregation") when binning is enabled.
+			if opts.BinContinuousDims && cs.Distinct > 1 && cs.Max > cs.Min {
+				switch def.Type {
+				case engine.TypeFloat, engine.TypeInt, engine.TypeTime:
+					width := binWidthFor(cs.Min, cs.Max, opts.TargetBins, def.Type)
+					if width > 0 {
+						roles.dims = append(roles.dims, def.Name)
+						roles.binWidths[def.Name] = width
+					}
+				}
+			}
+		}
+	}
+	if len(opts.Measures) > 0 {
+		for _, m := range opts.Measures {
+			cs, err := ts.Column(m)
+			if err != nil {
+				return roles, fmt.Errorf("core: measure %w", err)
+			}
+			if !cs.IsMeasure() {
+				return roles, fmt.Errorf("core: measure %q is %v, need a numeric column", m, cs.Type)
+			}
+		}
+		roles.measures = append(roles.measures, opts.Measures...)
+	} else {
+		for _, def := range schema {
+			cs, err := ts.Column(def.Name)
+			if err != nil {
+				return roles, err
+			}
+			if cs.IsMeasure() {
+				roles.measures = append(roles.measures, def.Name)
+			}
+		}
+	}
+	if len(roles.dims) == 0 {
+		return roles, fmt.Errorf("core: table %q has no usable dimension attributes (max %d groups)", ts.Table, opts.MaxGroupsPerDim)
+	}
+	if len(roles.measures) == 0 {
+		return roles, fmt.Errorf("core: table %q has no numeric measure attributes", ts.Table)
+	}
+	sort.Strings(roles.dims)
+	sort.Strings(roles.measures)
+	return roles, nil
+}
+
+// binWidthFor picks an equi-width bin size covering [min,max] with
+// roughly targetBins buckets, snapped to a "nice" 1/2/5 multiple so
+// chart axes read naturally. Integer and timestamp widths are at
+// least 1.
+func binWidthFor(min, max float64, targetBins int, t engine.Type) float64 {
+	if targetBins < 2 {
+		targetBins = 2
+	}
+	raw := (max - min) / float64(targetBins)
+	if raw <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var nice float64
+	switch frac := raw / mag; {
+	case frac <= 1:
+		nice = mag
+	case frac <= 2:
+		nice = 2 * mag
+	case frac <= 5:
+		nice = 5 * mag
+	default:
+		nice = 10 * mag
+	}
+	if (t == engine.TypeInt || t == engine.TypeTime) && nice < 1 {
+		nice = 1
+	}
+	return nice
+}
+
+// EnumerateViews generates the full candidate view space |A|×|M|×|F|
+// (skipping a==m). This is the space the paper notes "increases as the
+// square of the number of attributes" — every attribute pair
+// contributes views.
+func EnumerateViews(roles attributeRoles, funcs []engine.AggFunc) []View {
+	views := make([]View, 0, len(roles.dims)*len(roles.measures)*len(funcs))
+	for _, a := range roles.dims {
+		for _, m := range roles.measures {
+			if a == m {
+				continue
+			}
+			for _, f := range funcs {
+				views = append(views, View{Dimension: a, Measure: m, Func: f, BinWidth: roles.binWidths[a]})
+			}
+		}
+	}
+	return views
+}

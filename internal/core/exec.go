@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+)
+
+// runUnit executes one unit's queries and converts the engine results
+// into scored ViewData (the View Processor of Figure 4: results are
+// normalized, utilities computed).
+func runUnit(ctx context.Context, ex *engine.Executor, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
+	mkQuery := func(aggs []engine.AggSpec, where engine.Predicate) *engine.Query {
+		eq := &engine.Query{Table: q.Table, Where: where, Aggs: aggs, Parallelism: scanPar, RowLo: rowLo, RowHi: rowHi}
+		if sample {
+			eq.SampleFraction = opts.SampleFraction
+			eq.SampleSeed = opts.SampleSeed
+		}
+		if u.sets == nil { // composite key or single dimension
+			eq.GroupBy = u.dims
+			if len(u.binWidths) > 0 {
+				eq.BinWidths = u.binWidths
+			}
+		}
+		return eq
+	}
+
+	// results per side: comparison first, then target (same slice when
+	// the combined rewrite is active).
+	var compRes, targRes []*engine.Result
+	run := func(combined bool, where engine.Predicate) ([]*engine.Result, error) {
+		if u.sets != nil {
+			// Shared scan: each dimension's grouping set computes only
+			// its own aggregates.
+			gsets := make([]engine.GroupingSet, len(u.dims))
+			for i, d := range u.dims {
+				gsets[i] = engine.GroupingSet{By: []string{d}, Aggs: u.aggsFor(d, combined)}
+				if w, ok := u.binWidths[d]; ok {
+					gsets[i].BinWidths = map[string]float64{d: w}
+				}
+			}
+			return ex.RunSharedScan(ctx, mkQuery(nil, where), gsets)
+		}
+		res, err := ex.Run(ctx, mkQuery(u.allAggs(combined), where))
+		if err != nil {
+			return nil, err
+		}
+		return []*engine.Result{res}, nil
+	}
+
+	if opts.CombineTargetComparison {
+		results, err := run(true, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: unit %v: %w", u.dims, err)
+		}
+		compRes, targRes = results, results
+	} else {
+		var err error
+		if compRes, err = run(false, nil); err != nil {
+			return nil, fmt.Errorf("core: unit %v comparison: %w", u.dims, err)
+		}
+		if targRes, err = run(false, q.Predicate); err != nil {
+			return nil, fmt.Errorf("core: unit %v target: %w", u.dims, err)
+		}
+	}
+
+	var out []*ViewData
+	for di, dim := range u.dims {
+		cRes, tRes := compRes[resIndex(u, di)], targRes[resIndex(u, di)]
+		for _, vc := range u.bindings[dim] {
+			var tMap, cMap map[string]float64
+			if u.composite {
+				dimPos := di // position of dim in the composite key
+				cMap = marginalize(cRes, dimPos, vc, false, opts.CombineTargetComparison)
+				tMap = marginalize(tRes, dimPos, vc, true, opts.CombineTargetComparison)
+			} else {
+				cMap = extractSide(cRes, vc, false, opts.CombineTargetComparison)
+				tMap = extractSide(tRes, vc, true, opts.CombineTargetComparison)
+			}
+			vd := buildViewData(vc.view, tMap, cMap, metric)
+			if vd != nil {
+				out = append(out, vd)
+			}
+		}
+	}
+	return out, nil
+}
+
+// resIndex maps a dim position to the result slice index: grouping
+// sets produce one result per dim, single/composite produce one total.
+func resIndex(u *execUnit, di int) int {
+	if u.sets != nil {
+		return di
+	}
+	return 0
+}
+
+// extractSide reads one view's per-group values out of a
+// single-dimension result. When combined is true the target side lives
+// in the FILTER column of the same result; otherwise both sides use
+// the comparison aliases in their own result.
+func extractSide(res *engine.Result, vc viewCols, targetSide, combined bool) map[string]float64 {
+	col := vc.cPrimary
+	if targetSide && combined {
+		col = vc.tPrimary
+	}
+	ci := res.ColumnIndex(col)
+	out := make(map[string]float64, len(res.Rows))
+	for _, row := range res.Rows {
+		v := row[ci]
+		if v.Null {
+			continue // group absent on this side
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			continue
+		}
+		out[row[0].Format()] = f
+	}
+	return out
+}
+
+// marginalize recomposes one dimension's per-group aggregates from a
+// composite-key result: COUNT/SUM accumulate, MIN/MAX take extrema,
+// AVG divides accumulated SUM by accumulated COUNT. This is the
+// backend post-processing step of the "combine multiple group-bys"
+// optimization.
+func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combined bool) map[string]float64 {
+	primary := vc.cPrimary
+	aux := vc.cAux
+	if targetSide && combined {
+		primary, aux = vc.tPrimary, vc.tAux
+	}
+	pi := res.ColumnIndex(primary)
+	ai := -1
+	if aux != "" {
+		ai = res.ColumnIndex(aux)
+	}
+	f := vc.view.Func
+
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	mins := map[string]float64{}
+	maxs := map[string]float64{}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		label := row[dimPos].Format()
+		v := row[pi]
+		if v.Null {
+			// Group exists in the composite result but this side has
+			// no rows for it; COUNT would be 0 (not NULL), so only
+			// SUM/MIN/MAX/AVG hit this path.
+			continue
+		}
+		fv, ok := v.AsFloat()
+		if !ok {
+			continue
+		}
+		switch f {
+		case engine.AggCount, engine.AggSum:
+			sums[label] += fv
+			seen[label] = true
+		case engine.AggMin:
+			if !seen[label] || fv < mins[label] {
+				mins[label] = fv
+			}
+			seen[label] = true
+		case engine.AggMax:
+			if !seen[label] || fv > maxs[label] {
+				maxs[label] = fv
+			}
+			seen[label] = true
+		case engine.AggAvg:
+			sums[label] += fv
+			if ai >= 0 {
+				if c, ok := row[ai].AsFloat(); ok {
+					counts[label] += c
+				}
+			}
+			seen[label] = true
+		}
+	}
+	out := make(map[string]float64, len(seen))
+	for label := range seen {
+		switch f {
+		case engine.AggCount, engine.AggSum:
+			out[label] = sums[label]
+		case engine.AggMin:
+			out[label] = mins[label]
+		case engine.AggMax:
+			out[label] = maxs[label]
+		case engine.AggAvg:
+			if counts[label] > 0 {
+				out[label] = sums[label] / counts[label]
+			}
+		}
+	}
+	// COUNT semantics: zero matching rows is mass 0, not absence, when
+	// the group exists on the comparison side; absence handling is
+	// performed by Align, so dropping zero-count labels here is
+	// equivalent and keeps maps sparse.
+	return out
+}
+
+// buildViewData aligns the two sides, normalizes, and scores. A view
+// whose comparison side is entirely empty (no groups at all) cannot be
+// scored and yields nil.
+func buildViewData(v View, tMap, cMap map[string]float64, metric distance.Metric) *ViewData {
+	if len(tMap) == 0 && len(cMap) == 0 {
+		return nil
+	}
+	tDist, cDist, keys := distance.Align(tMap, cMap)
+	tRaw := make([]float64, len(keys))
+	cRaw := make([]float64, len(keys))
+	for i, k := range keys {
+		tRaw[i] = tMap[k]
+		cRaw[i] = cMap[k]
+	}
+	utility, err := metric.Distance(tDist, cDist)
+	if err != nil {
+		return nil
+	}
+	return &ViewData{
+		View:          v,
+		Keys:          keys,
+		TargetRaw:     tRaw,
+		ComparisonRaw: cRaw,
+		Target:        tDist,
+		Comparison:    cDist,
+		Utility:       utility,
+	}
+}
+
+// executePlan dispatches units across a worker pool ("Parallel Query
+// Execution", §3.3) and gathers scored views.
+func executePlan(ctx context.Context, ex *engine.Executor, p *plan, q Query, opts Options, metric distance.Metric, sample bool, rowLo, rowHi int) ([]*ViewData, error) {
+	if len(p.units) == 0 {
+		return nil, nil
+	}
+	workers := opts.Parallelism
+	if workers > len(p.units) {
+		workers = len(p.units)
+	}
+	if workers <= 1 {
+		var all []*ViewData
+		for _, u := range p.units {
+			vds, err := runUnit(ctx, ex, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, vds...)
+		}
+		return all, nil
+	}
+
+	unitCh := make(chan *execUnit)
+	results := make([][]*ViewData, len(p.units))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	idx := map[*execUnit]int{}
+	for i, u := range p.units {
+		idx[u] = i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := range unitCh {
+				vds, err := runUnit(ctx, ex, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				results[idx[u]] = vds
+			}
+		}(w)
+	}
+	for _, u := range p.units {
+		unitCh <- u
+	}
+	close(unitCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []*ViewData
+	for _, vds := range results {
+		all = append(all, vds...)
+	}
+	return all, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+)
+
+// TestExtractSide exercises the result-to-map conversion directly.
+func TestExtractSide(t *testing.T) {
+	res := &engine.Result{
+		Columns: []string{"g", "c0", "t0"},
+		Rows: [][]engine.Value{
+			{engine.String("a"), engine.Float(10), engine.Float(4)},
+			{engine.String("b"), engine.Float(20), engine.NullValue(engine.TypeFloat)}, // no target rows
+			{engine.NullValue(engine.TypeString), engine.Float(5), engine.Float(5)},    // NULL group
+		},
+	}
+	vc := viewCols{cPrimary: "c0", tPrimary: "t0"}
+
+	comp := extractSide(res, vc, false, true)
+	if len(comp) != 3 || comp["a"] != 10 || comp["b"] != 20 || comp["NULL"] != 5 {
+		t.Errorf("comparison map = %v", comp)
+	}
+	targ := extractSide(res, vc, true, true)
+	if len(targ) != 2 || targ["a"] != 4 || targ["NULL"] != 5 {
+		t.Errorf("target map = %v (NULL-valued groups must be absent)", targ)
+	}
+	// Split mode: target side reads the comparison aliases from its own
+	// result.
+	targSplit := extractSide(res, vc, true, false)
+	if targSplit["a"] != 10 {
+		t.Errorf("split target map = %v, should read cPrimary", targSplit)
+	}
+}
+
+// TestMarginalize exercises composite-key post-processing for every
+// decomposable aggregate.
+func TestMarginalize(t *testing.T) {
+	// Composite result over (d0, d1): 2×2 groups.
+	mkRes := func(vals [][2]float64) *engine.Result {
+		res := &engine.Result{Columns: []string{"d0", "d1", "c0", "cc0"}}
+		keys := [][2]string{{"x", "p"}, {"x", "q"}, {"y", "p"}, {"y", "q"}}
+		for i, k := range keys {
+			res.Rows = append(res.Rows, []engine.Value{
+				engine.String(k[0]), engine.String(k[1]),
+				engine.Float(vals[i][0]), engine.Float(vals[i][1]),
+			})
+		}
+		return res
+	}
+
+	t.Run("sum", func(t *testing.T) {
+		res := mkRes([][2]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
+		vc := viewCols{view: View{Func: engine.AggSum}, cPrimary: "c0"}
+		m := marginalize(res, 0, vc, false, true)
+		if m["x"] != 3 || m["y"] != 7 {
+			t.Errorf("sum marginal over d0 = %v", m)
+		}
+		m1 := marginalize(res, 1, vc, false, true)
+		if m1["p"] != 4 || m1["q"] != 6 {
+			t.Errorf("sum marginal over d1 = %v", m1)
+		}
+	})
+
+	t.Run("min-max", func(t *testing.T) {
+		res := mkRes([][2]float64{{5, 0}, {-2, 0}, {7, 0}, {1, 0}})
+		vcMin := viewCols{view: View{Func: engine.AggMin}, cPrimary: "c0"}
+		m := marginalize(res, 0, vcMin, false, true)
+		if m["x"] != -2 || m["y"] != 1 {
+			t.Errorf("min marginal = %v", m)
+		}
+		vcMax := viewCols{view: View{Func: engine.AggMax}, cPrimary: "c0"}
+		mm := marginalize(res, 0, vcMax, false, true)
+		if mm["x"] != 5 || mm["y"] != 7 {
+			t.Errorf("max marginal = %v", mm)
+		}
+	})
+
+	t.Run("avg-uses-aux-counts", func(t *testing.T) {
+		// AVG partials: (sum, count) per composite group.
+		res := mkRes([][2]float64{{10, 2}, {20, 3}, {30, 5}, {0, 0}})
+		vc := viewCols{view: View{Func: engine.AggAvg}, cPrimary: "c0", cAux: "cc0"}
+		m := marginalize(res, 0, vc, false, true)
+		if math.Abs(m["x"]-30.0/5) > 1e-12 {
+			t.Errorf("avg[x] = %v, want 6", m["x"])
+		}
+		if math.Abs(m["y"]-30.0/5) > 1e-12 {
+			t.Errorf("avg[y] = %v, want 6 (zero-count cell ignored)", m["y"])
+		}
+	})
+
+	t.Run("null-cells-skipped", func(t *testing.T) {
+		res := &engine.Result{
+			Columns: []string{"d0", "d1", "c0"},
+			Rows: [][]engine.Value{
+				{engine.String("x"), engine.String("p"), engine.Float(3)},
+				{engine.String("x"), engine.String("q"), engine.NullValue(engine.TypeFloat)},
+			},
+		}
+		vc := viewCols{view: View{Func: engine.AggSum}, cPrimary: "c0"}
+		m := marginalize(res, 0, vc, false, true)
+		if m["x"] != 3 {
+			t.Errorf("null cells must not contribute: %v", m)
+		}
+	})
+}
+
+func TestBuildViewData(t *testing.T) {
+	metric, _ := distance.Get("emd")
+	// Empty both sides → nil.
+	if buildViewData(View{}, nil, nil, metric) != nil {
+		t.Error("empty view data should be nil")
+	}
+	// Target-only group aligns with zero comparison mass.
+	d := buildViewData(View{Dimension: "d"},
+		map[string]float64{"a": 1},
+		map[string]float64{"a": 1, "b": 1}, metric)
+	if d == nil {
+		t.Fatal("view data should build")
+	}
+	if len(d.Keys) != 2 || d.TargetRaw[1] != 0 {
+		t.Errorf("alignment wrong: keys=%v targetRaw=%v", d.Keys, d.TargetRaw)
+	}
+	if d.Utility <= 0 {
+		t.Errorf("utility = %v, want > 0 for differing distributions", d.Utility)
+	}
+}
+
+// TestConcurrentRecommends runs several Recommend calls on one engine
+// at once — the frontend does this whenever two browser tabs race.
+func TestConcurrentRecommends(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 5000, 11)
+	opts := DefaultOptions()
+	opts.K = 3
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	tops := make([]View, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Recommend(context.Background(), q, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tops[i] = res.Recommendations[0].Data.View
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(tops); i++ {
+		if tops[i] != tops[0] {
+			t.Errorf("concurrent runs disagree: %v vs %v", tops[i], tops[0])
+		}
+	}
+}

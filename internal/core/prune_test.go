@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"seedb/internal/engine"
+	"seedb/internal/stats"
+)
+
+// pruneFixture builds a table with a constant dim, a skewed dim, two
+// perfectly correlated dims, and a normal dim.
+func pruneFixture(t *testing.T) (*engine.Table, *stats.TableStats, *engine.Catalog) {
+	t.Helper()
+	tb := engine.MustNewTable("p", engine.Schema{
+		{Name: "normal", Type: engine.TypeString},
+		{Name: "constant", Type: engine.TypeString},
+		{Name: "skewed", Type: engine.TypeString},
+		{Name: "city", Type: engine.TypeString},
+		{Name: "city_code", Type: engine.TypeString},
+		{Name: "m", Type: engine.TypeFloat},
+	})
+	rng := rand.New(rand.NewSource(1))
+	cities := []string{"BOS", "SEA", "NYC"}
+	for i := 0; i < 2000; i++ {
+		skew := "hot"
+		if rng.Intn(1000) == 0 {
+			skew = fmt.Sprintf("cold%d", rng.Intn(3))
+		}
+		c := rng.Intn(3)
+		_ = tb.AppendRow(
+			engine.String(fmt.Sprintf("n%d", rng.Intn(6))),
+			engine.String("only"),
+			engine.String(skew),
+			engine.String(cities[c]),
+			engine.String(fmt.Sprintf("code-%d", c)),
+			engine.Float(rng.Float64()),
+		)
+	}
+	cat := engine.NewCatalog()
+	if err := cat.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	return tb, stats.Collect(tb), cat
+}
+
+func viewsForDims(dims ...string) []View {
+	var out []View
+	for _, d := range dims {
+		out = append(out, View{Dimension: d, Measure: "m", Func: engine.AggSum})
+		out = append(out, View{Dimension: d, Measure: "m", Func: engine.AggCount})
+	}
+	return out
+}
+
+func dimSet(views []View) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range views {
+		out[v.Dimension] = true
+	}
+	return out
+}
+
+func TestPruneLowVariance(t *testing.T) {
+	_, ts, _ := pruneFixture(t)
+	opts, _ := DefaultOptions().normalize()
+	opts.VarianceMinEntropy = 0.02
+	st := &RunStats{}
+	views := viewsForDims("normal", "constant", "skewed")
+	kept := pruneLowVariance(views, ts, opts, st)
+	dims := dimSet(kept)
+	if dims["constant"] {
+		t.Error("constant dimension must be pruned")
+	}
+	if !dims["normal"] {
+		t.Error("normal dimension must survive")
+	}
+	if dims["skewed"] {
+		t.Error("ultra-skewed dimension (entropy ~0) should be pruned at this threshold")
+	}
+	if st.PrunedViews[PrunedLowVariance] != 4 {
+		t.Errorf("pruned view count = %d, want 4 (2 dims × 2 views)", st.PrunedViews[PrunedLowVariance])
+	}
+	if st.PrunedDims["constant"] != PrunedLowVariance {
+		t.Errorf("PrunedDims = %v", st.PrunedDims)
+	}
+	// Threshold 0 keeps the skewed dim but still drops the constant.
+	opts.VarianceMinEntropy = 0
+	st2 := &RunStats{}
+	kept2 := pruneLowVariance(viewsForDims("constant", "skewed"), ts, opts, st2)
+	dims2 := dimSet(kept2)
+	if dims2["constant"] || !dims2["skewed"] {
+		t.Errorf("threshold-0 pruning wrong: %v", dims2)
+	}
+}
+
+func TestPruneCorrelated(t *testing.T) {
+	tb, _, cat := pruneFixture(t)
+	opts, _ := DefaultOptions().normalize()
+	st := &RunStats{}
+	represents := map[string][]string{}
+	views := viewsForDims("normal", "city", "city_code")
+	kept, err := pruneCorrelated(views, tb, cat, opts, st, represents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := dimSet(kept)
+	if !dims["normal"] {
+		t.Error("uncorrelated dim must survive")
+	}
+	if dims["city"] && dims["city_code"] {
+		t.Error("correlated pair must be collapsed to one representative")
+	}
+	if !dims["city"] && !dims["city_code"] {
+		t.Error("one of the correlated pair must survive")
+	}
+	var rep, other string
+	if dims["city"] {
+		rep, other = "city", "city_code"
+	} else {
+		rep, other = "city_code", "city"
+	}
+	if len(represents[rep]) != 1 || represents[rep][0] != other {
+		t.Errorf("represents[%s] = %v, want [%s]", rep, represents[rep], other)
+	}
+	if st.PrunedViews[PrunedCorrelated] != 2 {
+		t.Errorf("pruned views = %d, want 2", st.PrunedViews[PrunedCorrelated])
+	}
+}
+
+func TestPruneCorrelatedRepresentativeByAccess(t *testing.T) {
+	tb, _, cat := pruneFixture(t)
+	// Make city_code the hot column; it should become the
+	// representative despite alphabetical order favoring city.
+	for i := 0; i < 50; i++ {
+		cat.RecordAccess("p", "city_code")
+	}
+	opts, _ := DefaultOptions().normalize()
+	st := &RunStats{}
+	represents := map[string][]string{}
+	kept, err := pruneCorrelated(viewsForDims("city", "city_code"), tb, cat, opts, st, represents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := dimSet(kept)
+	if !dims["city_code"] || dims["city"] {
+		t.Errorf("most-accessed member should represent the cluster: %v", dims)
+	}
+}
+
+func TestPruneCorrelatedSingleDim(t *testing.T) {
+	tb, _, cat := pruneFixture(t)
+	opts, _ := DefaultOptions().normalize()
+	st := &RunStats{}
+	views := viewsForDims("normal")
+	kept, err := pruneCorrelated(views, tb, cat, opts, st, map[string][]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != len(views) {
+		t.Error("single dimension: nothing to prune")
+	}
+}
+
+func TestPruneRarelyAccessed(t *testing.T) {
+	_, _, cat := pruneFixture(t)
+	opts, _ := DefaultOptions().normalize()
+	opts.AccessKeepFraction = 0.5
+	opts.AccessMinHistory = 100
+	st := &RunStats{}
+	views := viewsForDims("normal", "city", "city_code")
+
+	// Below history threshold: no-op.
+	cat.RecordAccess("p", "normal")
+	kept := pruneRarelyAccessed(views, "p", cat, opts, st)
+	if len(kept) != len(views) {
+		t.Error("pruning must not activate before AccessMinHistory")
+	}
+
+	// Build history: normal hot (100), city warm (60), city_code cold (2).
+	for i := 0; i < 99; i++ {
+		cat.RecordAccess("p", "normal")
+	}
+	for i := 0; i < 60; i++ {
+		cat.RecordAccess("p", "city")
+	}
+	cat.RecordAccess("p", "city_code")
+	cat.RecordAccess("p", "city_code")
+
+	st2 := &RunStats{}
+	kept2 := pruneRarelyAccessed(views, "p", cat, opts, st2)
+	dims := dimSet(kept2)
+	if !dims["normal"] || !dims["city"] {
+		t.Errorf("hot dims must survive: %v", dims)
+	}
+	if dims["city_code"] {
+		t.Error("cold dim must be pruned")
+	}
+	if st2.PrunedViews[PrunedRarelyUsed] != 2 {
+		t.Errorf("pruned views = %d", st2.PrunedViews[PrunedRarelyUsed])
+	}
+}
+
+func TestPruneViewsPipeline(t *testing.T) {
+	tb, ts, cat := pruneFixture(t)
+	opts, _ := DefaultOptions().normalize()
+	views := viewsForDims("normal", "constant", "city", "city_code")
+	st := &RunStats{}
+	outcome, err := pruneViews(views, tb, ts, cat, opts, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := dimSet(outcome.views)
+	if dims["constant"] {
+		t.Error("pipeline must apply variance pruning")
+	}
+	if dims["city"] && dims["city_code"] {
+		t.Error("pipeline must apply correlation pruning")
+	}
+	// All pruning off: everything survives.
+	off := opts
+	off.PruneLowVariance = false
+	off.PruneCorrelated = false
+	off.PruneRarelyAccessed = false
+	st2 := &RunStats{}
+	outcome2, err := pruneViews(views, tb, ts, cat, off, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcome2.views) != len(views) {
+		t.Errorf("no pruning: %d views survived of %d", len(outcome2.views), len(views))
+	}
+}

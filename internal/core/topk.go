@@ -1,0 +1,85 @@
+package core
+
+import "container/heap"
+
+// topK maintains the k highest-utility views seen so far using a
+// min-heap: the root is the weakest of the current top k, so each
+// candidate is compared against it in O(1) and replaces it in
+// O(log k). This is the View Processor's "select the top k views with
+// the highest utility" step, done streaming so SeeDB never holds more
+// than k full view payloads.
+type topK struct {
+	k     int
+	items viewHeap
+}
+
+// entry pairs a utility with its payload.
+type entry struct {
+	utility float64
+	data    *ViewData
+}
+
+type viewHeap []entry
+
+func (h viewHeap) Len() int { return len(h) }
+func (h viewHeap) Less(i, j int) bool {
+	if h[i].utility != h[j].utility {
+		return h[i].utility < h[j].utility
+	}
+	// Deterministic tie-break so equal-utility runs are stable.
+	return h[i].data.View.Key() > h[j].data.View.Key()
+}
+func (h viewHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *viewHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *viewHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// newTopK returns a collector for the k best views.
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// Offer considers a view; it returns true if the view entered the top
+// k (possibly evicting another).
+func (t *topK) Offer(utility float64, data *ViewData) bool {
+	if t.k <= 0 {
+		return false
+	}
+	if len(t.items) < t.k {
+		heap.Push(&t.items, entry{utility, data})
+		return true
+	}
+	weakest := t.items[0]
+	if utility < weakest.utility ||
+		(utility == weakest.utility && data.View.Key() > weakest.data.View.Key()) {
+		return false
+	}
+	t.items[0] = entry{utility, data}
+	heap.Fix(&t.items, 0)
+	return true
+}
+
+// Threshold returns the utility of the weakest retained view, and
+// whether the collector is full. Phased execution prunes against this.
+func (t *topK) Threshold() (float64, bool) {
+	if len(t.items) < t.k || len(t.items) == 0 {
+		return 0, false
+	}
+	return t.items[0].utility, true
+}
+
+// Sorted drains the heap and returns views in descending utility
+// order. The collector is empty afterwards.
+func (t *topK) Sorted() []*ViewData {
+	out := make([]*ViewData, len(t.items))
+	for i := len(t.items) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.items).(entry).data
+	}
+	return out
+}
+
+// Len returns how many views are currently held.
+func (t *topK) Len() int { return len(t.items) }

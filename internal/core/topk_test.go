@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkViewData(i int, u float64) *ViewData {
+	return &ViewData{
+		View:    View{Dimension: fmt.Sprintf("d%d", i), Measure: "m", Func: 1},
+		Utility: u,
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := newTopK(3)
+	utilities := []float64{0.5, 0.9, 0.1, 0.7, 0.3}
+	for i, u := range utilities {
+		tk.Offer(u, mkViewData(i, u))
+	}
+	if tk.Len() != 3 {
+		t.Fatalf("Len = %d", tk.Len())
+	}
+	got := tk.Sorted()
+	want := []float64{0.9, 0.7, 0.5}
+	for i, d := range got {
+		if d.Utility != want[i] {
+			t.Errorf("rank %d utility = %v, want %v", i, d.Utility, want[i])
+		}
+	}
+	if tk.Len() != 0 {
+		t.Error("Sorted should drain the heap")
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := newTopK(2)
+	if _, full := tk.Threshold(); full {
+		t.Error("empty collector is not full")
+	}
+	tk.Offer(0.5, mkViewData(0, 0.5))
+	if _, full := tk.Threshold(); full {
+		t.Error("half-full collector is not full")
+	}
+	tk.Offer(0.8, mkViewData(1, 0.8))
+	th, full := tk.Threshold()
+	if !full || th != 0.5 {
+		t.Errorf("Threshold = %v,%v want 0.5,true", th, full)
+	}
+	// A better view evicts the weakest and raises the threshold.
+	if !tk.Offer(0.9, mkViewData(2, 0.9)) {
+		t.Error("better view must be accepted")
+	}
+	th, _ = tk.Threshold()
+	if th != 0.8 {
+		t.Errorf("Threshold after eviction = %v, want 0.8", th)
+	}
+	// A worse view is rejected.
+	if tk.Offer(0.1, mkViewData(3, 0.1)) {
+		t.Error("worse view must be rejected")
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	tk := newTopK(0)
+	if tk.Offer(1.0, mkViewData(0, 1)) {
+		t.Error("k=0 accepts nothing")
+	}
+	if got := tk.Sorted(); len(got) != 0 {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(kRaw%10)
+		n := rng.Intn(100)
+		utilities := make([]float64, n)
+		tk := newTopK(k)
+		for i := 0; i < n; i++ {
+			utilities[i] = rng.Float64()
+			tk.Offer(utilities[i], mkViewData(i, utilities[i]))
+		}
+		got := tk.Sorted()
+		sort.Sort(sort.Reverse(sort.Float64Slice(utilities)))
+		want := utilities
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Utility != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	// Equal utilities: ties break on view key so results are stable.
+	tk := newTopK(2)
+	a := mkViewData(1, 0.5)
+	b := mkViewData(2, 0.5)
+	c := mkViewData(3, 0.5)
+	tk.Offer(0.5, a)
+	tk.Offer(0.5, b)
+	tk.Offer(0.5, c)
+	got := tk.Sorted()
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Lowest keys win ties (d1, d2 beat d3).
+	if got[0].View.Dimension != "d1" || got[1].View.Dimension != "d2" {
+		t.Errorf("tie-break order: %v, %v", got[0].View, got[1].View)
+	}
+}

@@ -1,0 +1,287 @@
+package datagen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+func sumBy(t *testing.T, tb *engine.Table, where engine.Predicate, dim, measure string) map[string]float64 {
+	t.Helper()
+	cat := engine.NewCatalog()
+	if err := cat.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewExecutor(cat)
+	res, err := ex.Run(context.Background(), &engine.Query{
+		Table: tb.Name(), Where: where, GroupBy: []string{dim},
+		Aggs: []engine.AggSpec{{Func: engine.AggSum, Column: measure, Alias: "v"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, row := range res.Rows {
+		if !row[1].Null {
+			out[row[0].S] = row[1].F
+		}
+	}
+	return out
+}
+
+func TestSuperstoreShapeAndDeterminism(t *testing.T) {
+	tb := Superstore("orders", 5000, 42)
+	if tb.NumRows() != 5000 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.NumCols() != len(SuperstoreSchema()) {
+		t.Fatalf("cols = %d", tb.NumCols())
+	}
+	tb2 := Superstore("orders2", 5000, 42)
+	for i := 0; i < 100; i++ {
+		r1, r2 := tb.Row(i), tb2.Row(i)
+		for c := range r1 {
+			if !r1[c].Equal(r2[c]) {
+				t.Fatalf("row %d differs between same-seed runs", i)
+			}
+		}
+	}
+	tb3 := Superstore("orders3", 100, 43)
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		r1, r3 := tb.Row(i), tb3.Row(i)
+		for c := range r1 {
+			if !r1[c].Equal(r3[c]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestSuperstorePlantedFurnitureTrend(t *testing.T) {
+	tb := Superstore("orders", 20000, 7)
+	furn := sumBy(t, tb, engine.Eq("category", engine.String("Furniture")), "region", "profit")
+	if furn["Central"] >= 0 {
+		t.Errorf("Furniture Central profit = %v, want negative (planted)", furn["Central"])
+	}
+	if furn["West"] <= 0 {
+		t.Errorf("Furniture West profit = %v, want positive (planted)", furn["West"])
+	}
+	all := sumBy(t, tb, nil, "region", "profit")
+	// Overall, no region should be as catastrophically negative as
+	// Furniture-Central relative to scale.
+	if all["West"] <= 0 {
+		t.Errorf("overall West profit = %v, want positive", all["West"])
+	}
+}
+
+func TestElectionsPlantedStateSkew(t *testing.T) {
+	tb := Elections("fec", 20000, 11)
+	dem := sumBy(t, tb, engine.Eq("party", engine.String("Democratic")), "state", "amount")
+	rep := sumBy(t, tb, engine.Eq("party", engine.String("Republican")), "state", "amount")
+	// CA share of Democratic money should far exceed CA share of
+	// Republican money.
+	demTotal, repTotal := 0.0, 0.0
+	for _, v := range dem {
+		demTotal += v
+	}
+	for _, v := range rep {
+		repTotal += v
+	}
+	demCA, repCA := dem["CA"]/demTotal, rep["CA"]/repTotal
+	if demCA <= repCA*1.5 {
+		t.Errorf("planted skew missing: dem CA share %v vs rep %v", demCA, repCA)
+	}
+}
+
+func TestMedicalPlantedAgeSkew(t *testing.T) {
+	tb := Medical("mimic", 20000, 13)
+	sepsis := sumBy(t, tb, engine.Eq("diagnosis_group", engine.String("Sepsis")), "age_bucket", "los_days")
+	obst := sumBy(t, tb, engine.Eq("diagnosis_group", engine.String("Obstetric")), "age_bucket", "los_days")
+	if sepsis["75+"] <= sepsis["18-29"] {
+		t.Errorf("sepsis should skew old: 75+=%v 18-29=%v", sepsis["75+"], sepsis["18-29"])
+	}
+	if obst["18-29"] <= obst["75+"] {
+		t.Errorf("obstetric should skew young: 18-29=%v 75+=%v", obst["18-29"], obst["75+"])
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	if _, _, err := Synthetic(SyntheticConfig{}); err == nil {
+		t.Error("empty config must error")
+	}
+	bad := DefaultSynthetic("s", 100, 1)
+	bad.Dims[0].Card = 0
+	if _, _, err := Synthetic(bad); err == nil {
+		t.Error("zero cardinality must error")
+	}
+	bad2 := DefaultSynthetic("s", 100, 1)
+	bad2.TargetDim = "nope"
+	if _, _, err := Synthetic(bad2); err == nil {
+		t.Error("unknown target dim must error")
+	}
+	bad3 := DefaultSynthetic("s", 100, 1)
+	bad3.Deviations = []Deviation{{Dim: "nope", Measure: "m0"}}
+	if _, _, err := Synthetic(bad3); err == nil {
+		t.Error("unknown deviation dim must error")
+	}
+	bad4 := DefaultSynthetic("s", 100, 1)
+	bad4.Deviations = []Deviation{{Dim: "d0", Measure: "nope"}}
+	if _, _, err := Synthetic(bad4); err == nil {
+		t.Error("unknown deviation measure must error")
+	}
+}
+
+func TestSyntheticShapeAndSubset(t *testing.T) {
+	cfg := DefaultSynthetic("syn", 10000, 5)
+	tb, gt, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 10000 || tb.NumCols() != 15 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	// Subset fraction ~10%.
+	cat := engine.NewCatalog()
+	_ = cat.Register(tb)
+	ex := engine.NewExecutor(cat)
+	res, err := ex.Run(context.Background(), &engine.Query{
+		Table: "syn", Where: gt.Predicate, Aggs: []engine.AggSpec{{Func: engine.AggCount}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Rows[0][0].I
+	if n < 800 || n > 1200 {
+		t.Errorf("subset size = %d, want ~1000", n)
+	}
+}
+
+func TestSyntheticPlantedDeviationVisible(t *testing.T) {
+	cfg := DefaultSynthetic("syn", 30000, 9)
+	tb, gt, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planted view (d1, m0): in-subset means should slope with group
+	// index; comparison means stay flat.
+	target := sumBy(t, tb, gt.Predicate, "d1", "m0")
+	count := map[string]float64{}
+	{
+		cat := engine.NewCatalog()
+		_ = cat.Register(tb)
+		ex := engine.NewExecutor(cat)
+		res, _ := ex.Run(context.Background(), &engine.Query{
+			Table: "syn", Where: gt.Predicate, GroupBy: []string{"d1"},
+			Aggs: []engine.AggSpec{{Func: engine.AggCount, Alias: "n"}},
+		})
+		for _, row := range res.Rows {
+			count[row[0].S] = float64(row[1].I)
+		}
+	}
+	lowMean := target["d1_v0"] / count["d1_v0"]
+	highMean := target["d1_v9"] / count["d1_v9"]
+	if highMean < lowMean*2 {
+		t.Errorf("planted slope missing: group0 mean %v, group9 mean %v", lowMean, highMean)
+	}
+	// Unplanted view (d5, m4) should be flat in subset.
+	t5 := sumBy(t, tb, gt.Predicate, "d5", "m4")
+	c5 := map[string]float64{}
+	{
+		cat := engine.NewCatalog()
+		_ = cat.Register(tb)
+		ex := engine.NewExecutor(cat)
+		res, _ := ex.Run(context.Background(), &engine.Query{
+			Table: "syn", Where: gt.Predicate, GroupBy: []string{"d5"},
+			Aggs: []engine.AggSpec{{Func: engine.AggCount, Alias: "n"}},
+		})
+		for _, row := range res.Rows {
+			c5[row[0].S] = float64(row[1].I)
+		}
+	}
+	m0 := t5["d5_v0"] / c5["d5_v0"]
+	m9 := t5["d5_v9"] / c5["d5_v9"]
+	if m9 > m0*1.3 || m0 > m9*1.3 {
+		t.Errorf("unplanted view should be flat: %v vs %v", m0, m9)
+	}
+}
+
+func TestSyntheticSpecialDims(t *testing.T) {
+	cfg := SyntheticConfig{
+		Name: "sp", Rows: 5000, Seed: 3,
+		Dims: []DimSpec{
+			{Name: "d0", Card: 5},
+			{Name: "zipfy", Card: 10, Zipf: 2.0},
+			{Name: "copy", Card: 5, CorrelateWith: "d0"},
+			{Name: "fixed", Constant: true, Card: 1},
+		},
+		Measures: []MeasureSpec{{Name: "m0", Mean: 10, Stddev: 1}},
+	}
+	tb, _, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := tb.Column("fixed")
+	sc := col.(*engine.StringColumn)
+	if sc.Cardinality() != 1 {
+		t.Errorf("constant dim cardinality = %d", sc.Cardinality())
+	}
+	// Zipf: most frequent value should dominate.
+	zc, _ := tb.Column("zipfy")
+	zs := zc.(*engine.StringColumn)
+	counts := make(map[int32]int)
+	for _, code := range zs.Codes() {
+		counts[code]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if float64(maxCount) < 0.4*5000 {
+		t.Errorf("zipf(2) top value count = %d, want heavily skewed", maxCount)
+	}
+	// Correlated copy: group index of copy must equal d0's.
+	d0c, _ := tb.Column("d0")
+	copyc, _ := tb.Column("copy")
+	for i := 0; i < 100; i++ {
+		v0 := d0c.Value(i).S
+		vc := copyc.Value(i).S
+		if v0[len(v0)-1] != vc[len(vc)-1] {
+			t.Fatalf("row %d: copy %q does not track d0 %q", i, vc, v0)
+		}
+	}
+}
+
+func TestLaserwaveTable1Exact(t *testing.T) {
+	for _, scen := range []LaserwaveScenario{ScenarioA, ScenarioB} {
+		tb := Laserwave("sales", scen)
+		got := sumBy(t, tb, engine.Eq("product", engine.String("Laserwave")), "store", "amount")
+		for i, store := range LaserwaveStores {
+			if math.Abs(got[store]-LaserwaveSales[i]) > 1e-9 {
+				t.Errorf("scenario %v: %s = %v, want %v", scen, store, got[store], LaserwaveSales[i])
+			}
+		}
+	}
+}
+
+func TestLaserwaveScenarioTrends(t *testing.T) {
+	a := Laserwave("a", ScenarioA)
+	all := sumBy(t, a, nil, "store", "amount")
+	// Scenario A: overall sales INCREASE along the store order where
+	// Laserwave decreases: Cambridge lowest, SF highest.
+	if !(all["Cambridge, MA"] < all["Seattle, WA"]) || !(all["New York, NY"] < all["San Francisco, CA"]) {
+		t.Errorf("scenario A overall trend wrong: %v", all)
+	}
+	b := Laserwave("b", ScenarioB)
+	allB := sumBy(t, b, nil, "store", "amount")
+	if !(allB["Cambridge, MA"] > allB["Seattle, WA"]) {
+		t.Errorf("scenario B overall trend wrong: %v", allB)
+	}
+}

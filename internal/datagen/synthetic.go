@@ -1,0 +1,308 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seedb/internal/engine"
+)
+
+// DimSpec configures one synthetic dimension attribute.
+type DimSpec struct {
+	// Name of the column (values are "<name>_v<i>").
+	Name string
+	// Card is the number of distinct values.
+	Card int
+	// Zipf skews the value frequencies with the given exponent when
+	// > 1; 0 (or <=1) means uniform. This is the demo's "data
+	// distribution" knob.
+	Zipf float64
+	// CorrelateWith duplicates another dimension's value index
+	// (producing a perfectly correlated attribute for pruning
+	// experiments); Card must match the source dimension.
+	CorrelateWith string
+	// Constant forces a single value (a zero-variance attribute for
+	// pruning experiments).
+	Constant bool
+}
+
+// MeasureSpec configures one synthetic measure attribute.
+type MeasureSpec struct {
+	Name   string
+	Mean   float64
+	Stddev float64
+}
+
+// Deviation plants a ground-truth "interesting view": rows inside the
+// target subset draw the measure with a group-dependent shift on the
+// given dimension, so the view (Dim, Measure, SUM/AVG) deviates from
+// the comparison view. Strength ≈ 0 is invisible; ≥ 1 is blatant.
+type Deviation struct {
+	Dim      string
+	Measure  string
+	Strength float64
+}
+
+// SyntheticConfig parameterizes Synthetic. The zero value is invalid;
+// see DefaultSynthetic.
+type SyntheticConfig struct {
+	Name     string
+	Rows     int
+	Seed     int64
+	Dims     []DimSpec
+	Measures []MeasureSpec
+
+	// TargetDim/TargetValue define the analyst's predicate column: the
+	// subset D_Q is TargetDim = TargetValue. TargetFraction of rows
+	// fall in the subset.
+	TargetDim      string
+	TargetValue    string
+	TargetFraction float64
+
+	// Deviations are the planted interesting views.
+	Deviations []Deviation
+}
+
+// DefaultSynthetic returns a ready-to-use config: n rows, 10
+// dimensions of cardinality 10, 5 measures, a 10% target subset, and
+// two planted deviations.
+func DefaultSynthetic(name string, rows int, seed int64) SyntheticConfig {
+	cfg := SyntheticConfig{
+		Name:           name,
+		Rows:           rows,
+		Seed:           seed,
+		TargetFraction: 0.1,
+	}
+	for i := 0; i < 10; i++ {
+		cfg.Dims = append(cfg.Dims, DimSpec{Name: fmt.Sprintf("d%d", i), Card: 10})
+	}
+	for i := 0; i < 5; i++ {
+		cfg.Measures = append(cfg.Measures, MeasureSpec{Name: fmt.Sprintf("m%d", i), Mean: 100, Stddev: 25})
+	}
+	cfg.Deviations = []Deviation{
+		{Dim: "d1", Measure: "m0", Strength: 2.0},
+		{Dim: "d2", Measure: "m1", Strength: 1.5},
+	}
+	return cfg
+}
+
+// GroundTruth describes what Synthetic planted, so experiments can
+// score SeeDB's output (precision@k against planted views).
+type GroundTruth struct {
+	// Predicate is the analyst query predicate selecting the subset.
+	Predicate engine.Predicate
+	// PlantedViews lists (dim, measure) pairs that truly deviate.
+	PlantedViews []Deviation
+}
+
+// Synthetic generates a table per the config and returns it with its
+// ground truth. Generation model:
+//
+//   - the target flag is drawn first (TargetFraction);
+//   - in-subset rows take TargetValue on TargetDim, others draw
+//     uniformly from the remaining values;
+//   - other dimensions draw per their spec (uniform, Zipf, correlated
+//     copy, or constant);
+//   - measures draw N(mean, stddev); for planted deviations, in-subset
+//     rows get an additional group-dependent multiplicative shift
+//     (1 + Strength·g/(card−1) where g is the group index), producing
+//     a target distribution that slopes across groups while the
+//     comparison stays flat.
+func Synthetic(cfg SyntheticConfig) (*engine.Table, GroundTruth, error) {
+	if cfg.Rows <= 0 || len(cfg.Dims) == 0 || len(cfg.Measures) == 0 {
+		return nil, GroundTruth{}, fmt.Errorf("datagen: synthetic config needs rows, dims and measures")
+	}
+	if cfg.TargetDim == "" {
+		cfg.TargetDim = cfg.Dims[0].Name
+	}
+	dimIdx := map[string]int{}
+	schema := engine.Schema{}
+	for i, d := range cfg.Dims {
+		if d.Card <= 0 && !d.Constant {
+			return nil, GroundTruth{}, fmt.Errorf("datagen: dimension %q needs positive cardinality", d.Name)
+		}
+		dimIdx[d.Name] = i
+		schema = append(schema, engine.ColumnDef{Name: d.Name, Type: engine.TypeString})
+	}
+	for _, m := range cfg.Measures {
+		schema = append(schema, engine.ColumnDef{Name: m.Name, Type: engine.TypeFloat})
+	}
+	if _, ok := dimIdx[cfg.TargetDim]; !ok {
+		return nil, GroundTruth{}, fmt.Errorf("datagen: target dimension %q not in config", cfg.TargetDim)
+	}
+	if cfg.TargetValue == "" {
+		cfg.TargetValue = cfg.TargetDim + "_v0"
+	}
+	if cfg.TargetFraction <= 0 || cfg.TargetFraction >= 1 {
+		cfg.TargetFraction = 0.1
+	}
+	for _, dev := range cfg.Deviations {
+		if _, ok := dimIdx[dev.Dim]; !ok {
+			return nil, GroundTruth{}, fmt.Errorf("datagen: deviation dimension %q not in config", dev.Dim)
+		}
+		found := false
+		for _, m := range cfg.Measures {
+			if m.Name == dev.Measure {
+				found = true
+			}
+		}
+		if !found {
+			return nil, GroundTruth{}, fmt.Errorf("datagen: deviation measure %q not in config", dev.Measure)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipfs []*rand.Zipf
+	for _, d := range cfg.Dims {
+		if d.Zipf > 1 && d.Card > 1 {
+			zipfs = append(zipfs, rand.NewZipf(rng, d.Zipf, 1, uint64(d.Card-1)))
+		} else {
+			zipfs = append(zipfs, nil)
+		}
+	}
+
+	t := engine.MustNewTable(cfg.Name, schema)
+	l := t.StartLoad()
+	dimCols := make([]*engine.StringColumn, len(cfg.Dims))
+	for i := range cfg.Dims {
+		dimCols[i] = l.Column(i).(*engine.StringColumn)
+	}
+	measCols := make([]*engine.FloatColumn, len(cfg.Measures))
+	for i := range cfg.Measures {
+		measCols[i] = l.Column(len(cfg.Dims) + i).(*engine.FloatColumn)
+	}
+
+	// Deviation lookup: measure index -> deviations affecting it.
+	devByMeasure := map[int][]Deviation{}
+	for mi, m := range cfg.Measures {
+		for _, dev := range cfg.Deviations {
+			if dev.Measure == m.Name {
+				devByMeasure[mi] = append(devByMeasure[mi], dev)
+			}
+		}
+	}
+
+	groupIdx := make([]int, len(cfg.Dims)) // this row's group index per dim
+	for row := 0; row < cfg.Rows; row++ {
+		inSubset := rng.Float64() < cfg.TargetFraction
+		for di, d := range cfg.Dims {
+			var g int
+			switch {
+			case d.Constant:
+				g = 0
+			case d.CorrelateWith != "":
+				g = groupIdx[dimIdx[d.CorrelateWith]] % d.Card
+			case d.Name == cfg.TargetDim:
+				if inSubset {
+					g = 0 // TargetValue is value 0 by construction
+				} else {
+					g = 1 + rng.Intn(maxInt(1, d.Card-1))
+				}
+			case zipfs[di] != nil:
+				g = int(zipfs[di].Uint64())
+			default:
+				g = rng.Intn(d.Card)
+			}
+			groupIdx[di] = g
+			if d.Constant {
+				dimCols[di].AppendString(d.Name + "_const")
+			} else if d.Name == cfg.TargetDim && g == 0 {
+				dimCols[di].AppendString(cfg.TargetValue)
+			} else {
+				dimCols[di].AppendString(fmt.Sprintf("%s_v%d", d.Name, g))
+			}
+		}
+		for mi, m := range cfg.Measures {
+			v := m.Mean + m.Stddev*rng.NormFloat64()
+			if inSubset {
+				for _, dev := range devByMeasure[mi] {
+					di := dimIdx[dev.Dim]
+					card := cfg.Dims[di].Card
+					if card > 1 {
+						shift := 1 + dev.Strength*float64(groupIdx[di])/float64(card-1)
+						v *= shift
+					}
+				}
+			}
+			measCols[mi].AppendFloat(v)
+		}
+	}
+	if err := l.Close(); err != nil {
+		return nil, GroundTruth{}, fmt.Errorf("datagen: synthetic load: %w", err)
+	}
+	gt := GroundTruth{
+		Predicate:    engine.Eq(cfg.TargetDim, engine.String(cfg.TargetValue)),
+		PlantedViews: append([]Deviation(nil), cfg.Deviations...),
+	}
+	return t, gt, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Laserwave: the paper's running example (Table 1, Figures 1-3)
+
+// LaserwaveStores and the sales figures reproduce Table 1 exactly.
+var LaserwaveStores = []string{"Cambridge, MA", "Seattle, WA", "New York, NY", "San Francisco, CA"}
+
+// LaserwaveSales are the paper's Table 1 values, in LaserwaveStores order.
+var LaserwaveSales = []float64{180.55, 145.50, 122.00, 90.13}
+
+// LaserwaveScenario selects the comparison backdrop for the Laserwave
+// example: Scenario A (overall sales show the opposite trend, Figure
+// 2) or Scenario B (overall sales follow the same trend, Figure 3).
+type LaserwaveScenario int
+
+// Scenarios from the paper's Figures 2 and 3.
+const (
+	ScenarioA LaserwaveScenario = iota // opposite trend: view is interesting
+	ScenarioB                          // same trend: view is boring
+)
+
+// Laserwave builds the paper's running example: a Sales table where
+// product "Laserwave" has exactly the Table 1 per-store totals and the
+// rest of the data (other products) forms the scenario's overall
+// trend. Scenario A plants the Figure 2 situation (other products sell
+// in the opposite store order), Scenario B the Figure 3 situation
+// (same store order).
+func Laserwave(name string, scenario LaserwaveScenario) *engine.Table {
+	t := engine.MustNewTable(name, engine.Schema{
+		{Name: "product", Type: engine.TypeString},
+		{Name: "store", Type: engine.TypeString},
+		{Name: "amount", Type: engine.TypeFloat},
+	})
+	appendSale := func(product, store string, amount float64) {
+		if err := t.AppendRow(engine.String(product), engine.String(store), engine.Float(amount)); err != nil {
+			panic(err)
+		}
+	}
+	// Laserwave rows: Table 1 exactly (split into two sales per store
+	// so the table looks like record-level data, summing to the same
+	// totals).
+	for i, store := range LaserwaveStores {
+		total := LaserwaveSales[i]
+		appendSale("Laserwave", store, round2(total*0.6))
+		appendSale("Laserwave", store, round2(total-round2(total*0.6)))
+	}
+	// Background products: totals per store near the paper's Figures
+	// 2/3 magnitudes (×1e4 scale).
+	var backdrop []float64
+	switch scenario {
+	case ScenarioA:
+		backdrop = []float64{10000, 28000, 33000, 40000} // opposite order
+	default:
+		backdrop = []float64{40000, 33000, 28000, 10000} // same order
+	}
+	for i, store := range LaserwaveStores {
+		remaining := backdrop[i] - LaserwaveSales[i]
+		// Spread across two other products.
+		appendSale("Saberwave", store, round2(remaining*0.55))
+		appendSale("Microwave", store, round2(remaining-round2(remaining*0.55)))
+	}
+	return t
+}

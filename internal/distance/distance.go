@@ -1,0 +1,382 @@
+// Package distance implements the probability-distribution distance
+// metrics SeeDB uses to score view utility (paper §2): Earth Mover's
+// Distance, Euclidean distance, Kullback-Leibler divergence, and
+// Jensen-Shannon distance, plus an L1 (total variation) extension.
+//
+// A view's result table (group → f(m)) is normalized into a probability
+// distribution; the utility of a view is the distance between the
+// target view's distribution (on the query subset D_Q) and the
+// comparison view's distribution (on the full dataset D). The package
+// keeps metrics behind a small interface and a registry, satisfying the
+// paper's requirement that "SEEDB is not tied to any particular
+// metric(s)".
+package distance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Distribution is a normalized probability vector: entries are
+// non-negative and sum to 1 (within floating-point tolerance), unless
+// it is empty.
+type Distribution []float64
+
+// Normalize converts raw aggregate values into a probability
+// distribution. SeeDB normalizes "such that the values of f(m) sum to
+// 1"; because measures like profit can be negative (where a direct
+// normalization would not yield probabilities), we normalize absolute
+// values: p_i = |v_i| / Σ|v_j|. If all values are zero the result is
+// uniform, so that two all-zero views compare as identical rather than
+// erroring.
+func Normalize(values []float64) Distribution {
+	if len(values) == 0 {
+		return nil
+	}
+	out := make(Distribution, len(values))
+	// Pre-scale by the max magnitude so the mass total cannot overflow
+	// to +Inf even for values near MaxFloat64.
+	maxAbs := 0.0
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		u := 1 / float64(len(values))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	total := 0.0
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = math.Abs(v) / maxAbs
+		total += out[i]
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Sum returns the total mass of the distribution.
+func (d Distribution) Sum() float64 {
+	s := 0.0
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// Align takes two keyed value maps (group label → aggregate value) and
+// returns normalized distributions over the union of keys, in sorted
+// key order. Groups absent from one side contribute zero mass there —
+// this is how the target view (computed on a data subset, possibly
+// missing groups) is compared against the comparison view.
+func Align(target, comparison map[string]float64) (Distribution, Distribution, []string) {
+	keySet := make(map[string]struct{}, len(comparison))
+	for k := range target {
+		keySet[k] = struct{}{}
+	}
+	for k := range comparison {
+		keySet[k] = struct{}{}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tv := make([]float64, len(keys))
+	cv := make([]float64, len(keys))
+	for i, k := range keys {
+		tv[i] = target[k]
+		cv[i] = comparison[k]
+	}
+	return Normalize(tv), Normalize(cv), keys
+}
+
+// Metric measures the distance between two equal-length distributions.
+type Metric interface {
+	// Name returns the registry name, e.g. "emd".
+	Name() string
+	// Distance returns the distance between p and q. Implementations
+	// must be non-negative and return 0 for identical inputs.
+	Distance(p, q Distribution) (float64, error)
+}
+
+func checkPair(name string, p, q Distribution) error {
+	if len(p) != len(q) {
+		return fmt.Errorf("distance: %s: length mismatch %d vs %d", name, len(p), len(q))
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("distance: %s: empty distributions", name)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Euclidean
+
+// Euclidean is the L2 distance between distributions.
+type Euclidean struct{}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Distance implements Metric.
+func (Euclidean) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("euclidean", p, q); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// ---------------------------------------------------------------------
+// Earth Mover's Distance
+
+// EMD is the 1-D Earth Mover's (Wasserstein-1) distance with unit
+// ground distance between adjacent bins: the L1 distance between CDFs.
+// The bin order is the aligned key order (sorted group labels), which
+// treats the grouped domain as ordinal — exact for time/ordinal
+// dimensions and a consistent convention for nominal ones.
+type EMD struct{}
+
+// Name implements Metric.
+func (EMD) Name() string { return "emd" }
+
+// Distance implements Metric.
+func (EMD) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("emd", p, q); err != nil {
+		return 0, err
+	}
+	work, carry := 0.0, 0.0
+	for i := range p {
+		carry += p[i] - q[i]
+		work += math.Abs(carry)
+	}
+	return work, nil
+}
+
+// ---------------------------------------------------------------------
+// Kullback-Leibler
+
+// KL is the Kullback-Leibler divergence KL(p‖q) with additive
+// smoothing: both inputs are mixed with the uniform distribution
+// (weight Epsilon) so the divergence stays finite when q has
+// zero-probability groups that p hits. KL is not symmetric; SeeDB uses
+// it as KL(target ‖ comparison).
+type KL struct {
+	// Epsilon is the smoothing weight; 0 selects DefaultKLEpsilon.
+	Epsilon float64
+}
+
+// DefaultKLEpsilon is the default smoothing weight for KL.
+const DefaultKLEpsilon = 1e-6
+
+// Name implements Metric.
+func (KL) Name() string { return "kl" }
+
+// Distance implements Metric.
+func (m KL) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("kl", p, q); err != nil {
+		return 0, err
+	}
+	eps := m.Epsilon
+	if eps <= 0 {
+		eps = DefaultKLEpsilon
+	}
+	u := 1 / float64(len(p))
+	s := 0.0
+	for i := range p {
+		pi := (1-eps)*p[i] + eps*u
+		qi := (1-eps)*q[i] + eps*u
+		s += pi * math.Log(pi/qi)
+	}
+	if s < 0 { // numerical noise near zero
+		s = 0
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------
+// Jensen-Shannon
+
+// JS is the Jensen-Shannon distance: the square root of the JS
+// divergence (base-e), which is a true metric bounded by √ln 2. Unlike
+// KL it is symmetric and needs no smoothing.
+type JS struct{}
+
+// Name implements Metric.
+func (JS) Name() string { return "js" }
+
+// Distance implements Metric.
+func (JS) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("js", p, q); err != nil {
+		return 0, err
+	}
+	div := 0.0
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 {
+			div += 0.5 * p[i] * math.Log(p[i]/m)
+		}
+		if q[i] > 0 {
+			div += 0.5 * q[i] * math.Log(q[i]/m)
+		}
+	}
+	if div < 0 {
+		div = 0
+	}
+	return math.Sqrt(div), nil
+}
+
+// ---------------------------------------------------------------------
+// L1 (total variation ×2) — extension metric
+
+// L1 is the Manhattan distance between distributions (twice the total
+// variation distance). Not in the paper's list; included as an example
+// of registering a custom metric.
+type L1 struct{}
+
+// Name implements Metric.
+func (L1) Name() string { return "l1" }
+
+// Distance implements Metric.
+func (L1) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("l1", p, q); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------
+// Hellinger — extension metric (used by the full SeeDB paper's study)
+
+// Hellinger is the Hellinger distance
+// H(p,q) = (1/√2)·‖√p − √q‖₂ ∈ [0,1], a true metric that, like JS, is
+// bounded and symmetric but weights small-probability differences more
+// strongly.
+type Hellinger struct{}
+
+// Name implements Metric.
+func (Hellinger) Name() string { return "hellinger" }
+
+// Distance implements Metric.
+func (Hellinger) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("hellinger", p, q); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range p {
+		d := math.Sqrt(p[i]) - math.Sqrt(q[i])
+		s += d * d
+	}
+	return math.Sqrt(s / 2), nil
+}
+
+// ---------------------------------------------------------------------
+// Chebyshev — extension metric
+
+// Chebyshev is the L∞ distance: the largest single-group probability
+// difference. It ranks views by their most deviating bar, which is
+// what an analyst's eye latches onto first.
+type Chebyshev struct{}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "chebyshev" }
+
+// Distance implements Metric.
+func (Chebyshev) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("chebyshev", p, q); err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for i := range p {
+		d := math.Abs(p[i] - q[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Metric{}
+)
+
+func init() {
+	MustRegister(EMD{})
+	MustRegister(Euclidean{})
+	MustRegister(KL{})
+	MustRegister(JS{})
+	MustRegister(L1{})
+	MustRegister(Hellinger{})
+	MustRegister(Chebyshev{})
+}
+
+// Register adds a metric under its Name; duplicate names error.
+func Register(m Metric) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[m.Name()]; dup {
+		return fmt.Errorf("distance: metric %q already registered", m.Name())
+	}
+	registry[m.Name()] = m
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time use.
+func MustRegister(m Metric) {
+	if err := Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Get looks up a metric by name.
+func Get(name string) (Metric, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("distance: unknown metric %q (have %v)", name, names())
+	}
+	return m, nil
+}
+
+// Names returns the registered metric names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return names()
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

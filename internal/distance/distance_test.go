@@ -1,0 +1,338 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allMetrics() []Metric {
+	return []Metric{EMD{}, Euclidean{}, KL{}, JS{}, L1{}, Hellinger{}, Chebyshev{}}
+}
+
+// randomDistPair generates two aligned random distributions.
+func randomDistPair(rng *rand.Rand) (Distribution, Distribution) {
+	n := 1 + rng.Intn(20)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = rng.Float64()
+		q[i] = rng.Float64()
+	}
+	return Normalize(p), Normalize(q)
+}
+
+func TestNormalizeBasic(t *testing.T) {
+	d := Normalize([]float64{180.55, 145.50, 122.00, 90.13})
+	if len(d) != 4 {
+		t.Fatalf("len = %d", len(d))
+	}
+	// Paper §2: P[V(D_Q)] = (180.55/538.18, 145.50/538.18, ...).
+	if math.Abs(d[0]-180.55/538.18) > 1e-12 {
+		t.Errorf("d[0] = %v, want 180.55/538.18", d[0])
+	}
+	if math.Abs(d.Sum()-1) > 1e-12 {
+		t.Errorf("sum = %v", d.Sum())
+	}
+}
+
+func TestNormalizeEdgeCases(t *testing.T) {
+	if Normalize(nil) != nil {
+		t.Error("nil input should return nil")
+	}
+	zero := Normalize([]float64{0, 0, 0})
+	for _, v := range zero {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("all-zero should normalize uniform, got %v", zero)
+		}
+	}
+	neg := Normalize([]float64{-1, 1})
+	if neg[0] != 0.5 || neg[1] != 0.5 {
+		t.Errorf("negatives use absolute mass, got %v", neg)
+	}
+	weird := Normalize([]float64{math.NaN(), math.Inf(1), 2})
+	if math.Abs(weird.Sum()-1) > 1e-12 || weird[2] != 1 {
+		t.Errorf("NaN/Inf should be treated as 0: %v", weird)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		d := Normalize(vals)
+		if len(vals) == 0 {
+			return d == nil
+		}
+		sum := 0.0
+		for _, v := range d {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	target := map[string]float64{"a": 3, "b": 1}
+	comparison := map[string]float64{"b": 1, "c": 1}
+	p, q, keys := Align(target, comparison)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if math.Abs(p[0]-0.75) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 || p[2] != 0 {
+		t.Errorf("target dist = %v", p)
+	}
+	if q[0] != 0 || math.Abs(q[1]-0.5) > 1e-12 || math.Abs(q[2]-0.5) > 1e-12 {
+		t.Errorf("comparison dist = %v", q)
+	}
+}
+
+func TestMetricIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range allMetrics() {
+		for trial := 0; trial < 50; trial++ {
+			p, _ := randomDistPair(rng)
+			d, err := m.Distance(p, p)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			if d > 1e-9 {
+				t.Errorf("%s: d(p,p) = %v, want ~0", m.Name(), d)
+			}
+		}
+	}
+}
+
+func TestMetricNonNegativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range allMetrics() {
+		for trial := 0; trial < 200; trial++ {
+			p, q := randomDistPair(rng)
+			d, err := m.Distance(p, q)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			if d < 0 || math.IsNaN(d) {
+				t.Errorf("%s: d = %v for p=%v q=%v", m.Name(), d, p, q)
+			}
+		}
+	}
+}
+
+func TestMetricSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	symmetric := []Metric{EMD{}, Euclidean{}, JS{}, L1{}, Hellinger{}, Chebyshev{}}
+	for _, m := range symmetric {
+		for trial := 0; trial < 100; trial++ {
+			p, q := randomDistPair(rng)
+			d1, _ := m.Distance(p, q)
+			d2, _ := m.Distance(q, p)
+			if math.Abs(d1-d2) > 1e-9 {
+				t.Errorf("%s: not symmetric: %v vs %v", m.Name(), d1, d2)
+			}
+		}
+	}
+}
+
+func TestMetricTriangleInequality(t *testing.T) {
+	// EMD, Euclidean, JS distance and L1 are true metrics.
+	rng := rand.New(rand.NewSource(4))
+	metrics := []Metric{EMD{}, Euclidean{}, JS{}, L1{}, Hellinger{}, Chebyshev{}}
+	for _, m := range metrics {
+		for trial := 0; trial < 100; trial++ {
+			n := 2 + rng.Intn(10)
+			mk := func() Distribution {
+				v := make([]float64, n)
+				for i := range v {
+					v[i] = rng.Float64()
+				}
+				return Normalize(v)
+			}
+			p, q, r := mk(), mk(), mk()
+			dpq, _ := m.Distance(p, q)
+			dqr, _ := m.Distance(q, r)
+			dpr, _ := m.Distance(p, r)
+			if dpr > dpq+dqr+1e-9 {
+				t.Errorf("%s: triangle violated: d(p,r)=%v > %v+%v", m.Name(), dpr, dpq, dqr)
+			}
+		}
+	}
+}
+
+func TestKLAsymmetryAndSmoothing(t *testing.T) {
+	p := Distribution{0.9, 0.1}
+	q := Distribution{0.1, 0.9}
+	kl := KL{}
+	d1, _ := kl.Distance(p, q)
+	d2, _ := kl.Distance(q, p)
+	if d1 <= 0 {
+		t.Error("KL of different dists must be positive")
+	}
+	// Symmetric inputs here, but in general KL(p,q) != KL(q,p); check
+	// with an asymmetric pair.
+	p2 := Distribution{0.5, 0.5}
+	d3, _ := kl.Distance(p, p2)
+	d4, _ := kl.Distance(p2, p)
+	if math.Abs(d3-d4) < 1e-12 {
+		t.Error("KL should be asymmetric for this pair")
+	}
+	_ = d2
+	// Zero-probability comparison group must stay finite thanks to
+	// smoothing.
+	d5, err := kl.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d5, 0) || math.IsNaN(d5) {
+		t.Errorf("smoothed KL should be finite, got %v", d5)
+	}
+	// Larger epsilon shrinks the divergence.
+	d6, _ := KL{Epsilon: 0.1}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if d6 >= d5 {
+		t.Errorf("more smoothing should mean smaller KL: %v >= %v", d6, d5)
+	}
+}
+
+func TestEMDKnownValues(t *testing.T) {
+	// Moving all mass one bin over costs exactly 1 bin-width.
+	d, _ := EMD{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("EMD = %v, want 1", d)
+	}
+	// Two bins over costs 2.
+	d, _ = EMD{}.Distance(Distribution{1, 0, 0}, Distribution{0, 0, 1})
+	if math.Abs(d-2) > 1e-12 {
+		t.Errorf("EMD = %v, want 2", d)
+	}
+	// Half the mass one bin over costs 0.5.
+	d, _ = EMD{}.Distance(Distribution{1, 0}, Distribution{0.5, 0.5})
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("EMD = %v, want 0.5", d)
+	}
+}
+
+func TestEuclideanKnownValue(t *testing.T) {
+	d, _ := Euclidean{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Errorf("euclidean = %v, want √2", d)
+	}
+}
+
+func TestJSBounded(t *testing.T) {
+	// JS distance is bounded by sqrt(ln 2).
+	bound := math.Sqrt(math.Ln2)
+	d, _ := JS{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if d > bound+1e-12 {
+		t.Errorf("JS = %v beyond bound %v", d, bound)
+	}
+	if math.Abs(d-bound) > 1e-9 {
+		t.Errorf("disjoint JS should hit the bound: %v vs %v", d, bound)
+	}
+}
+
+func TestL1KnownValue(t *testing.T) {
+	d, _ := L1{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if math.Abs(d-2) > 1e-12 {
+		t.Errorf("L1 = %v, want 2", d)
+	}
+}
+
+func TestHellingerKnownValues(t *testing.T) {
+	// Disjoint distributions hit the bound 1.
+	d, _ := Hellinger{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint Hellinger = %v, want 1", d)
+	}
+	// Known half/half vs full: H² = 1 - sum(sqrt(p q)) → H = sqrt(1-√.5).
+	d, _ = Hellinger{}.Distance(Distribution{1, 0}, Distribution{0.5, 0.5})
+	want := math.Sqrt(1 - math.Sqrt(0.5))
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("Hellinger = %v, want %v", d, want)
+	}
+}
+
+func TestChebyshevKnownValues(t *testing.T) {
+	d, _ := Chebyshev{}.Distance(Distribution{0.7, 0.2, 0.1}, Distribution{0.2, 0.4, 0.4})
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("Chebyshev = %v, want 0.5 (largest bar delta)", d)
+	}
+	d, _ = Chebyshev{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if d != 1 {
+		t.Errorf("disjoint Chebyshev = %v, want 1", d)
+	}
+}
+
+func TestMetricErrorCases(t *testing.T) {
+	for _, m := range allMetrics() {
+		if _, err := m.Distance(Distribution{0.5, 0.5}, Distribution{1}); err == nil {
+			t.Errorf("%s: length mismatch must error", m.Name())
+		}
+		if _, err := m.Distance(nil, nil); err == nil {
+			t.Errorf("%s: empty must error", m.Name())
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"emd", "euclidean", "kl", "js", "l1", "hellinger", "chebyshev"} {
+		m, err := Get(name)
+		if err != nil {
+			t.Errorf("Get(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("Get(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := Get("mahalanobis"); err == nil {
+		t.Error("unknown metric must error")
+	}
+	if err := Register(EMD{}); err == nil {
+		t.Error("duplicate registration must error")
+	}
+	names := Names()
+	if len(names) < 7 {
+		t.Errorf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("Names() must be sorted")
+		}
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister of duplicate should panic")
+		}
+	}()
+	MustRegister(JS{})
+}
+
+// TestScenarioOrdering reproduces the paper's Figures 1-3 intuition at
+// the metric level: a subset distribution that opposes the overall
+// trend (Scenario A) must score higher than one that matches it
+// (Scenario B), under every metric.
+func TestScenarioOrdering(t *testing.T) {
+	laserwave := Normalize([]float64{180.55, 145.50, 122.00, 90.13}) // decreasing by store
+	scenarioA := Normalize([]float64{10000, 20000, 30000, 40000})    // opposite trend
+	scenarioB := Normalize([]float64{40000, 30000, 20000, 10000})    // same trend
+	for _, m := range allMetrics() {
+		da, err := m.Distance(laserwave, scenarioA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := m.Distance(laserwave, scenarioB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da <= db {
+			t.Errorf("%s: U(scenario A)=%v should exceed U(scenario B)=%v", m.Name(), da, db)
+		}
+	}
+}

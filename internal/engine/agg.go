@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AggFunc identifies an aggregate function. The set matches the
+// aggregate functions F the paper considers over measure attributes,
+// plus variance/stddev which the demo's metadata collector also uses.
+type AggFunc int
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(m) — non-null count; COUNT(*) when Column==""
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggVariance // population variance
+	AggStddev   // population standard deviation
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggVariance:
+		return "VAR"
+	case AggStddev:
+		return "STDDEV"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// ParseAggFunc maps a SQL aggregate name (case-insensitive) to AggFunc.
+func ParseAggFunc(name string) (AggFunc, error) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, nil
+	case "SUM":
+		return AggSum, nil
+	case "AVG", "MEAN":
+		return AggAvg, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	case "VAR", "VARIANCE":
+		return AggVariance, nil
+	case "STDDEV", "STD":
+		return AggStddev, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown aggregate function %q", name)
+	}
+}
+
+// AggSpec describes one aggregate output of a query: a function over a
+// measure column, optionally restricted to rows matching Filter. The
+// Filter field is the engine half of SeeDB's "combine target and
+// comparison view query" optimization: the combined query computes
+// f(m) twice per group, once unfiltered (comparison view) and once
+// filtered by the user's predicate (target view), in a single scan.
+type AggSpec struct {
+	Func   AggFunc
+	Column string    // measure column; empty means COUNT(*)
+	Filter Predicate // optional row filter for this aggregate only
+	Alias  string    // result column name; defaulted if empty
+}
+
+// Name returns the output column name for the aggregate.
+func (a AggSpec) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	col := a.Column
+	if col == "" {
+		col = "*"
+	}
+	base := fmt.Sprintf("%s(%s)", a.Func, col)
+	if a.Filter != nil {
+		base += " FILTER"
+	}
+	return base
+}
+
+// accumulator carries enough state to finalize any AggFunc and to merge
+// with a partial accumulator from another partition.
+type accumulator struct {
+	count int64
+	sum   float64
+	sumsq float64
+	min   float64
+	max   float64
+	seen  bool
+}
+
+func (a *accumulator) addValue(v float64) {
+	a.count++
+	a.sum += v
+	a.sumsq += v * v
+	if !a.seen || v < a.min {
+		a.min = v
+	}
+	if !a.seen || v > a.max {
+		a.max = v
+	}
+	a.seen = true
+}
+
+func (a *accumulator) addCountOnly() { a.count++ }
+
+func (a *accumulator) merge(b *accumulator) {
+	a.count += b.count
+	a.sum += b.sum
+	a.sumsq += b.sumsq
+	if b.seen {
+		if !a.seen || b.min < a.min {
+			a.min = b.min
+		}
+		if !a.seen || b.max > a.max {
+			a.max = b.max
+		}
+		a.seen = true
+	}
+}
+
+// finalize produces the aggregate's result value. COUNT of an empty
+// group is 0; every other aggregate of an empty group is NULL, matching
+// SQL semantics.
+func (a *accumulator) finalize(f AggFunc) Value {
+	switch f {
+	case AggCount:
+		return Int(a.count)
+	case AggSum:
+		if a.count == 0 {
+			return NullValue(TypeFloat)
+		}
+		return Float(a.sum)
+	case AggAvg:
+		if a.count == 0 {
+			return NullValue(TypeFloat)
+		}
+		return Float(a.sum / float64(a.count))
+	case AggMin:
+		if !a.seen {
+			return NullValue(TypeFloat)
+		}
+		return Float(a.min)
+	case AggMax:
+		if !a.seen {
+			return NullValue(TypeFloat)
+		}
+		return Float(a.max)
+	case AggVariance:
+		if a.count == 0 {
+			return NullValue(TypeFloat)
+		}
+		n := float64(a.count)
+		mean := a.sum / n
+		v := a.sumsq/n - mean*mean
+		if v < 0 { // numerical noise
+			v = 0
+		}
+		return Float(v)
+	case AggStddev:
+		v := a.finalize(AggVariance)
+		if v.Null {
+			return v
+		}
+		return Float(math.Sqrt(v.F))
+	default:
+		return NullValue(TypeFloat)
+	}
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func binCatalog(t *testing.T) (*Catalog, *Executor) {
+	t.Helper()
+	cat := NewCatalog()
+	tb := MustNewTable("t", Schema{
+		{Name: "f", Type: TypeFloat},
+		{Name: "i", Type: TypeInt},
+		{Name: "ts", Type: TypeTime},
+		{Name: "s", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	rows := []struct {
+		f float64
+		i int64
+		d int // days offset
+		v float64
+	}{
+		{0.5, 1, 0, 1},
+		{9.9, 4, 1, 2},
+		{10.0, 5, 10, 3},
+		{19.9, 9, 11, 4},
+		{25.0, 12, 40, 5},
+		{-0.1, -1, 41, 6},
+		{-10.0, -10, 42, 7},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(Float(r.f), Int(r.i), Time(base.AddDate(0, 0, r.d)), String("x"), Float(r.v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = tb.AppendRow(NullValue(TypeFloat), NullValue(TypeInt), NullValue(TypeTime), String("x"), Float(8))
+	_ = cat.Register(tb)
+	return cat, NewExecutor(cat)
+}
+
+func TestBinnedFloatGroupBy(t *testing.T) {
+	_, ex := binCatalog(t)
+	res, err := ex.Run(context.Background(), &Query{
+		Table:     "t",
+		GroupBy:   []string{"f"},
+		BinWidths: map[string]float64{"f": 10},
+		Aggs:      []AggSpec{{Func: AggCount, Alias: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins: [-10,0): {-0.1, -10} → lower bound -10; [0,10): {0.5, 9.9};
+	// [10,20): {10.0, 19.9}; [20,30): {25.0}; NULL group.
+	want := map[string]int64{"-10.0": 2, "0.0": 2, "10.0": 2, "20.0": 1, "NULL": 1}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("groups = %d (%v), want %d", len(res.Rows), res.Rows, len(want))
+	}
+	for _, row := range res.Rows {
+		label := row[0].Format()
+		if row[1].I != want[label] {
+			t.Errorf("bin %s count = %d, want %d", label, row[1].I, want[label])
+		}
+	}
+}
+
+func TestBinnedIntGroupBy(t *testing.T) {
+	_, ex := binCatalog(t)
+	res, err := ex.Run(context.Background(), &Query{
+		Table:     "t",
+		GroupBy:   []string{"i"},
+		BinWidths: map[string]float64{"i": 5},
+		Aggs:      []AggSpec{{Func: AggCount, Alias: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i values: 1,4 → 0; 5,9 → 5; 12 → 10; -1 → -5; -10 → -10; NULL.
+	want := map[string]int64{"0": 2, "5": 2, "10": 1, "-5": 1, "-10": 1, "NULL": 1}
+	got := map[string]int64{}
+	for _, row := range res.Rows {
+		got[row[0].Format()] = row[1].I
+	}
+	for label, n := range want {
+		if got[label] != n {
+			t.Errorf("bin %s count = %d, want %d (all: %v)", label, got[label], n, got)
+		}
+	}
+}
+
+func TestBinnedTimeGroupBy(t *testing.T) {
+	_, ex := binCatalog(t)
+	month := float64(30 * 24 * time.Hour) // ~month in nanoseconds
+	res, err := ex.Run(context.Background(), &Query{
+		Table:     "t",
+		GroupBy:   []string{"ts"},
+		BinWidths: map[string]float64{"ts": month},
+		Aggs:      []AggSpec{{Func: AggCount, Alias: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets are epoch-aligned 30-day spans: days 0,1 share a bucket
+	// (Dec 11 2013 start), days 10,11 the next, days 40,41,42 the one
+	// after, plus the NULL group. Totals must cover all 8 rows.
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d: %v", len(res.Rows), res.Rows)
+	}
+	var counts []int64
+	var total int64
+	for _, row := range res.Rows {
+		counts = append(counts, row[1].I)
+		total += row[1].I
+	}
+	// NULL sorts first.
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 2 || counts[3] != 3 {
+		t.Errorf("bucket counts = %v, want [1 2 2 3]", counts)
+	}
+	if total != 8 {
+		t.Errorf("total = %d, want 8", total)
+	}
+}
+
+func TestBinnedGroupingSetAndComposite(t *testing.T) {
+	_, ex := binCatalog(t)
+	// Shared scan with a binned set and a plain set.
+	results, err := ex.RunSharedScan(context.Background(),
+		&Query{Table: "t"},
+		[]GroupingSet{
+			{By: []string{"f"}, Aggs: []AggSpec{{Func: AggSum, Column: "v"}}, BinWidths: map[string]float64{"f": 10}},
+			{By: []string{"s"}, Aggs: []AggSpec{{Func: AggCount}}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if len(results[1].Rows) != 1 {
+		t.Errorf("string set should have 1 group, got %d", len(results[1].Rows))
+	}
+	// Composite: binned float × string.
+	res, err := ex.Run(context.Background(), &Query{
+		Table:     "t",
+		GroupBy:   []string{"f", "s"},
+		BinWidths: map[string]float64{"f": 10},
+		Aggs:      []AggSpec{{Func: AggCount, Alias: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 { // 4 bins + NULL, each with s="x"
+		t.Errorf("composite groups = %d: %v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestBinningErrors(t *testing.T) {
+	_, ex := binCatalog(t)
+	ctx := context.Background()
+	if _, err := ex.Run(ctx, &Query{
+		Table: "t", GroupBy: []string{"s"},
+		BinWidths: map[string]float64{"s": 5},
+		Aggs:      []AggSpec{{Func: AggCount}},
+	}); err == nil {
+		t.Error("binning a string column must error")
+	}
+	if _, err := ex.Run(ctx, &Query{
+		Table: "t", GroupBy: []string{"f"},
+		BinWidths: map[string]float64{"f": -3},
+		Aggs:      []AggSpec{{Func: AggCount}},
+	}); err == nil {
+		t.Error("negative bin width must error")
+	}
+}
+
+func TestBinFloor(t *testing.T) {
+	cases := []struct{ v, w, want float64 }{
+		{25, 10, 20},
+		{-0.1, 10, -10},
+		{10, 10, 10},
+		{0, 10, 0},
+		{7.5, 2.5, 7.5},
+	}
+	for _, c := range cases {
+		if got := binFloor(c.v, c.w); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("binFloor(%v, %v) = %v, want %v", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestBinnedParallelMatchesSerial(t *testing.T) {
+	cat := NewCatalog()
+	tb := MustNewTable("big", Schema{{Name: "x", Type: TypeFloat}, {Name: "v", Type: TypeFloat}})
+	l := tb.StartLoad()
+	xc := l.Column(0).(*FloatColumn)
+	vc := l.Column(1).(*FloatColumn)
+	for i := 0; i < 20000; i++ {
+		xc.AppendFloat(float64(i%977) / 3.1)
+		vc.AppendFloat(float64(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cat.Register(tb)
+	ex := NewExecutor(cat)
+	mk := func(par int) *Query {
+		return &Query{
+			Table: "big", GroupBy: []string{"x"},
+			BinWidths:   map[string]float64{"x": 25},
+			Aggs:        []AggSpec{{Func: AggCount, Alias: "n"}, {Func: AggSum, Column: "v", Alias: "s"}},
+			Parallelism: par,
+		}
+	}
+	serial, err := ex.Run(context.Background(), mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ex.Run(context.Background(), mk(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("group counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		if !serial.Rows[i][0].Equal(par.Rows[i][0]) || serial.Rows[i][1].I != par.Rows[i][1].I {
+			t.Errorf("row %d differs: %v vs %v", i, serial.Rows[i], par.Rows[i])
+		}
+		if math.Abs(serial.Rows[i][2].F-par.Rows[i][2].F) > 1e-6 {
+			t.Errorf("row %d sum differs: %v vs %v", i, serial.Rows[i][2].F, par.Rows[i][2].F)
+		}
+	}
+}

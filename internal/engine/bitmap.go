@@ -1,0 +1,46 @@
+package engine
+
+// nullBitmap tracks which row positions of a column hold NULL. It is a
+// plain bit set; the zero value is an empty bitmap with no nulls.
+type nullBitmap struct {
+	words []uint64
+	count int // number of set bits
+}
+
+// grow ensures the bitmap can address positions [0, n).
+func (b *nullBitmap) grow(n int) {
+	need := (n + 63) / 64
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+}
+
+// set marks position i as NULL.
+func (b *nullBitmap) set(i int) {
+	b.grow(i + 1)
+	w, bit := i/64, uint(i%64)
+	if b.words[w]&(1<<bit) == 0 {
+		b.words[w] |= 1 << bit
+		b.count++
+	}
+}
+
+// get reports whether position i is NULL.
+func (b *nullBitmap) get(i int) bool {
+	w := i / 64
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<uint(i%64)) != 0
+}
+
+// anySet reports whether the bitmap has any NULL at all; used as a fast
+// path so fully non-null columns skip per-row null checks.
+func (b *nullBitmap) anySet() bool { return b.count > 0 }
+
+// clone returns an independent copy.
+func (b *nullBitmap) clone() nullBitmap {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return nullBitmap{words: w, count: b.count}
+}

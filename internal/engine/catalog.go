@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is the named-table registry plus the access-pattern tracker
+// that SeeDB's Metadata Collector reads. The paper's access-frequency
+// pruning ("SEEDB tracks access patterns for each table to identify the
+// most frequently accessed columns") is fed from here: every executed
+// query records which columns it touched.
+type Catalog struct {
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	accesses map[string]map[string]int64 // table -> column -> touch count
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		accesses: make(map[string]map[string]int64),
+	}
+}
+
+// Register adds a table; it fails if the name is taken.
+func (c *Catalog) Register(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[t.Name()]; ok {
+		return fmt.Errorf("engine: table %q already registered", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// Drop removes a table by name; missing tables are a no-op so callers
+// can drop defensively.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+	delete(c.accesses, name)
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table named %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns all registered table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecordAccess bumps the access counter of the given columns of a
+// table. The executor calls this once per query with every column the
+// query referenced (grouping, aggregation, and predicate columns alike).
+func (c *Catalog) RecordAccess(table string, columns ...string) {
+	if len(columns) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.accesses[table]
+	if !ok {
+		m = make(map[string]int64)
+		c.accesses[table] = m
+	}
+	for _, col := range columns {
+		m[col]++
+	}
+}
+
+// AccessCount returns how many queries have touched table.column.
+func (c *Catalog) AccessCount(table, column string) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.accesses[table][column]
+}
+
+// AccessCounts returns a copy of the per-column access counters for a
+// table. Columns never touched are absent from the map.
+func (c *Catalog) AccessCounts(table string) map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.accesses[table]))
+	for col, n := range c.accesses[table] {
+		out[col] = n
+	}
+	return out
+}
+
+// ResetAccessCounts clears the access history for a table (all tables
+// if name is empty). Experiments use this to start from a clean slate.
+func (c *Catalog) ResetAccessCounts(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "" {
+		c.accesses = make(map[string]map[string]int64)
+		return
+	}
+	delete(c.accesses, name)
+}

@@ -1,0 +1,867 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// Query is a physical aggregation query: scan Table, keep rows passing
+// the Bernoulli sample and the WHERE predicate, group by the GroupBy
+// attributes (composite key), and compute the aggregates. It is the
+// shape of every query SeeDB's optimizer emits.
+type Query struct {
+	Table string
+	// Where filters rows before grouping; nil means all rows.
+	Where Predicate
+	// SampleFraction in (0,1) applies Bernoulli sampling before the
+	// WHERE clause; values outside the range disable sampling.
+	SampleFraction float64
+	// SampleSeed makes the sample deterministic.
+	SampleSeed uint64
+	// GroupBy lists grouping attributes; empty means one global group.
+	GroupBy []string
+	// Aggs lists the aggregate outputs; must be non-empty.
+	Aggs []AggSpec
+	// OrderBy optionally orders the result rows.
+	OrderBy []OrderKey
+	// Limit truncates the result when > 0.
+	Limit int
+	// Parallelism partitions the scan across workers when > 1.
+	Parallelism int
+	// RowLo/RowHi restrict the scan to rows [RowLo, RowHi) when RowHi > 0.
+	// SeeDB's phased execution uses ranges to stream the table in
+	// chunks, the way a wrapper would page through ctid ranges.
+	RowLo int
+	RowHi int
+	// BinWidths optionally bins numeric or timestamp grouping columns:
+	// a column listed here groups by floor(value/width)·width and the
+	// result key is the bin's lower bound. This is the "binning"
+	// operation of the paper's §1 analysis workflow, applied to
+	// continuous dimensions.
+	BinWidths map[string]float64
+}
+
+// ExecStats exposes executor-level counters used by the experiments to
+// show *why* an optimization wins (fewer table scans, fewer rows read).
+type ExecStats struct {
+	Queries    atomic.Int64 // logical queries executed
+	TableScans atomic.Int64 // physical scans performed (grouping sets share one)
+	RowsRead   atomic.Int64 // rows visited across all scans
+}
+
+// Snapshot returns the current counter values.
+func (s *ExecStats) Snapshot() (queries, scans, rows int64) {
+	return s.Queries.Load(), s.TableScans.Load(), s.RowsRead.Load()
+}
+
+// Reset zeroes the counters.
+func (s *ExecStats) Reset() {
+	s.Queries.Store(0)
+	s.TableScans.Store(0)
+	s.RowsRead.Store(0)
+}
+
+// Executor runs queries against tables in a Catalog, recording column
+// access patterns as it goes (the raw data behind SeeDB's
+// access-frequency pruning).
+type Executor struct {
+	cat   *Catalog
+	stats ExecStats
+}
+
+// NewExecutor returns an executor over the catalog.
+func NewExecutor(cat *Catalog) *Executor { return &Executor{cat: cat} }
+
+// Catalog returns the backing catalog.
+func (e *Executor) Catalog() *Catalog { return e.cat }
+
+// Stats returns the executor's counters.
+func (e *Executor) Stats() *ExecStats { return &e.stats }
+
+// GroupingSet pairs one grouping-attribute list with the aggregates to
+// compute for it. RunSharedScan evaluates many GroupingSets in a
+// single pass over the table — the engine primitive behind SeeDB's
+// "combine multiple group-bys" optimization: each view family keeps
+// its own (smaller) aggregate list while sharing the scan.
+type GroupingSet struct {
+	By   []string
+	Aggs []AggSpec
+	// BinWidths bins numeric/timestamp grouping columns (see
+	// Query.BinWidths).
+	BinWidths map[string]float64
+}
+
+// Run executes a single aggregation query.
+func (e *Executor) Run(ctx context.Context, q *Query) (*Result, error) {
+	results, err := e.runSets(ctx, q, []GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}})
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+	if len(q.OrderBy) > 0 {
+		if err := res.sortBy(q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// RunGroupingSets executes one scan that simultaneously groups by every
+// attribute list in sets, returning one result per set (in order), all
+// computing the query's aggregate list — SQL GROUPING SETS semantics.
+func (e *Executor) RunGroupingSets(ctx context.Context, q *Query, sets [][]string) ([]*Result, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("engine: RunGroupingSets needs at least one set")
+	}
+	gsets := make([]GroupingSet, len(sets))
+	for i, by := range sets {
+		gsets[i] = GroupingSet{By: by, Aggs: q.Aggs, BinWidths: q.BinWidths}
+	}
+	return e.runSets(ctx, q, gsets)
+}
+
+// RunSharedScan executes one scan that feeds every grouping set, each
+// with its own aggregate list. q.GroupBy and q.Aggs are ignored; the
+// rest of the query (table, where, sampling, row range, parallelism)
+// applies to the shared scan.
+func (e *Executor) RunSharedScan(ctx context.Context, q *Query, gsets []GroupingSet) ([]*Result, error) {
+	if len(gsets) == 0 {
+		return nil, fmt.Errorf("engine: RunSharedScan needs at least one grouping set")
+	}
+	return e.runSets(ctx, q, gsets)
+}
+
+// runSets is the shared implementation: one scan, many groupers.
+func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) ([]*Result, error) {
+	for _, gs := range gsets {
+		if len(gs.Aggs) == 0 {
+			return nil, fmt.Errorf("engine: query on %q has a grouping set with no aggregates", q.Table)
+		}
+	}
+	t, err := e.cat.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	// Record the access pattern: every column this query touches.
+	var touched []string
+	seen := map[string]struct{}{}
+	touch := func(cols ...string) {
+		for _, c := range cols {
+			if c == "" {
+				continue
+			}
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				touched = append(touched, c)
+			}
+		}
+	}
+	var allAggs []AggSpec
+	for _, gs := range gsets {
+		touch(gs.By...)
+		for _, a := range gs.Aggs {
+			touch(a.Column)
+			if a.Filter != nil {
+				touch(a.Filter.Columns()...)
+			}
+		}
+		allAggs = append(allAggs, gs.Aggs...)
+	}
+	if q.Where != nil {
+		touch(q.Where.Columns()...)
+	}
+	e.cat.RecordAccess(q.Table, touched...)
+
+	var where BoundPredicate
+	if q.Where != nil {
+		if where, err = q.Where.Bind(t); err != nil {
+			return nil, err
+		}
+	}
+	fs, err := buildFilterSet(t, allAggs)
+	if err != nil {
+		return nil, err
+	}
+	smp := newSampler(q.SampleFraction, q.SampleSeed)
+
+	lo, hi := 0, t.rows
+	if q.RowHi > 0 {
+		if q.RowLo < 0 || q.RowLo > q.RowHi || q.RowHi > t.rows {
+			return nil, fmt.Errorf("engine: row range [%d,%d) invalid for table %q with %d rows",
+				q.RowLo, q.RowHi, q.Table, t.rows)
+		}
+		lo, hi = q.RowLo, q.RowHi
+	}
+	n := hi - lo
+	workers := q.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = max(1, n)
+	}
+
+	e.stats.Queries.Add(1)
+	e.stats.TableScans.Add(1)
+	e.stats.RowsRead.Add(int64(n))
+
+	if workers == 1 {
+		groupers, err := buildGroupers(t, gsets, fs)
+		if err != nil {
+			return nil, err
+		}
+		if err := scanPartition(ctx, lo, hi, smp, where, fs, groupers); err != nil {
+			return nil, err
+		}
+		return finalizeGroupers(groupers)
+	}
+
+	// Parallel path: each worker owns private groupers over a row
+	// range; partials are merged pairwise at the end.
+	partials := make([][]*grouper, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wlo := lo + w*chunk
+		whi := min(wlo+chunk, hi)
+		gs, err := buildGroupers(t, gsets, fs)
+		if err != nil {
+			return nil, err
+		}
+		partials[w] = gs
+		wg.Add(1)
+		go func(w, wlo, whi int) {
+			defer wg.Done()
+			// Bound filter closures only read column data, so sharing
+			// fs across workers is safe; each worker owns its fvals
+			// buffer inside scanPartition.
+			errs[w] = scanPartition(ctx, wlo, whi, smp, where, fs, partials[w])
+		}(w, wlo, whi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := partials[0]
+	for w := 1; w < workers; w++ {
+		for s := range merged {
+			merged[s].mergeFrom(partials[w][s])
+		}
+	}
+	return finalizeGroupers(merged)
+}
+
+// scanPartition drives rows [lo,hi) through sampling, filtering, and
+// every grouper. Per-aggregate filters are deduplicated in fs and
+// evaluated once per row, no matter how many aggregates or grouping
+// sets share them — SeeDB's combined queries attach the same target
+// predicate to half their aggregates, so this keeps the combined plan
+// strictly cheaper than separate scans. Cancellation is checked every
+// few thousand rows.
+func scanPartition(ctx context.Context, lo, hi int, smp *sampler, where BoundPredicate, fs *filterSet, groupers []*grouper) error {
+	const cancelCheckMask = 0x3FFF
+	single := len(groupers) == 1
+	fvals := make([]bool, len(fs.bound))
+	for row := lo; row < hi; row++ {
+		if row&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: scan cancelled: %w", err)
+			}
+		}
+		if smp != nil && !smp.keep(row) {
+			continue
+		}
+		if where != nil && !where(row) {
+			continue
+		}
+		for i, f := range fs.bound {
+			fvals[i] = f(row)
+		}
+		if single {
+			groupers[0].process(row, fvals)
+			continue
+		}
+		for _, g := range groupers {
+			g.process(row, fvals)
+		}
+	}
+	return nil
+}
+
+// filterSet deduplicates the per-aggregate filter predicates of a
+// query (by interface identity) and binds each once.
+type filterSet struct {
+	preds []Predicate
+	bound []BoundPredicate
+	index map[Predicate]int
+}
+
+func buildFilterSet(t *Table, aggs []AggSpec) (*filterSet, error) {
+	fs := &filterSet{index: map[Predicate]int{}}
+	for _, a := range aggs {
+		if a.Filter == nil {
+			continue
+		}
+		if _, ok := fs.index[a.Filter]; ok {
+			continue
+		}
+		b, err := a.Filter.Bind(t)
+		if err != nil {
+			return nil, err
+		}
+		fs.index[a.Filter] = len(fs.bound)
+		fs.preds = append(fs.preds, a.Filter)
+		fs.bound = append(fs.bound, b)
+	}
+	return fs, nil
+}
+
+func buildGroupers(t *Table, gsets []GroupingSet, fs *filterSet) ([]*grouper, error) {
+	out := make([]*grouper, len(gsets))
+	for i, gs := range gsets {
+		g, err := newGrouper(t, gs, fs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
+func finalizeGroupers(groupers []*grouper) ([]*Result, error) {
+	results := make([]*Result, len(groupers))
+	for i, g := range groupers {
+		results[i] = g.result()
+	}
+	return results, nil
+}
+
+// ---------------------------------------------------------------------
+// grouper: hash aggregation for one grouping-attribute list
+
+// boundAgg is an AggSpec bound to a table: measure getter plus the
+// index of its (shared, pre-evaluated) filter in the query filterSet.
+type boundAgg struct {
+	spec      AggSpec
+	get       func(row int) (float64, bool) // nil for COUNT(*)
+	filterIdx int                           // -1 when unfiltered
+	countOnly bool
+}
+
+func bindAggs(t *Table, aggs []AggSpec, fs *filterSet) ([]boundAgg, error) {
+	out := make([]boundAgg, len(aggs))
+	for i, a := range aggs {
+		ba := boundAgg{spec: a, filterIdx: -1}
+		if a.Column == "" {
+			if a.Func != AggCount {
+				return nil, fmt.Errorf("engine: %s requires a column", a.Func)
+			}
+			ba.countOnly = true
+		} else {
+			col, err := t.Column(a.Column)
+			if err != nil {
+				return nil, err
+			}
+			if a.Func != AggCount && !col.Type().Numeric() {
+				return nil, fmt.Errorf("engine: %s(%s): column is %v, need numeric", a.Func, a.Column, col.Type())
+			}
+			ba.get = measureGetter(col)
+		}
+		if a.Filter != nil {
+			idx, ok := fs.index[a.Filter]
+			if !ok {
+				return nil, fmt.Errorf("engine: internal: filter for %s not registered", a.Name())
+			}
+			ba.filterIdx = idx
+		}
+		out[i] = ba
+	}
+	return out, nil
+}
+
+// measureGetter returns a fast float accessor for the column. For
+// non-numeric columns it returns a presence getter (sufficient for
+// COUNT).
+func measureGetter(col Column) func(row int) (float64, bool) {
+	switch c := col.(type) {
+	case *FloatColumn:
+		vals := c.Floats()
+		if !c.nulls.anySet() {
+			return func(row int) (float64, bool) { return vals[row], true }
+		}
+		return func(row int) (float64, bool) {
+			if c.nulls.get(row) {
+				return 0, false
+			}
+			return vals[row], true
+		}
+	case *IntColumn:
+		vals := c.Ints()
+		if !c.nulls.anySet() {
+			return func(row int) (float64, bool) { return float64(vals[row]), true }
+		}
+		return func(row int) (float64, bool) {
+			if c.nulls.get(row) {
+				return 0, false
+			}
+			return float64(vals[row]), true
+		}
+	default:
+		return func(row int) (float64, bool) {
+			if col.IsNull(row) {
+				return 0, false
+			}
+			return 0, true
+		}
+	}
+}
+
+// grouper aggregates rows into groups keyed by a list of attributes.
+// Two layouts are used:
+//
+//   - fast path: a single dictionary-encoded string attribute (SeeDB's
+//     dominant case — group by one dimension). Groups live in a dense
+//     slice indexed by dictionary code; NULL gets the last slot.
+//   - generic path: composite keys encoded to a byte string, hash map
+//     from key to group slot.
+//
+// Accumulators for all aggregates of a group are stored contiguously.
+type grouper struct {
+	set     []string
+	aggs    []boundAgg
+	nAggs   int
+	keyCols []Column
+
+	// fast path
+	fastCodes []int32 // dictionary codes of the single string attribute
+	fastDict  []string
+	fastAccs  []accumulator // (card+1) * nAggs, slot card = NULL group
+	fastSeen  []bool        // whether the group appeared at all
+
+	// generic path
+	enc  []keyEncoder
+	buf  []byte
+	m    map[string]int
+	keys [][]Value
+	accs []accumulator // len(keys) * nAggs
+}
+
+// keyEncoder appends row's key bytes for one column and materializes
+// the boxed key value.
+type keyEncoder struct {
+	encode func(row int, buf []byte) []byte
+	value  func(row int) Value
+}
+
+func newGrouper(t *Table, gs GroupingSet, fs *filterSet) (*grouper, error) {
+	set := gs.By
+	g := &grouper{set: set, nAggs: len(gs.Aggs)}
+	var err error
+	if g.aggs, err = bindAggs(t, gs.Aggs, fs); err != nil {
+		return nil, err
+	}
+	for _, name := range set {
+		col, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		if w := gs.BinWidths[name]; w != 0 {
+			if w < 0 {
+				return nil, fmt.Errorf("engine: bin width for %q must be positive, got %v", name, w)
+			}
+			if col.Type() == TypeString {
+				return nil, fmt.Errorf("engine: cannot bin STRING column %q", name)
+			}
+		}
+		g.keyCols = append(g.keyCols, col)
+	}
+	if len(set) == 1 && gs.BinWidths[set[0]] == 0 {
+		if sc, ok := g.keyCols[0].(*StringColumn); ok {
+			card := sc.Cardinality()
+			g.fastCodes = sc.Codes()
+			g.fastDict = sc.Dict()
+			g.fastAccs = make([]accumulator, (card+1)*g.nAggs)
+			g.fastSeen = make([]bool, card+1)
+			return g, nil
+		}
+	}
+	g.m = make(map[string]int)
+	for i, col := range g.keyCols {
+		g.enc = append(g.enc, newKeyEncoder(col, gs.BinWidths[set[i]]))
+	}
+	return g, nil
+}
+
+// binFloor returns the lower bound of v's bin for the given width.
+func binFloor(v, width float64) float64 { return math.Floor(v/width) * width }
+
+func newKeyEncoder(col Column, binWidth float64) keyEncoder {
+	appendU64 := func(buf []byte, v uint64) []byte {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		return append(buf, tmp[:]...)
+	}
+	switch c := col.(type) {
+	case *StringColumn:
+		codes := c.Codes()
+		return keyEncoder{
+			encode: func(row int, buf []byte) []byte {
+				var tmp [4]byte
+				binary.LittleEndian.PutUint32(tmp[:], uint32(codes[row]))
+				return append(buf, tmp[:]...)
+			},
+			value: func(row int) Value { return c.Value(row) },
+		}
+	case *IntColumn:
+		vals := c.Ints()
+		if binWidth > 0 {
+			// Integral bins: width rounded up to at least 1 so bin
+			// lower bounds stay integers.
+			w := int64(binWidth)
+			if w < 1 {
+				w = 1
+			}
+			lower := func(v int64) int64 {
+				q := v / w
+				if v < 0 && v%w != 0 {
+					q--
+				}
+				return q * w
+			}
+			return keyEncoder{
+				encode: func(row int, buf []byte) []byte {
+					if c.nulls.get(row) {
+						return append(appendU64(buf, 0), 1)
+					}
+					return append(appendU64(buf, uint64(lower(vals[row]))), 0)
+				},
+				value: func(row int) Value {
+					if c.nulls.get(row) {
+						return NullValue(TypeInt)
+					}
+					return Int(lower(vals[row]))
+				},
+			}
+		}
+		return keyEncoder{
+			encode: func(row int, buf []byte) []byte {
+				if c.nulls.get(row) {
+					return append(appendU64(buf, 0), 1)
+				}
+				return append(appendU64(buf, uint64(vals[row])), 0)
+			},
+			value: func(row int) Value { return c.Value(row) },
+		}
+	case *FloatColumn:
+		vals := c.Floats()
+		if binWidth > 0 {
+			return keyEncoder{
+				encode: func(row int, buf []byte) []byte {
+					if c.nulls.get(row) {
+						return append(appendU64(buf, 0), 1)
+					}
+					return append(appendU64(buf, math.Float64bits(binFloor(vals[row], binWidth))), 0)
+				},
+				value: func(row int) Value {
+					if c.nulls.get(row) {
+						return NullValue(TypeFloat)
+					}
+					return Float(binFloor(vals[row], binWidth))
+				},
+			}
+		}
+		return keyEncoder{
+			encode: func(row int, buf []byte) []byte {
+				if c.nulls.get(row) {
+					return append(appendU64(buf, 0), 1)
+				}
+				return append(appendU64(buf, math.Float64bits(vals[row])), 0)
+			},
+			value: func(row int) Value { return c.Value(row) },
+		}
+	case *TimeColumn:
+		vals := c.Nanos()
+		if binWidth > 0 {
+			w := int64(binWidth)
+			if w < 1 {
+				w = 1
+			}
+			lower := func(v int64) int64 {
+				q := v / w
+				if v < 0 && v%w != 0 {
+					q--
+				}
+				return q * w
+			}
+			return keyEncoder{
+				encode: func(row int, buf []byte) []byte {
+					if c.nulls.get(row) {
+						return append(appendU64(buf, 0), 1)
+					}
+					return append(appendU64(buf, uint64(lower(vals[row]))), 0)
+				},
+				value: func(row int) Value {
+					if c.nulls.get(row) {
+						return NullValue(TypeTime)
+					}
+					return Value{Kind: TypeTime, I: lower(vals[row])}
+				},
+			}
+		}
+		return keyEncoder{
+			encode: func(row int, buf []byte) []byte {
+				if c.nulls.get(row) {
+					return append(appendU64(buf, 0), 1)
+				}
+				return append(appendU64(buf, uint64(vals[row])), 0)
+			},
+			value: func(row int) Value { return c.Value(row) },
+		}
+	default:
+		return keyEncoder{
+			encode: func(row int, buf []byte) []byte { return buf },
+			value:  func(row int) Value { return NullValue(TypeInt) },
+		}
+	}
+}
+
+// process folds one row into the group state; fvals holds the
+// pre-evaluated shared filter outcomes for this row.
+func (g *grouper) process(row int, fvals []bool) {
+	var accs []accumulator
+	if g.fastAccs != nil {
+		code := g.fastCodes[row]
+		slot := int(code)
+		if code < 0 {
+			slot = len(g.fastSeen) - 1 // NULL group
+		}
+		g.fastSeen[slot] = true
+		accs = g.fastAccs[slot*g.nAggs : (slot+1)*g.nAggs]
+	} else {
+		g.buf = g.buf[:0]
+		for _, e := range g.enc {
+			g.buf = e.encode(row, g.buf)
+		}
+		slot, ok := g.m[string(g.buf)]
+		if !ok {
+			slot = len(g.keys)
+			g.m[string(g.buf)] = slot
+			key := make([]Value, len(g.enc))
+			for i, e := range g.enc {
+				key[i] = e.value(row)
+			}
+			g.keys = append(g.keys, key)
+			g.accs = append(g.accs, make([]accumulator, g.nAggs)...)
+		}
+		accs = g.accs[slot*g.nAggs : (slot+1)*g.nAggs]
+	}
+	for i := range g.aggs {
+		a := &g.aggs[i]
+		if a.filterIdx >= 0 && !fvals[a.filterIdx] {
+			continue
+		}
+		if a.countOnly {
+			accs[i].addCountOnly()
+			continue
+		}
+		if v, ok := a.get(row); ok {
+			accs[i].addValue(v)
+		}
+	}
+}
+
+// mergeFrom folds another grouper's partial state (same set, same
+// aggregates, different row partition) into g.
+func (g *grouper) mergeFrom(o *grouper) {
+	if g.fastAccs != nil {
+		for slot := range o.fastSeen {
+			if !o.fastSeen[slot] {
+				continue
+			}
+			g.fastSeen[slot] = true
+			dst := g.fastAccs[slot*g.nAggs : (slot+1)*g.nAggs]
+			src := o.fastAccs[slot*g.nAggs : (slot+1)*g.nAggs]
+			for i := range dst {
+				dst[i].merge(&src[i])
+			}
+		}
+		return
+	}
+	for key, oslot := range o.m {
+		slot, ok := g.m[key]
+		if !ok {
+			slot = len(g.keys)
+			g.m[key] = slot
+			g.keys = append(g.keys, o.keys[oslot])
+			g.accs = append(g.accs, make([]accumulator, g.nAggs)...)
+		}
+		dst := g.accs[slot*g.nAggs : (slot+1)*g.nAggs]
+		src := o.accs[oslot*g.nAggs : (oslot+1)*g.nAggs]
+		for i := range dst {
+			dst[i].merge(&src[i])
+		}
+	}
+}
+
+// result materializes the grouper state as a Result with rows sorted by
+// group key so output is deterministic.
+func (g *grouper) result() *Result {
+	cols := make([]string, 0, len(g.set)+g.nAggs)
+	cols = append(cols, g.set...)
+	for _, a := range g.aggs {
+		cols = append(cols, a.spec.Name())
+	}
+	res := &Result{Columns: cols}
+
+	emit := func(key []Value, accs []accumulator) {
+		row := make([]Value, 0, len(key)+g.nAggs)
+		row = append(row, key...)
+		for i := range accs {
+			row = append(row, accs[i].finalize(g.aggs[i].spec.Func))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	if g.fastAccs != nil {
+		for slot, seen := range g.fastSeen {
+			if !seen {
+				continue
+			}
+			var key Value
+			if slot == len(g.fastSeen)-1 {
+				key = NullValue(TypeString)
+			} else {
+				key = String(g.fastDict[slot])
+			}
+			emit([]Value{key}, g.fastAccs[slot*g.nAggs:(slot+1)*g.nAggs])
+		}
+	} else {
+		for slot := range g.keys {
+			emit(g.keys[slot], g.accs[slot*g.nAggs:(slot+1)*g.nAggs])
+		}
+	}
+
+	// Deterministic output order: sort by the grouping key columns.
+	keys := make([]OrderKey, len(g.set))
+	for i, s := range g.set {
+		keys[i] = OrderKey{Column: s}
+	}
+	if len(keys) > 0 {
+		_ = res.sortBy(keys)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Scan (projection) and sampling helpers
+
+// Scan returns up to limit rows of the named columns matching where
+// (nil = all). It backs the frontend's sample-data panes and the CLI.
+func (e *Executor) Scan(ctx context.Context, table string, columns []string, where Predicate, limit int) (*Result, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	if len(columns) == 0 {
+		for _, def := range t.Schema() {
+			columns = append(columns, def.Name)
+		}
+	}
+	cols := make([]Column, len(columns))
+	for i, name := range columns {
+		if cols[i], err = t.Column(name); err != nil {
+			return nil, err
+		}
+	}
+	var bound BoundPredicate
+	if where != nil {
+		if bound, err = where.Bind(t); err != nil {
+			return nil, err
+		}
+	}
+	e.cat.RecordAccess(table, columns...)
+	e.stats.Queries.Add(1)
+	e.stats.TableScans.Add(1)
+
+	res := &Result{Columns: append([]string(nil), columns...)}
+	for row := 0; row < t.rows; row++ {
+		if row&0x3FFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: scan cancelled: %w", err)
+			}
+		}
+		if bound != nil && !bound(row) {
+			continue
+		}
+		out := make([]Value, len(cols))
+		for i, c := range cols {
+			out[i] = c.Value(row)
+		}
+		res.Rows = append(res.Rows, out)
+		if limit > 0 && len(res.Rows) >= limit {
+			break
+		}
+	}
+	e.stats.RowsRead.Add(int64(t.rows))
+	return res, nil
+}
+
+// MaterializeSample builds an in-memory Bernoulli sample of a table.
+// The sample is returned (not registered); callers register it under
+// the chosen name if they want it query-able. This is the "construct a
+// sample of the dataset that can fit in memory" optimization.
+func (e *Executor) MaterializeSample(table, name string, fraction float64, seed uint64) (*Table, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	smp := newSampler(fraction, seed)
+	if smp == nil {
+		return t.Clone(name), nil
+	}
+	t.mu.RLock()
+	var sel []int32
+	for row := 0; row < t.rows; row++ {
+		if smp.keep(row) {
+			sel = append(sel, int32(row))
+		}
+	}
+	t.mu.RUnlock()
+	return t.Gather(name, sel), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

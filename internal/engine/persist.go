@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary table snapshot format. Columnar layout mirrors the in-memory
+// representation, so load cost is one allocation per column plus a
+// sequential read — the shape an embedded analytical store wants.
+//
+//	magic   "SDB1" (4 bytes)
+//	name    string
+//	rows    uvarint
+//	ncols   uvarint
+//	per column:
+//	    name     string
+//	    type     byte
+//	    nulls    uvarint count, then that many uvarint positions
+//	    payload  type-specific (see writeColumn)
+//	crc32   IEEE checksum of everything before it (4 bytes, big endian)
+//
+// Strings are uvarint length + bytes. All integers are uvarints or
+// fixed little-endian 8-byte values inside payloads.
+
+const tableMagic = "SDB1"
+
+// WriteTable serializes the table to w.
+func WriteTable(w io.Writer, t *Table) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.WriteString(tableMagic); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	writeString(bw, t.name)
+	writeUvarint(bw, uint64(t.rows))
+	writeUvarint(bw, uint64(len(t.cols)))
+	for _, col := range t.cols {
+		if err := writeColumn(bw, col); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("engine: writing snapshot: %w", err)
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("engine: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadTable deserializes a table written by WriteTable, verifying the
+// checksum. The whole snapshot is buffered first so the checksum can
+// be validated before any parsing work trusts the payload.
+func ReadTable(r io.Reader) (*Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot: %w", err)
+	}
+	if len(data) < len(tableMagic)+4 {
+		return nil, fmt.Errorf("engine: snapshot truncated (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(sum) {
+		return nil, fmt.Errorf("engine: snapshot checksum mismatch (corrupt file?)")
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot magic: %w", err)
+	}
+	if string(magic) != tableMagic {
+		return nil, fmt.Errorf("engine: not a table snapshot (magic %q)", magic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > 1<<20 {
+		return nil, fmt.Errorf("engine: snapshot has implausible column count %d", ncols)
+	}
+	t := &Table{name: name, rows: int(rows), byName: make(map[string]int, ncols)}
+	for i := 0; i < int(ncols); i++ {
+		col, err := readColumn(br, int(rows))
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := t.byName[col.Name()]; dup {
+			return nil, fmt.Errorf("engine: snapshot has duplicate column %q", col.Name())
+		}
+		t.byName[col.Name()] = i
+		t.cols = append(t.cols, col)
+	}
+	return t, nil
+}
+
+func writeColumn(w *bufio.Writer, col Column) error {
+	writeString(w, col.Name())
+	_ = w.WriteByte(byte(col.Type()))
+	// Null positions.
+	var positions []int
+	for i := 0; i < col.Len(); i++ {
+		if col.IsNull(i) {
+			positions = append(positions, i)
+		}
+	}
+	writeUvarint(w, uint64(len(positions)))
+	for _, p := range positions {
+		writeUvarint(w, uint64(p))
+	}
+	switch c := col.(type) {
+	case *IntColumn:
+		for _, v := range c.vals {
+			writeU64(w, uint64(v))
+		}
+	case *FloatColumn:
+		for _, v := range c.vals {
+			writeU64(w, math.Float64bits(v))
+		}
+	case *TimeColumn:
+		for _, v := range c.vals {
+			writeU64(w, uint64(v))
+		}
+	case *StringColumn:
+		writeUvarint(w, uint64(len(c.dict)))
+		for _, s := range c.dict {
+			writeString(w, s)
+		}
+		for _, code := range c.codes {
+			writeUvarint(w, uint64(uint32(code)))
+		}
+	default:
+		return fmt.Errorf("engine: cannot snapshot column kind %T", col)
+	}
+	return nil
+}
+
+func readColumn(r *bufio.Reader, rows int) (Column, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading column type: %w", err)
+	}
+	typ := Type(tb)
+	nNulls, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(nNulls) > rows {
+		return nil, fmt.Errorf("engine: column %q has %d nulls for %d rows", name, nNulls, rows)
+	}
+	var nulls nullBitmap
+	for i := 0; i < int(nNulls); i++ {
+		p, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if int(p) >= rows {
+			return nil, fmt.Errorf("engine: column %q null position %d out of range", name, p)
+		}
+		nulls.set(int(p))
+	}
+	switch typ {
+	case TypeInt, TypeTime:
+		vals := make([]int64, rows)
+		for i := range vals {
+			u, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = int64(u)
+		}
+		if typ == TypeInt {
+			return &IntColumn{name: name, vals: vals, nulls: nulls}, nil
+		}
+		return &TimeColumn{name: name, vals: vals, nulls: nulls}, nil
+	case TypeFloat:
+		vals := make([]float64, rows)
+		for i := range vals {
+			u, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = math.Float64frombits(u)
+		}
+		return &FloatColumn{name: name, vals: vals, nulls: nulls}, nil
+	case TypeString:
+		dictLen, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if dictLen > uint64(rows)+1 {
+			return nil, fmt.Errorf("engine: column %q dictionary larger than row count", name)
+		}
+		col := NewStringColumn(name)
+		for i := 0; i < int(dictLen); i++ {
+			s, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			col.dict = append(col.dict, s)
+			col.index[s] = int32(i)
+		}
+		col.codes = make([]int32, rows)
+		for i := range col.codes {
+			u, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			code := int32(uint32(u))
+			if code >= int32(dictLen) && code != -1 {
+				return nil, fmt.Errorf("engine: column %q code %d out of dictionary range", name, code)
+			}
+			col.codes[i] = code
+		}
+		col.nulls = nulls
+		return col, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown column type %d in snapshot", tb)
+	}
+}
+
+// --- primitive encoders ---
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("engine: reading snapshot varint: %w", err)
+	}
+	return v, nil
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, _ = w.Write(buf[:])
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("engine: reading snapshot value: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("engine: snapshot string of %d bytes is implausible", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("engine: reading snapshot string: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is a fully materialized query result: named columns over boxed
+// value rows. Group-by results are small (one row per group), so boxed
+// rows keep the consumer side simple without hurting the scan-dominated
+// cost profile.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// ColumnIndex returns the position of the named output column, or -1.
+func (r *Result) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Value returns the value at (row, named column); it errors if the
+// column does not exist or the row is out of range.
+func (r *Result) Value(row int, column string) (Value, error) {
+	c := r.ColumnIndex(column)
+	if c < 0 {
+		return Value{}, fmt.Errorf("engine: result has no column %q", column)
+	}
+	if row < 0 || row >= len(r.Rows) {
+		return Value{}, fmt.Errorf("engine: result row %d out of range [0,%d)", row, len(r.Rows))
+	}
+	return r.Rows[row][c], nil
+}
+
+// Float returns the value at (row, column) coerced to float64; NULLs
+// and non-numeric values yield 0, false.
+func (r *Result) Float(row int, column string) (float64, bool) {
+	v, err := r.Value(row, column)
+	if err != nil {
+		return 0, false
+	}
+	return v.AsFloat()
+}
+
+// sortBy orders rows by the given keys.
+func (r *Result) sortBy(keys []OrderKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		c := r.ColumnIndex(k.Column)
+		if c < 0 {
+			return fmt.Errorf("engine: ORDER BY column %q not in result", k.Column)
+		}
+		idx[i] = c
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		ra, rb := r.Rows[a], r.Rows[b]
+		for i, c := range idx {
+			cmp := ra[c].Compare(rb[c])
+			if keys[i].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// String renders the result as an aligned text table, for CLI output
+// and debugging.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.Format()
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for j, s := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package engine
+
+import "math"
+
+// sampler implements deterministic Bernoulli row sampling. Whether a
+// row is kept depends only on (seed, row index), never on scan order or
+// partitioning, so serial and parallel executions of a sampled query
+// see exactly the same rows — a property the optimizer experiments rely
+// on when comparing plans.
+type sampler struct {
+	threshold uint64
+	seed      uint64
+}
+
+// newSampler returns a sampler keeping ~fraction of rows, or nil when
+// fraction is outside (0,1) meaning "no sampling".
+func newSampler(fraction float64, seed uint64) *sampler {
+	if fraction <= 0 || fraction >= 1 {
+		return nil
+	}
+	t := uint64(fraction * float64(math.MaxUint64))
+	return &sampler{threshold: t, seed: seed}
+}
+
+// keep reports whether the row participates in the sample.
+func (s *sampler) keep(row int) bool {
+	return splitmix64(s.seed^uint64(row)*0x9E3779B97F4A7C15) < s.threshold
+}
+
+// splitmix64 is the SplitMix64 finalizer — a strong, cheap 64-bit
+// mixer. Adapted from the public-domain reference implementation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ColumnDef describes one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is an in-memory columnar table. All rows are append-only; SeeDB
+// is a read-mostly analytical workload so there is no update/delete
+// path. A Table is safe for concurrent readers once loading finishes;
+// appends take the write lock.
+type Table struct {
+	name string
+
+	mu     sync.RWMutex
+	cols   []Column
+	byName map[string]int
+	rows   int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: table name must not be empty")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
+	}
+	t := &Table{name: name, byName: make(map[string]int, len(schema))}
+	for i, def := range schema {
+		if def.Name == "" {
+			return nil, fmt.Errorf("engine: table %q: column %d has empty name", name, i)
+		}
+		if _, dup := t.byName[def.Name]; dup {
+			return nil, fmt.Errorf("engine: table %q: duplicate column %q", name, def.Name)
+		}
+		t.byName[def.Name] = i
+		t.cols = append(t.cols, NewColumn(def.Name, def.Type))
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error; intended for statically
+// known schemas in generators and tests.
+func MustNewTable(name string, schema Schema) *Table {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Schema returns a copy of the table schema.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.cols))
+	for i, c := range t.cols {
+		s[i] = ColumnDef{Name: c.Name(), Type: c.Type()}
+	}
+	return s
+}
+
+// Column returns the named column, or an error naming the table for
+// context.
+func (t *Table) Column(name string) (Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q has no column %q", t.name, name)
+	}
+	return t.cols[i], nil
+}
+
+// ColumnAt returns the column at position i.
+func (t *Table) ColumnAt(i int) Column { return t.cols[i] }
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// AppendRow appends one row given in schema order. It is the boxed,
+// validating path; generators use the typed Append* methods on columns
+// directly for speed (via Loader).
+func (t *Table) AppendRow(vals ...Value) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("engine: table %q has %d columns, got %d values", t.name, len(t.cols), len(vals))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, v := range vals {
+		if err := t.cols[i].Append(v); err != nil {
+			// Roll back the columns already appended so the table stays
+			// rectangular.
+			for j := 0; j < i; j++ {
+				t.cols[j] = truncate(t.cols[j], t.rows)
+			}
+			return err
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// truncate returns a column limited to n rows. Used only by the
+// AppendRow error path, so a gather-based copy is acceptable.
+func truncate(c Column, n int) Column {
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return c.gather(c.Name(), sel)
+}
+
+// Row materializes row i as boxed values in schema order.
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c, col := range t.cols {
+		out[c] = col.Value(i)
+	}
+	return out
+}
+
+// Loader provides a fast, typed bulk-append interface. It bypasses the
+// per-row lock: take it once, append millions of rows, then Close.
+type Loader struct {
+	t      *Table
+	closed bool
+}
+
+// StartLoad locks the table for bulk loading.
+func (t *Table) StartLoad() *Loader {
+	t.mu.Lock()
+	return &Loader{t: t}
+}
+
+// Column returns the i-th column for direct typed appends. The caller
+// must keep all columns the same length and report the final row count
+// to Close.
+func (l *Loader) Column(i int) Column { return l.t.cols[i] }
+
+// ColumnByName returns the named column for direct typed appends.
+func (l *Loader) ColumnByName(name string) (Column, error) {
+	i, ok := l.t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q has no column %q", l.t.name, name)
+	}
+	return l.t.cols[i], nil
+}
+
+// Close finishes the bulk load. It validates that all columns have the
+// same length and unlocks the table.
+func (l *Loader) Close() error {
+	if l.closed {
+		return fmt.Errorf("engine: loader for %q already closed", l.t.name)
+	}
+	l.closed = true
+	defer l.t.mu.Unlock()
+	n := l.t.cols[0].Len()
+	for _, c := range l.t.cols[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("engine: table %q: ragged load: column %q has %d rows, %q has %d",
+				l.t.name, c.Name(), c.Len(), l.t.cols[0].Name(), n)
+		}
+	}
+	l.t.rows = n
+	return nil
+}
+
+// Gather materializes a new table containing exactly the selected rows,
+// in order. Used to build in-memory samples.
+func (t *Table) Gather(name string, sel []int32) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := &Table{name: name, byName: make(map[string]int, len(t.cols)), rows: len(sel)}
+	for i, c := range t.cols {
+		out.byName[c.Name()] = i
+		out.cols = append(out.cols, c.gather(c.Name(), sel))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table under a new name.
+func (t *Table) Clone(name string) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := &Table{name: name, byName: make(map[string]int, len(t.cols)), rows: t.rows}
+	for i, c := range t.cols {
+		out.byName[c.Name()] = i
+		out.cols = append(out.cols, c.clone(c.Name()))
+	}
+	return out
+}

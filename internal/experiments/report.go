@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure of the SeeDB
+// demo paper, plus the quantitative claims of §3.3, as reproducible
+// experiments E1–E14 (see DESIGN.md for the index). Each experiment
+// returns a Report that cmd/seedb-bench prints and EXPERIMENTS.md
+// records; bench_test.go at the module root wraps each one as a Go
+// benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Report is the printable outcome of one experiment.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Headers    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// addRow appends a formatted row.
+func (r *Report) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// notef appends a formatted note.
+func (r *Report) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Headers) > 0 {
+		writeRow(r.Headers)
+		sep := make([]string, len(r.Headers))
+		for i, w := range widths {
+			sep[i] = strings.Repeat("-", w)
+		}
+		writeRow(sep)
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales the experiments. Quick mode shrinks sweeps so the full
+// suite runs in seconds (used by tests); the default sizes match
+// EXPERIMENTS.md.
+type Config struct {
+	Rows  int
+	Seed  int64
+	Quick bool
+}
+
+// DefaultConfig returns the sizes used for the recorded results.
+func DefaultConfig() Config { return Config{Rows: 200_000, Seed: 42} }
+
+// QuickConfig returns a fast configuration for tests.
+func QuickConfig() Config { return Config{Rows: 10_000, Seed: 42, Quick: true} }
+
+func (c Config) rows(def int) int {
+	if c.Rows > 0 {
+		return c.Rows
+	}
+	return def
+}
+
+// Runner executes one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Report, error)
+}
+
+// Registry lists all experiments in order.
+var Registry = []Runner{
+	{"E1", "Table 1 / Figure 1: the Laserwave example view", runE1},
+	{"E2", "Figures 1-3: deviation separates interesting from boring", runE2},
+	{"E3", "View space grows quadratically with attribute count", runE3},
+	{"E4", "Basic framework vs fully optimized SeeDB", runE4},
+	{"E5", "Combine target+comparison queries (~2x)", runE5},
+	{"E6", "Combine multiple aggregates (linear speedup)", runE6},
+	{"E7", "Combine multiple group-bys (bin packing / grouping sets)", runE7},
+	{"E8", "Sampling: latency vs accuracy", runE8},
+	{"E9", "Parallel query execution", runE9},
+	{"E10", "View-space pruning strategies", runE10},
+	{"E11", "Distance metric comparison", runE11},
+	{"E12", "Phased execution with CI pruning (extension)", runE12},
+	{"E13", "Scenario 2 knobs: size, attributes, skew", runE13},
+	{"E14", "Ground-truth recovery (demo Scenario 1)", runE14},
+}
+
+// Run executes the experiment with the given ID ("all" is handled by
+// callers iterating Registry).
+func Run(id string, cfg Config) (*Report, error) {
+	for _, r := range Registry {
+		if strings.EqualFold(r.ID, id) {
+			return r.Run(cfg)
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, r := range Registry {
+		ids[i] = r.ID
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+
+// timeIt measures one execution of f.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// medianTime runs f reps times and returns the median duration.
+func medianTime(reps int, f func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		d, err := timeIt(f)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, d)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+// jaccard computes |A∩B| / |A∪B| over string sets.
+func jaccard(a, b []string) float64 {
+	as := map[string]bool{}
+	for _, x := range a {
+		as[x] = true
+	}
+	inter, union := 0, len(as)
+	seen := map[string]bool{}
+	for _, x := range b {
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if as[x] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// kendallTau computes the rank correlation between two orderings of
+// the same item set (items missing from either side are ignored).
+func kendallTau(a, b []string) float64 {
+	posB := map[string]int{}
+	for i, x := range b {
+		posB[x] = i
+	}
+	var common []int // positions in b, ordered by a
+	for _, x := range a {
+		if p, ok := posB[x]; ok {
+			common = append(common, p)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if common[i] < common[j] {
+				concordant++
+			} else if common[i] > common[j] {
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}

@@ -1,0 +1,297 @@
+package frontend
+
+// indexHTML is the single-page UI: query builder and SQL box on the
+// left (paper Figure 5, left pane), recommended visualizations with
+// utility scores, metadata, and the "bad views" pane on the right.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>SeeDB — automatic query visualizations</title>
+<style>
+  :root { --blue:#2c7fb8; --gray:#f4f4f4; }
+  * { box-sizing:border-box; }
+  body { font-family: system-ui, sans-serif; margin:0; color:#222; }
+  header { background:var(--blue); color:#fff; padding:10px 18px; }
+  header h1 { margin:0; font-size:18px; }
+  header small { opacity:.85 }
+  main { display:flex; gap:16px; padding:16px; align-items:flex-start; }
+  #left { width:360px; flex-shrink:0; }
+  #right { flex-grow:1; }
+  fieldset { border:1px solid #ddd; border-radius:6px; margin-bottom:14px; }
+  legend { font-weight:600; font-size:13px; padding:0 6px; }
+  label { display:block; font-size:12px; margin:8px 0 2px; color:#555; }
+  select, input[type=text], input[type=number], textarea {
+    width:100%; padding:6px; border:1px solid #ccc; border-radius:4px; font-size:13px; }
+  textarea { font-family:monospace; min-height:64px; }
+  button { background:var(--blue); color:#fff; border:0; border-radius:4px;
+    padding:8px 14px; font-size:13px; cursor:pointer; margin-top:10px; }
+  button.secondary { background:#888; }
+  .predicate-row { display:flex; gap:4px; margin-top:4px; }
+  .predicate-row select, .predicate-row input { flex:1; }
+  .views { display:grid; grid-template-columns:repeat(auto-fill,minmax(440px,1fr)); gap:14px; }
+  .card { border:1px solid #ddd; border-radius:6px; padding:10px; background:#fff; }
+  .card h3 { margin:0 0 2px; font-size:14px; }
+  .card .meta { font-size:11px; color:#666; margin-bottom:6px; }
+  .card details { font-size:11px; color:#444; margin-top:6px; }
+  .card code { background:var(--gray); padding:1px 4px; border-radius:3px; display:block;
+    white-space:pre-wrap; margin-top:3px; }
+  #status { font-size:12px; color:#666; margin:8px 0; }
+  #status.error { color:#b00; }
+  .badheader { margin-top:22px; color:#b04a4a; }
+  table.preview { border-collapse:collapse; font-size:11px; margin-top:8px; }
+  table.preview td, table.preview th { border:1px solid #ddd; padding:2px 6px; }
+  .stats { font-size:11px; color:#555; background:var(--gray); border-radius:4px; padding:6px 8px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>SeeDB <small>— automatically generating query visualizations</small></h1>
+</header>
+<main>
+  <div id="left">
+    <fieldset>
+      <legend>Query builder</legend>
+      <label for="table">Table</label>
+      <select id="table"></select>
+      <label>Filter</label>
+      <div class="predicate-row">
+        <select id="predCol"></select>
+        <select id="predOp">
+          <option>=</option><option>&lt;&gt;</option><option>&lt;</option>
+          <option>&lt;=</option><option>&gt;</option><option>&gt;=</option>
+        </select>
+        <select id="predVal"></select>
+      </div>
+      <button id="build">Build SQL</button>
+    </fieldset>
+    <fieldset>
+      <legend>SQL</legend>
+      <label for="templates">Templates</label>
+      <select id="templates"><option value="">— pick a template —</option></select>
+      <label for="sql">Analyst query Q (defines the data subset)</label>
+      <textarea id="sql">SELECT * FROM sales WHERE product = 'Laserwave'</textarea>
+      <button id="recommend">Recommend views</button>
+      <button id="preview" class="secondary">Preview rows</button>
+    </fieldset>
+    <fieldset>
+      <legend>Settings</legend>
+      <label for="metric">Deviation metric</label>
+      <select id="metric"></select>
+      <label for="k">Number of views (k)</label>
+      <input type="number" id="k" value="6" min="1" max="30">
+      <label><input type="checkbox" id="showWorst"> also show low-utility ("bad") views</label>
+      <label><input type="checkbox" id="normalized" checked> plot normalized distributions</label>
+      <label><input type="checkbox" id="disablePruning"> disable view-space pruning</label>
+      <label><input type="checkbox" id="disableCombining"> disable query combining</label>
+      <label for="sample">Sample fraction (0 = exact)</label>
+      <input type="number" id="sample" value="0" min="0" max="0.99" step="0.05">
+    </fieldset>
+  </div>
+  <div id="right">
+    <div id="status">Loading metadata…</div>
+    <div id="stats"></div>
+    <div class="views" id="views"></div>
+    <h3 class="badheader" id="badTitle" style="display:none">Low-utility views (not recommended)</h3>
+    <div class="views" id="badViews"></div>
+    <div id="previewBox"></div>
+  </div>
+</main>
+<script>
+let META = null;
+
+async function getJSON(url, opts) {
+  const r = await fetch(url, opts);
+  const body = await r.json();
+  if (!r.ok) throw new Error(body.error || r.statusText);
+  return body;
+}
+
+function el(id) { return document.getElementById(id); }
+
+function fillSelect(sel, items, value, label) {
+  sel.innerHTML = '';
+  for (const it of items) {
+    const o = document.createElement('option');
+    o.value = value(it); o.textContent = label(it);
+    sel.appendChild(o);
+  }
+}
+
+function currentTable() {
+  return META.tables.find(t => t.name === el('table').value) || META.tables[0];
+}
+
+function refreshColumns() {
+  const t = currentTable();
+  if (!t) return;
+  fillSelect(el('predCol'), t.columns, c => c.name, c => c.name + ' (' + c.type.toLowerCase() + ')');
+  refreshValues();
+}
+
+function refreshValues() {
+  const t = currentTable();
+  const col = t.columns.find(c => c.name === el('predCol').value) || t.columns[0];
+  const vals = (col && col.topValues) ? col.topValues : [];
+  fillSelect(el('predVal'), vals, v => v, v => v);
+}
+
+async function loadMeta() {
+  META = await getJSON('/api/meta');
+  fillSelect(el('table'), META.tables, t => t.name, t => t.name + ' (' + t.rows + ' rows)');
+  fillSelect(el('metric'), META.metrics, m => m, m => m);
+  const ts = el('templates');
+  for (const t of META.templates) {
+    const o = document.createElement('option');
+    o.value = t.sql; o.textContent = t.name;
+    ts.appendChild(o);
+  }
+  refreshColumns();
+  if (META.templates.length) el('sql').value = META.templates[0].sql;
+  el('status').textContent = 'Ready. Issue a query to get recommended visualizations.';
+}
+
+function quoteVal(v) {
+  if (v === '' || isNaN(Number(v))) return "'" + String(v).replaceAll("'", "''") + "'";
+  return v;
+}
+
+let VIEWS = {};
+
+function cardHTML(v, idx) {
+  VIEWS[idx] = v;
+  const opts = (v.keys || []).map(k => '<option>' + k.replaceAll('<','&lt;') + '</option>').join('');
+  let h = '<div class="card"><h3>#' + v.rank + ' ' + v.title + '</h3>' +
+    '<div class="meta">utility ' + v.utility.toFixed(4) + ' · ' + v.groups + ' groups' +
+    ' · max change at <b>' + v.maxDeltaKey + '</b> (Δ ' + v.maxDelta.toFixed(3) + ')' +
+    (v.represents && v.represents.length ? ' · also represents: ' + v.represents.join(', ') : '') +
+    '</div>' + v.svg +
+    '<div class="meta">drill into <select data-drill="' + idx + '">' + opts + '</select> ' +
+    '<button class="secondary" data-drillbtn="' + idx + '">Drill down</button></div>' +
+    '<details><summary>view queries</summary><code>' + v.targetSql + '</code><code>' +
+    v.comparisonSql + '</code></details></div>';
+  return h;
+}
+
+async function drill(idx) {
+  const v = VIEWS[idx];
+  const sel = document.querySelector('select[data-drill="' + idx + '"]');
+  if (!v || !sel) return;
+  el('status').className = '';
+  el('status').textContent = 'Drilling into ' + v.dimension + ' = ' + sel.value + '…';
+  try {
+    const body = {
+      sql: el('sql').value,
+      metric: el('metric').value,
+      k: parseInt(el('k').value, 10) || 6,
+      normalized: el('normalized').checked,
+      dimension: v.dimension,
+      measure: v.measure,
+      func: v.func,
+      binWidth: v.binWidth || 0,
+      label: sel.value
+    };
+    const res = await getJSON('/api/drilldown', {
+      method: 'POST', headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify(body)
+    });
+    el('sql').value = res.query;  // refined query becomes the new Q
+    renderRecommendation(res);
+  } catch (e) {
+    el('status').className = 'error';
+    el('status').textContent = 'Error: ' + e.message;
+  }
+}
+
+document.addEventListener('click', e => {
+  const idx = e.target.getAttribute && e.target.getAttribute('data-drillbtn');
+  if (idx !== null && idx !== undefined) drill(idx);
+});
+
+async function recommend() {
+  el('status').className = '';
+  el('status').textContent = 'Computing recommendations…';
+  el('views').innerHTML = ''; el('badViews').innerHTML = '';
+  el('badTitle').style.display = 'none'; el('stats').innerHTML = '';
+  try {
+    const body = {
+      sql: el('sql').value,
+      metric: el('metric').value,
+      k: parseInt(el('k').value, 10) || 6,
+      showWorst: el('showWorst').checked,
+      normalized: el('normalized').checked,
+      disablePruning: el('disablePruning').checked,
+      disableCombining: el('disableCombining').checked,
+      sampleFraction: parseFloat(el('sample').value) || 0
+    };
+    const res = await getJSON('/api/recommend', {
+      method: 'POST', headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify(body)
+    });
+    renderRecommendation(res);
+  } catch (e) {
+    el('status').className = 'error';
+    el('status').textContent = 'Error: ' + e.message;
+  }
+}
+
+function renderRecommendation(res) {
+  el('status').textContent = '';
+  el('views').innerHTML = ''; el('badViews').innerHTML = '';
+  el('badTitle').style.display = 'none';
+  VIEWS = {};
+  el('stats').innerHTML = '<div class="stats">' + res.query +
+    ' → |D_Q| = ' + res.targetRowCount + ' rows · metric ' + res.metric +
+    ' · ' + res.candidateViews + ' candidate views, ' + res.executedViews + ' executed' +
+    ' · ' + res.queriesIssued + ' queries · ' + res.elapsedMillis.toFixed(1) + ' ms' +
+    (res.sampled ? ' · SAMPLED' : '') +
+    (res.planSummary ? '<br>plan: ' + res.planSummary : '') + '</div>';
+  el('views').innerHTML = (res.views || []).map((v, i) => cardHTML(v, 'g' + i)).join('');
+  if (res.worstViews && res.worstViews.length) {
+    el('badTitle').style.display = 'block';
+    el('badViews').innerHTML = res.worstViews.map((v, i) => cardHTML(v, 'b' + i)).join('');
+  }
+}
+
+async function preview() {
+  el('previewBox').innerHTML = '';
+  try {
+    const res = await getJSON('/api/sql', {
+      method: 'POST', headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify({sql: el('sql').value + (el('sql').value.match(/limit/i) ? '' : ' LIMIT 20')})
+    });
+    let h = '<table class="preview"><tr>';
+    for (const c of res.columns) h += '<th>' + c + '</th>';
+    h += '</tr>';
+    for (const row of res.rows) {
+      h += '<tr>';
+      for (const c of row) h += '<td>' + c + '</td>';
+      h += '</tr>';
+    }
+    h += '</table>';
+    el('previewBox').innerHTML = h;
+  } catch (e) {
+    el('previewBox').innerHTML = '<div id="status" class="error">Error: ' + e.message + '</div>';
+  }
+}
+
+el('table').addEventListener('change', refreshColumns);
+el('predCol').addEventListener('change', refreshValues);
+el('build').addEventListener('click', () => {
+  const t = currentTable();
+  const col = el('predCol').value, op = el('predOp').value, val = el('predVal').value;
+  el('sql').value = 'SELECT * FROM ' + t.name + ' WHERE ' + col + ' ' + op + ' ' + quoteVal(val);
+});
+el('templates').addEventListener('change', e => {
+  if (e.target.value) el('sql').value = e.target.value;
+});
+el('recommend').addEventListener('click', recommend);
+el('preview').addEventListener('click', preview);
+loadMeta().catch(e => {
+  el('status').className = 'error';
+  el('status').textContent = 'Error loading metadata: ' + e.message;
+});
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,419 @@
+// Package frontend implements SeeDB's thin-client web frontend (paper
+// §3.2 and Figure 5): a query builder plus a SQL text box on the left,
+// recommended visualizations with utility scores, per-view metadata,
+// and an optional "bad views" pane on the right. The frontend talks to
+// the backend exclusively through the public seedb API, exactly like
+// the paper's thin client talks to the SeeDB backend.
+package frontend
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"seedb"
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+	sqlparse "seedb/internal/sql"
+)
+
+// QueryTemplate is a pre-defined query the UI offers ("pre-defined
+// query templates which encode commonly performed operations", §3.2).
+type QueryTemplate struct {
+	Name        string `json:"name"`
+	SQL         string `json:"sql"`
+	Description string `json:"description"`
+}
+
+// Server serves the SeeDB UI and JSON API.
+type Server struct {
+	db        *seedb.DB
+	templates []QueryTemplate
+	logger    *log.Logger
+	mux       *http.ServeMux
+	// timeout bounds each recommendation request.
+	timeout time.Duration
+}
+
+// New builds a frontend server over a SeeDB instance.
+func New(db *seedb.DB, templates []QueryTemplate, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{db: db, templates: templates, logger: logger, timeout: 60 * time.Second}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/meta", s.handleMeta)
+	mux.HandleFunc("/api/recommend", s.handleRecommend)
+	mux.HandleFunc("/api/drilldown", s.handleDrillDown)
+	mux.HandleFunc("/api/sql", s.handleSQL)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("frontend: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ---------------------------------------------------------------------
+// /api/meta
+
+type columnMeta struct {
+	Name      string   `json:"name"`
+	Type      string   `json:"type"`
+	Distinct  int      `json:"distinct"`
+	Nulls     int      `json:"nulls"`
+	TopValues []string `json:"topValues,omitempty"`
+}
+
+type tableMeta struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Columns []columnMeta `json:"columns"`
+}
+
+type metaResponse struct {
+	Tables    []tableMeta     `json:"tables"`
+	Metrics   []string        `json:"metrics"`
+	Templates []QueryTemplate `json:"templates"`
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := metaResponse{Metrics: distance.Names(), Templates: s.templates}
+	if resp.Templates == nil {
+		resp.Templates = []QueryTemplate{}
+	}
+	for _, name := range s.db.Tables() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			continue
+		}
+		ts, err := s.db.TableStats(name)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		tm := tableMeta{Name: name, Rows: t.NumRows()}
+		for _, def := range t.Schema() {
+			cs, err := ts.Column(def.Name)
+			if err != nil {
+				continue
+			}
+			cm := columnMeta{
+				Name:     def.Name,
+				Type:     def.Type.String(),
+				Distinct: cs.Distinct,
+				Nulls:    cs.Nulls,
+			}
+			for _, tv := range cs.TopValues {
+				cm.TopValues = append(cm.TopValues, tv.Value)
+			}
+			tm.Columns = append(tm.Columns, cm)
+		}
+		resp.Tables = append(resp.Tables, tm)
+	}
+	sort.Slice(resp.Tables, func(i, j int) bool { return resp.Tables[i].Name < resp.Tables[j].Name })
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// /api/recommend
+
+type recommendRequest struct {
+	SQL        string `json:"sql"`
+	Metric     string `json:"metric"`
+	K          int    `json:"k"`
+	ShowWorst  bool   `json:"showWorst"`
+	Normalized bool   `json:"normalized"`
+
+	// Optimization toggles (demo Scenario 2: "select the optimizations
+	// that SEEDB applies and observe the effect").
+	DisablePruning   bool    `json:"disablePruning"`
+	DisableCombining bool    `json:"disableCombining"`
+	SampleFraction   float64 `json:"sampleFraction"`
+}
+
+type viewJSON struct {
+	Rank          int      `json:"rank"`
+	Title         string   `json:"title"`
+	Dimension     string   `json:"dimension"`
+	Measure       string   `json:"measure"`
+	Func          string   `json:"func"`
+	BinWidth      float64  `json:"binWidth,omitempty"`
+	Utility       float64  `json:"utility"`
+	Keys          []string `json:"keys"`
+	SVG           string   `json:"svg"`
+	TargetSQL     string   `json:"targetSql"`
+	ComparisonSQL string   `json:"comparisonSql"`
+	MaxDeltaKey   string   `json:"maxDeltaKey"`
+	MaxDelta      float64  `json:"maxDelta"`
+	Groups        int      `json:"groups"`
+	Represents    []string `json:"represents,omitempty"`
+}
+
+type recommendResponse struct {
+	Query          string     `json:"query"`
+	Metric         string     `json:"metric"`
+	TargetRowCount int64      `json:"targetRowCount"`
+	ElapsedMillis  float64    `json:"elapsedMillis"`
+	CandidateViews int        `json:"candidateViews"`
+	ExecutedViews  int        `json:"executedViews"`
+	QueriesIssued  int64      `json:"queriesIssued"`
+	Sampled        bool       `json:"sampled"`
+	PlanSummary    string     `json:"planSummary,omitempty"`
+	Views          []viewJSON `json:"views"`
+	WorstViews     []viewJSON `json:"worstViews,omitempty"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req recommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing request: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: missing sql"))
+		return
+	}
+	opts := s.optionsFrom(req)
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.db.RecommendSQL(ctx, req.SQL, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.recommendResponseFrom(res, req.Normalized))
+}
+
+// optionsFrom maps the request toggles onto engine options.
+func (s *Server) optionsFrom(req recommendRequest) seedb.Options {
+	opts := seedb.DefaultOptions()
+	if req.Metric != "" {
+		opts.Metric = req.Metric
+	}
+	if req.K > 0 {
+		opts.K = req.K
+	}
+	if req.ShowWorst {
+		opts.IncludeWorst = 3
+	}
+	if req.DisablePruning {
+		opts.PruneLowVariance = false
+		opts.PruneCorrelated = false
+		opts.PruneRarelyAccessed = false
+	}
+	if req.DisableCombining {
+		opts.CombineTargetComparison = false
+		opts.CombineAggregates = false
+		opts.CombineGroupBys = seedb.CombineNone
+	}
+	if req.SampleFraction > 0 && req.SampleFraction < 1 {
+		opts.SampleFraction = req.SampleFraction
+		opts.SampleMinRows = 0
+	}
+	return opts
+}
+
+// recommendResponseFrom converts a core result into the wire shape.
+func (s *Server) recommendResponseFrom(res *seedb.Result, normalized bool) recommendResponse {
+	resp := recommendResponse{
+		Query:          res.Query.String(),
+		Metric:         res.Metric,
+		TargetRowCount: res.TargetRowCount,
+		ElapsedMillis:  res.Stats.ElapsedMillis,
+		CandidateViews: res.Stats.CandidateViews,
+		ExecutedViews:  res.Stats.ExecutedViews,
+		QueriesIssued:  res.Stats.QueriesIssued,
+		Sampled:        res.Stats.Sampled,
+		PlanSummary:    res.Stats.PlanSummary,
+	}
+	for _, rec := range res.Recommendations {
+		resp.Views = append(resp.Views, toViewJSON(rec, normalized))
+	}
+	for _, rec := range res.WorstViews {
+		resp.WorstViews = append(resp.WorstViews, toViewJSON(rec, normalized))
+	}
+	return resp
+}
+
+// parseAnalystQuery resolves a plain SELECT into (table, predicate).
+func (s *Server) parseAnalystQuery(sqlText string) (string, seedb.Predicate, error) {
+	stmt, err := sqlparse.Parse(sqlText)
+	if err != nil {
+		return "", nil, err
+	}
+	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
+		return "", nil, fmt.Errorf("frontend: the analyst query must be a plain SELECT")
+	}
+	return stmt.Table, stmt.Where, nil
+}
+
+func engineAggFunc(name string) (seedb.AggFunc, error) {
+	if name == "" {
+		return seedb.AggSum, nil
+	}
+	return engine.ParseAggFunc(name)
+}
+
+func toViewJSON(rec seedb.Recommendation, normalized bool) viewJSON {
+	d := rec.Data
+	maxKey, maxDelta := d.MaxDeltaKey()
+	return viewJSON{
+		Rank:          rec.Rank,
+		Title:         d.View.String(),
+		Dimension:     d.View.Dimension,
+		Measure:       d.View.Measure,
+		Func:          d.View.Func.String(),
+		BinWidth:      d.View.BinWidth,
+		Utility:       d.Utility,
+		Keys:          d.Keys,
+		SVG:           seedb.Chart(d, normalized).SVG(430, 300),
+		TargetSQL:     rec.TargetSQL,
+		ComparisonSQL: rec.ComparisonSQL,
+		MaxDeltaKey:   maxKey,
+		MaxDelta:      maxDelta,
+		Groups:        len(d.Keys),
+		Represents:    rec.Represents,
+	}
+}
+
+// ---------------------------------------------------------------------
+// /api/drilldown
+
+// drillRequest refines a previous recommendation by one group of one
+// of its views (paper §1 step 4) and re-recommends.
+type drillRequest struct {
+	recommendRequest
+	Dimension string  `json:"dimension"`
+	Measure   string  `json:"measure"`
+	Func      string  `json:"func"`
+	BinWidth  float64 `json:"binWidth"`
+	Label     string  `json:"label"`
+}
+
+func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req drillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing request: %w", err))
+		return
+	}
+	if req.SQL == "" || req.Dimension == "" || req.Label == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: drilldown needs sql, dimension, and label"))
+		return
+	}
+	fn, err := engineAggFunc(req.Func)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view := seedb.View{Dimension: req.Dimension, Measure: req.Measure, Func: fn, BinWidth: req.BinWidth}
+	opts := s.optionsFrom(req.recommendRequest)
+
+	// Resolve the analyst query via the same SQL front door.
+	table, predicate, err := s.parseAnalystQuery(req.SQL)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.db.DrillDown(ctx, table, predicate, view, req.Label, opts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.recommendResponseFrom(res, req.Normalized))
+}
+
+// ---------------------------------------------------------------------
+// /api/sql
+
+type sqlRequest struct {
+	SQL string `json:"sql"`
+}
+
+type sqlResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Partial bool       `json:"partial"`
+}
+
+// maxPreviewRows caps the rows returned by the raw-SQL endpoint.
+const maxPreviewRows = 200
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req sqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing request: %w", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := s.db.Query(ctx, req.SQL)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := sqlResponse{Columns: res.Columns, Rows: [][]string{}}
+	for i, row := range res.Rows {
+		if i >= maxPreviewRows {
+			resp.Partial = true
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.Format()
+		}
+		resp.Rows = append(resp.Rows, cells)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// index page
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, nil); err != nil {
+		s.logger.Printf("frontend: rendering index: %v", err)
+	}
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(indexHTML))

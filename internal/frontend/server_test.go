@@ -1,0 +1,294 @@
+package frontend
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seedb"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	db := seedb.Open()
+	if err := db.RegisterTable(seedb.LaserwaveTable("sales", seedb.ScenarioA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(seedb.SuperstoreTable("orders", 2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	templates := []QueryTemplate{
+		{Name: "Laserwave sales", SQL: "SELECT * FROM sales WHERE product = 'Laserwave'", Description: "paper example"},
+	}
+	return New(db, templates, nil)
+}
+
+func postJSON(t *testing.T, s *Server, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer(t)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, frag := range []string{"SeeDB", "Query builder", "/api/recommend", "Deviation metric"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("index missing %q", frag)
+		}
+	}
+	// Unknown path 404s.
+	w2 := httptest.NewRecorder()
+	s.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if w2.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", w2.Code)
+	}
+}
+
+func TestMetaEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/meta", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp metaResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != 2 {
+		t.Fatalf("tables = %d", len(resp.Tables))
+	}
+	if resp.Tables[0].Name != "orders" || resp.Tables[1].Name != "sales" {
+		t.Errorf("tables unsorted: %v, %v", resp.Tables[0].Name, resp.Tables[1].Name)
+	}
+	if len(resp.Metrics) < 4 {
+		t.Errorf("metrics = %v", resp.Metrics)
+	}
+	if len(resp.Templates) != 1 {
+		t.Errorf("templates = %v", resp.Templates)
+	}
+	var productCol *columnMeta
+	for i := range resp.Tables[1].Columns {
+		if resp.Tables[1].Columns[i].Name == "product" {
+			productCol = &resp.Tables[1].Columns[i]
+		}
+	}
+	if productCol == nil || productCol.Distinct != 3 || len(productCol.TopValues) == 0 {
+		t.Errorf("product column meta = %+v", productCol)
+	}
+	// POST not allowed.
+	w2 := postJSON(t, s, "/api/meta", map[string]string{})
+	if w2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/meta status = %d", w2.Code)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:        "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Metric:     "emd",
+		K:          2,
+		ShowWorst:  true,
+		Normalized: true,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TargetRowCount != 8 {
+		t.Errorf("targetRowCount = %d", resp.TargetRowCount)
+	}
+	if len(resp.Views) == 0 || len(resp.Views) > 2 {
+		t.Fatalf("views = %d", len(resp.Views))
+	}
+	top := resp.Views[0]
+	if top.Rank != 1 || !strings.Contains(top.SVG, "<svg") {
+		t.Errorf("top view malformed: rank=%d svg-len=%d", top.Rank, len(top.SVG))
+	}
+	if !strings.Contains(top.TargetSQL, "WHERE") {
+		t.Errorf("targetSql = %q", top.TargetSQL)
+	}
+	if top.Utility <= 0 {
+		t.Errorf("utility = %v", top.Utility)
+	}
+	if len(resp.WorstViews) == 0 {
+		t.Error("showWorst should include bad views")
+	}
+	if resp.CandidateViews <= 0 || resp.QueriesIssued <= 0 {
+		t.Errorf("stats missing: %+v", resp)
+	}
+}
+
+func TestRecommendEndpointOptions(t *testing.T) {
+	s := testServer(t)
+	// Toggles exercise the option-mapping paths.
+	w := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:              "SELECT * FROM orders WHERE category = 'Furniture'",
+		Metric:           "js",
+		K:                2,
+		DisablePruning:   true,
+		DisableCombining: true,
+		SampleFraction:   0.5,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Sampled {
+		t.Error("sampleFraction should force sampling")
+	}
+	if resp.Metric != "js" {
+		t.Errorf("metric = %q", resp.Metric)
+	}
+}
+
+func TestRecommendEndpointErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []recommendRequest{
+		{},                          // no SQL
+		{SQL: "garbage"},            // parse error
+		{SQL: "SELECT * FROM nope"}, // unknown table
+		{SQL: "SELECT * FROM sales WHERE product = 'zzz'"}, // empty subset
+		{SQL: "SELECT * FROM sales", Metric: "bogus"},      // unknown metric
+	}
+	for i, req := range cases {
+		w := postJSON(t, s, "/api/recommend", req)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("case %d status = %d, want 400 (%s)", i, w.Code, w.Body.String())
+		}
+		var e map[string]string
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e["error"] == "" {
+			t.Errorf("case %d error body malformed: %s", i, w.Body.String())
+		}
+	}
+	// Bad JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/api/recommend", strings.NewReader("{"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", w.Code)
+	}
+	// GET not allowed.
+	w2 := httptest.NewRecorder()
+	s.ServeHTTP(w2, httptest.NewRequest(http.MethodGet, "/api/recommend", nil))
+	if w2.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", w2.Code)
+	}
+}
+
+func TestDrillDownEndpoint(t *testing.T) {
+	s := testServer(t)
+	req := drillRequest{
+		recommendRequest: recommendRequest{
+			SQL:    "SELECT * FROM orders WHERE category = 'Furniture'",
+			Metric: "emd",
+			K:      3,
+		},
+		Dimension: "region",
+		Measure:   "profit",
+		Func:      "SUM",
+		Label:     "Central",
+	}
+	w := postJSON(t, s, "/api/drilldown", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Query, "region = 'Central'") {
+		t.Errorf("refined query = %q", resp.Query)
+	}
+	if len(resp.Views) == 0 {
+		t.Error("drill-down returned no views")
+	}
+	// The refined query string must itself be a valid analyst query so
+	// the UI can chain drills.
+	req2 := req
+	req2.SQL = resp.Query
+	req2.Dimension = "ship_mode"
+	req2.Label = "Standard Class"
+	w2 := postJSON(t, s, "/api/drilldown", req2)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("chained drill status = %d: %s", w2.Code, w2.Body.String())
+	}
+
+	// Error cases.
+	bad := []drillRequest{
+		{},
+		{recommendRequest: recommendRequest{SQL: "SELECT * FROM orders"}},                                                                    // no dimension/label
+		{recommendRequest: recommendRequest{SQL: "garbage"}, Dimension: "region", Label: "x"},                                                // parse error
+		{recommendRequest: recommendRequest{SQL: "SELECT * FROM orders"}, Dimension: "region", Label: "nope", Func: "???"},                   // bad func
+		{recommendRequest: recommendRequest{SQL: "SELECT region, COUNT(*) FROM orders GROUP BY region"}, Dimension: "region", Label: "West"}, // aggregate Q
+	}
+	for i, b := range bad {
+		w := postJSON(t, s, "/api/drilldown", b)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("bad case %d status = %d (%s)", i, w.Code, w.Body.String())
+		}
+	}
+	// GET not allowed.
+	wg := httptest.NewRecorder()
+	s.ServeHTTP(wg, httptest.NewRequest(http.MethodGet, "/api/drilldown", nil))
+	if wg.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", wg.Code)
+	}
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/sql", sqlRequest{SQL: "SELECT store, SUM(amount) AS total FROM sales GROUP BY store"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp sqlResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Columns) != 2 || len(resp.Rows) != 4 {
+		t.Errorf("result shape %dx%d", len(resp.Rows), len(resp.Columns))
+	}
+	// Row cap.
+	w2 := postJSON(t, s, "/api/sql", sqlRequest{SQL: "SELECT * FROM orders"})
+	var resp2 sqlResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Rows) != maxPreviewRows || !resp2.Partial {
+		t.Errorf("preview cap: rows=%d partial=%v", len(resp2.Rows), resp2.Partial)
+	}
+	// Errors.
+	w3 := postJSON(t, s, "/api/sql", sqlRequest{SQL: "garbage"})
+	if w3.Code != http.StatusBadRequest {
+		t.Errorf("bad sql status = %d", w3.Code)
+	}
+	w4 := httptest.NewRecorder()
+	s.ServeHTTP(w4, httptest.NewRequest(http.MethodGet, "/api/sql", nil))
+	if w4.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", w4.Code)
+	}
+}

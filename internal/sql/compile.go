@@ -1,0 +1,245 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+
+	"seedb/internal/engine"
+)
+
+// ScanSpec is a compiled plain projection (no aggregates).
+type ScanSpec struct {
+	Table   string
+	Columns []string // nil means all
+	Where   engine.Predicate
+	Limit   int
+}
+
+// Compiled is an executable statement: either an aggregation query or a
+// projection scan, depending on the SELECT list.
+type Compiled struct {
+	Stmt *SelectStmt
+	Agg  *engine.Query
+	Scan *ScanSpec
+}
+
+// Run executes the compiled statement on the executor.
+func (c *Compiled) Run(ctx context.Context, ex *engine.Executor) (*engine.Result, error) {
+	if c.Agg != nil {
+		return ex.Run(ctx, c.Agg)
+	}
+	return ex.Scan(ctx, c.Scan.Table, c.Scan.Columns, c.Scan.Where, c.Scan.Limit)
+}
+
+// Compile validates a parsed statement against the catalog and lowers
+// it to an executable form. It also coerces string literals compared
+// against TIMESTAMP columns, so users can write
+// `WHERE order_date >= '2014-01-01'`.
+func Compile(stmt *SelectStmt, cat *engine.Catalog) (*Compiled, error) {
+	t, err := cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	where := stmt.Where
+	if where != nil {
+		if where, err = coercePredicate(where, t); err != nil {
+			return nil, err
+		}
+		for _, col := range where.Columns() {
+			if !t.HasColumn(col) {
+				return nil, fmt.Errorf("sql: table %q has no column %q (in WHERE)", stmt.Table, col)
+			}
+		}
+	}
+
+	if !stmt.HasAggregates() {
+		if len(stmt.GroupBy) > 0 {
+			return nil, fmt.Errorf("sql: GROUP BY requires at least one aggregate in the SELECT list")
+		}
+		if len(stmt.OrderBy) > 0 {
+			return nil, fmt.Errorf("sql: ORDER BY is only supported on aggregate queries")
+		}
+		spec := &ScanSpec{Table: stmt.Table, Where: where, Limit: stmt.Limit}
+		for _, it := range stmt.Items {
+			if it.Star {
+				spec.Columns = nil
+				break
+			}
+			if it.BinWidth > 0 {
+				return nil, fmt.Errorf("sql: bin(%s, %g) requires GROUP BY and an aggregate", it.Column, it.BinWidth)
+			}
+			if !t.HasColumn(it.Column) {
+				return nil, fmt.Errorf("sql: table %q has no column %q", stmt.Table, it.Column)
+			}
+			spec.Columns = append(spec.Columns, it.Column)
+		}
+		return &Compiled{Stmt: stmt, Scan: spec}, nil
+	}
+
+	// Aggregate query: every bare column must be in GROUP BY and vice
+	// versa (we require GROUP BY to list exactly the bare columns).
+	q := &engine.Query{Table: stmt.Table, Where: where, Limit: stmt.Limit}
+	bare := map[string]bool{}
+	bareBins := map[string]float64{}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: cannot mix * with aggregates")
+		}
+		if it.Agg == "" {
+			bare[it.Column] = true
+			if it.BinWidth > 0 {
+				bareBins[it.Column] = it.BinWidth
+			}
+			continue
+		}
+		fn, err := engine.ParseAggFunc(it.Agg)
+		if err != nil {
+			return nil, err
+		}
+		if it.AggCol != "" {
+			col, err := t.Column(it.AggCol)
+			if err != nil {
+				return nil, fmt.Errorf("sql: %w (in %s)", err, it.Agg)
+			}
+			if fn != engine.AggCount && !col.Type().Numeric() {
+				return nil, fmt.Errorf("sql: %s(%s): column is %v, need a numeric column", it.Agg, it.AggCol, col.Type())
+			}
+		}
+		q.Aggs = append(q.Aggs, engine.AggSpec{Func: fn, Column: it.AggCol, Alias: it.Alias})
+	}
+	grouped := map[string]bool{}
+	groupedBin := map[string]float64{}
+	for _, g := range stmt.GroupBy {
+		col, err := t.Column(g.Column)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w (in GROUP BY)", err)
+		}
+		if g.BinWidth > 0 && col.Type() == engine.TypeString {
+			return nil, fmt.Errorf("sql: cannot bin STRING column %q", g.Column)
+		}
+		grouped[g.Column] = true
+		q.GroupBy = append(q.GroupBy, g.Column)
+		if g.BinWidth > 0 {
+			groupedBin[g.Column] = g.BinWidth
+			if q.BinWidths == nil {
+				q.BinWidths = map[string]float64{}
+			}
+			q.BinWidths[g.Column] = g.BinWidth
+		}
+	}
+	for col, width := range bareBins {
+		if got := groupedBin[col]; got != width {
+			return nil, fmt.Errorf("sql: bin(%s, %g) in SELECT must match GROUP BY (got %g)", col, width, got)
+		}
+	}
+	for col := range bare {
+		if !grouped[col] {
+			return nil, fmt.Errorf("sql: column %q must appear in GROUP BY", col)
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		q.OrderBy = append(q.OrderBy, engine.OrderKey{Column: o.Column, Desc: o.Desc})
+	}
+	return &Compiled{Stmt: stmt, Agg: q}, nil
+}
+
+// ParseAndCompile is the convenience front door: SQL text to an
+// executable statement in one call.
+func ParseAndCompile(src string, cat *engine.Catalog) (*Compiled, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(stmt, cat)
+}
+
+// coercePredicate rewrites literals so their types line up with the
+// column they are compared against — today that means string literals
+// against TIMESTAMP columns become timestamps.
+func coercePredicate(p engine.Predicate, t *engine.Table) (engine.Predicate, error) {
+	switch pred := p.(type) {
+	case *engine.ComparePred:
+		v, err := coerceLiteral(pred.Column, pred.Value, t)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Equal(pred.Value) {
+			return engine.Compare(pred.Column, pred.Op, v), nil
+		}
+		return pred, nil
+	case *engine.InPred:
+		out := &engine.InPred{Column: pred.Column, Negate: pred.Negate}
+		for _, v := range pred.Values {
+			cv, err := coerceLiteral(pred.Column, v, t)
+			if err != nil {
+				return nil, err
+			}
+			out.Values = append(out.Values, cv)
+		}
+		return out, nil
+	case *engine.AndPred:
+		children, err := coerceChildren(pred.Children, t)
+		if err != nil {
+			return nil, err
+		}
+		return engine.And(children...), nil
+	case *engine.OrPred:
+		children, err := coerceChildren(pred.Children, t)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Or(children...), nil
+	case *engine.NotPred:
+		child, err := coercePredicate(pred.Child, t)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not(child), nil
+	default:
+		return p, nil
+	}
+}
+
+func coerceChildren(children []engine.Predicate, t *engine.Table) ([]engine.Predicate, error) {
+	out := make([]engine.Predicate, len(children))
+	for i, c := range children {
+		cc, err := coercePredicate(c, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cc
+	}
+	return out, nil
+}
+
+func coerceLiteral(column string, v engine.Value, t *engine.Table) (engine.Value, error) {
+	col, err := t.Column(column)
+	if err != nil {
+		return engine.Value{}, err
+	}
+	if v.Null {
+		return v, nil
+	}
+	switch col.Type() {
+	case engine.TypeTime:
+		if v.Kind == engine.TypeString {
+			ts, err := parseTimestamp(v.S)
+			if err != nil {
+				return engine.Value{}, fmt.Errorf("sql: column %q is TIMESTAMP: %w", column, err)
+			}
+			return engine.Time(ts), nil
+		}
+		if v.Kind != engine.TypeTime {
+			return engine.Value{}, fmt.Errorf("sql: cannot compare TIMESTAMP column %q with %v", column, v.Kind)
+		}
+	case engine.TypeInt, engine.TypeFloat:
+		if !v.Kind.Numeric() {
+			return engine.Value{}, fmt.Errorf("sql: cannot compare %v column %q with %v", col.Type(), column, v.Kind)
+		}
+	case engine.TypeString:
+		if v.Kind != engine.TypeString {
+			return engine.Value{}, fmt.Errorf("sql: cannot compare STRING column %q with %v", column, v.Kind)
+		}
+	}
+	return v, nil
+}

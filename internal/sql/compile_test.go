@@ -1,0 +1,196 @@
+package sql
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seedb/internal/engine"
+)
+
+func compileCatalog(t *testing.T) (*engine.Catalog, *engine.Executor) {
+	t.Helper()
+	cat := engine.NewCatalog()
+	tb := engine.MustNewTable("sales", engine.Schema{
+		{Name: "product", Type: engine.TypeString},
+		{Name: "store", Type: engine.TypeString},
+		{Name: "amount", Type: engine.TypeFloat},
+		{Name: "when", Type: engine.TypeTime},
+	})
+	base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	rows := []struct {
+		p, s string
+		a    float64
+		d    int
+	}{
+		{"Laserwave", "Cambridge, MA", 180.55, 0},
+		{"Laserwave", "Seattle, WA", 145.50, 31},
+		{"Laserwave", "New York, NY", 122.00, 59},
+		{"Laserwave", "San Francisco, CA", 90.13, 90},
+		{"Saberwave", "Cambridge, MA", 50, 10},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(engine.String(r.p), engine.String(r.s), engine.Float(r.a), engine.Time(base.AddDate(0, 0, r.d))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	return cat, engine.NewExecutor(cat)
+}
+
+func TestCompileAndRunAggregate(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT store, SUM(amount) AS total FROM sales WHERE product = 'Laserwave' GROUP BY store ORDER BY total DESC", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Agg == nil {
+		t.Fatal("expected aggregate plan")
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "Cambridge, MA" || res.Rows[0][1].F != 180.55 {
+		t.Errorf("top row = %v", res.Rows[0])
+	}
+}
+
+func TestCompileAndRunScan(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT product, amount FROM sales WHERE amount > 100 LIMIT 2", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scan == nil {
+		t.Fatal("expected scan plan")
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Columns) != 2 {
+		t.Errorf("result shape %dx%d", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestCompileSelectStarScan(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT * FROM sales", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 4 || len(res.Rows) != 5 {
+		t.Errorf("result shape %dx%d", len(res.Rows), len(res.Columns))
+	}
+}
+
+func TestCompileTimestampCoercion(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT COUNT(*) AS n FROM sales WHERE when >= '2014-02-01'", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("count = %v, want 3 (Feb 1, Mar 1, Apr 1 rows)", res.Rows[0][0])
+	}
+	// IN list and nested predicates coerce too.
+	c2, err := ParseAndCompile("SELECT COUNT(*) AS n FROM sales WHERE when IN ('2014-01-01') OR (NOT when < '2014-04-01')", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows[0][0].I != 2 {
+		t.Errorf("count = %v, want 2", res2.Rows[0][0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat, _ := compileCatalog(t)
+	bad := []string{
+		"SELECT * FROM missing",
+		"SELECT zz FROM sales",
+		"SELECT store, SUM(zz) FROM sales GROUP BY store",
+		"SELECT store, SUM(amount) FROM sales GROUP BY zz",
+		"SELECT store, SUM(amount) FROM sales",            // bare col not grouped
+		"SELECT *, SUM(amount) FROM sales GROUP BY store", // star with agg
+		"SELECT store FROM sales GROUP BY store",          // group by without agg
+		"SELECT store FROM sales ORDER BY store",          // order by on scan
+		"SELECT * FROM sales WHERE zz = 1",
+		"SELECT COUNT(*) FROM sales WHERE when > 'notadate'",
+	}
+	for _, src := range bad {
+		if _, err := ParseAndCompile(src, cat); err == nil {
+			t.Errorf("ParseAndCompile(%q) should error", src)
+		}
+	}
+	if _, err := ParseAndCompile("SELECT (", cat); err == nil {
+		t.Error("parse error should propagate")
+	}
+}
+
+func TestCompileBinnedGroupBy(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT bin(amount, 50), COUNT(*) AS n FROM sales GROUP BY bin(amount, 50)", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Agg == nil || c.Agg.BinWidths["amount"] != 50 {
+		t.Fatalf("bin width not compiled: %+v", c.Agg)
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amounts: 180.55, 145.50, 122.00, 90.13, 50 → bins 150, 100, 100,
+	// 50, 50 → 3 groups.
+	if len(res.Rows) != 3 {
+		t.Errorf("bins = %d: %v", len(res.Rows), res.Rows)
+	}
+	// Mismatched widths between SELECT and GROUP BY error.
+	if _, err := ParseAndCompile("SELECT bin(amount, 50), COUNT(*) FROM sales GROUP BY bin(amount, 25)", cat); err == nil {
+		t.Error("width mismatch must error")
+	}
+	// bin in a plain scan errors.
+	if _, err := ParseAndCompile("SELECT bin(amount, 50) FROM sales", cat); err == nil {
+		t.Error("bin without aggregate must error")
+	}
+	// bin on a string column is rejected at compile time.
+	if _, err := ParseAndCompile("SELECT bin(store, 5), COUNT(*) FROM sales GROUP BY bin(store, 5)", cat); err == nil {
+		t.Error("binning a string column must error")
+	}
+}
+
+func TestCompileGlobalAggregate(t *testing.T) {
+	cat, ex := compileCatalog(t)
+	c, err := ParseAndCompile("SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount) FROM sales", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("global aggregate should return 1 row, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 5 {
+		t.Errorf("COUNT(*) = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,243 @@
+// Package sql implements the SQL subset SeeDB speaks: single-table
+// SELECT statements with aggregation, grouping, filtering, ordering and
+// limits. The frontend's SQL text box, the query-builder, and SeeDB's
+// own generated view queries all round-trip through this package.
+//
+// Grammar (case-insensitive keywords):
+//
+//	SELECT item [, item ...]
+//	FROM table
+//	[WHERE predicate]
+//	[GROUP BY column [, column ...]]
+//	[ORDER BY column [ASC|DESC] [, ...]]
+//	[LIMIT n]
+//
+//	item      := '*' | column | agg '(' column | '*' ')' [AS alias]
+//	predicate := disjunction of conjunctions of:
+//	             column (= | <> | != | < | <= | > | >=) literal
+//	             column [NOT] IN '(' literal [, literal ...] ')'
+//	             column IS [NOT] NULL
+//	             column BETWEEN literal AND literal
+//	             NOT predicate | '(' predicate ')'
+//	literal   := number | 'string' | TIMESTAMP 'RFC3339 or 2006-01-02'
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <> != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokStar:
+		return "'*'"
+	case tokOp:
+		return "operator"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer converts SQL text into tokens.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front; SeeDB statements are short.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: position %d: unexpected '!'", start)
+	case c == '\'':
+		return l.lexString()
+	case c == '"':
+		return l.lexQuotedIdent()
+	case c >= '0' && c <= '9' || c == '-' || c == '.':
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sql: position %d: unexpected character %q", start, string(c))
+	}
+}
+
+// lexString reads a single-quoted string; ” escapes a quote.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sql: position %d: unterminated string literal", start)
+}
+
+// lexQuotedIdent reads a double-quoted identifier (for column names
+// containing spaces or punctuation).
+func (l *lexer) lexQuotedIdent() (token, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				b.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokIdent, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sql: position %d: unterminated quoted identifier", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := false
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+		digits = true
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+			digits = true
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if !digits {
+		return token{}, fmt.Errorf("sql: position %d: malformed number", start)
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}

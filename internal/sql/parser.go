@@ -1,0 +1,605 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"seedb/internal/engine"
+)
+
+// SelectItem is one output expression of a SELECT statement.
+type SelectItem struct {
+	Star     bool    // SELECT *
+	Column   string  // bare column reference (when Agg is empty)
+	BinWidth float64 // > 0 when the column is bin(column, width)
+	Agg      string  // aggregate function name, e.g. "SUM"
+	AggCol   string  // aggregate argument; "" means COUNT(*)
+	Alias    string  // AS alias
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Column string
+	Desc   bool
+}
+
+// GroupItem is one GROUP BY term: a column, optionally binned with
+// bin(column, width).
+type GroupItem struct {
+	Column   string
+	BinWidth float64
+}
+
+// SelectStmt is the parsed form of a SeeDB SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string
+	Where   engine.Predicate // nil when absent
+	GroupBy []GroupItem
+	OrderBy []OrderItem
+	Limit   int // 0 means no limit
+}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the statement back to SQL.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Agg != "":
+			arg := it.AggCol
+			if arg == "" {
+				arg = "*"
+			}
+			fmt.Fprintf(&b, "%s(%s)", it.Agg, arg)
+		case it.BinWidth > 0:
+			fmt.Fprintf(&b, "bin(%s, %g)", it.Column, it.BinWidth)
+		default:
+			b.WriteString(it.Column)
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.Table)
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			if g.BinWidth > 0 {
+				parts[i] = fmt.Sprintf("bin(%s, %g)", g.Column, g.BinWidth)
+			} else {
+				parts[i] = g.Column
+			}
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Column
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %s %q after statement", p.cur().kind, p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance()   { p.i++ }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive). Empty kw matches nothing.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return kw != "" && t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return token{}, p.errf("expected %s, found %q", kind, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+// reserved words that terminate identifier lists.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"order": true, "limit": true, "and": true, "or": true, "not": true,
+	"in": true, "is": true, "null": true, "as": true, "asc": true,
+	"desc": true, "between": true, "timestamp": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToLower(tbl.text)] {
+		return nil, p.errf("expected table name, found keyword %q", tbl.text)
+	}
+	stmt.Table = tbl.text
+
+	if p.atKeyword("where") {
+		p.advance()
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = pred
+	}
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseGroupItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, item)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Column: col.text}
+			if p.atKeyword("asc") {
+				p.advance()
+			} else if p.atKeyword("desc") {
+				p.advance()
+				item.Desc = true
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("limit") {
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 0 {
+			return nil, p.errf("invalid LIMIT %q", n.text)
+		}
+		stmt.Limit = limit
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokStar {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	if t.kind != tokIdent {
+		return SelectItem{}, p.errf("expected column or aggregate, found %q", t.text)
+	}
+	// bin(column, width)?
+	if strings.EqualFold(t.text, "bin") && p.toks[p.i+1].kind == tokLParen {
+		col, width, err := p.parseBinCall()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Column: col, BinWidth: width}
+		if alias, ok, err := p.parseAlias(); err != nil {
+			return SelectItem{}, err
+		} else if ok {
+			item.Alias = alias
+		}
+		return item, nil
+	}
+	// Aggregate call?
+	if _, err := engine.ParseAggFunc(t.text); err == nil && p.toks[p.i+1].kind == tokLParen {
+		fn := strings.ToUpper(t.text)
+		p.advance() // name
+		p.advance() // (
+		var arg string
+		switch p.cur().kind {
+		case tokStar:
+			p.advance()
+		case tokIdent:
+			arg = p.cur().text
+			p.advance()
+		default:
+			return SelectItem{}, p.errf("expected column or '*' in %s(...)", fn)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: fn, AggCol: arg}
+		if alias, ok, err := p.parseAlias(); err != nil {
+			return SelectItem{}, err
+		} else if ok {
+			item.Alias = alias
+		}
+		return item, nil
+	}
+	if reserved[strings.ToLower(t.text)] {
+		return SelectItem{}, p.errf("expected column, found keyword %q", t.text)
+	}
+	p.advance()
+	item := SelectItem{Column: t.text}
+	if alias, ok, err := p.parseAlias(); err != nil {
+		return SelectItem{}, err
+	} else if ok {
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+// parseGroupItem parses a GROUP BY term: column or bin(column, width).
+func (p *parser) parseGroupItem() (GroupItem, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return GroupItem{}, p.errf("expected column in GROUP BY, found %q", t.text)
+	}
+	if strings.EqualFold(t.text, "bin") && p.toks[p.i+1].kind == tokLParen {
+		col, width, err := p.parseBinCall()
+		if err != nil {
+			return GroupItem{}, err
+		}
+		return GroupItem{Column: col, BinWidth: width}, nil
+	}
+	if reserved[strings.ToLower(t.text)] {
+		return GroupItem{}, p.errf("expected column in GROUP BY, found keyword %q", t.text)
+	}
+	p.advance()
+	return GroupItem{Column: t.text}, nil
+}
+
+// parseBinCall consumes bin(column, width) starting at the "bin"
+// identifier.
+func (p *parser) parseBinCall() (string, float64, error) {
+	p.advance() // bin
+	p.advance() // (
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := p.expect(tokComma); err != nil {
+		return "", 0, err
+	}
+	wTok, err := p.expect(tokNumber)
+	if err != nil {
+		return "", 0, err
+	}
+	width, err := strconv.ParseFloat(wTok.text, 64)
+	if err != nil || width <= 0 {
+		return "", 0, p.errf("bin width must be a positive number, got %q", wTok.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", 0, err
+	}
+	return col.text, width, nil
+}
+
+func (p *parser) parseAlias() (string, bool, error) {
+	if !p.atKeyword("as") {
+		return "", false, nil
+	}
+	p.advance()
+	a, err := p.expect(tokIdent)
+	if err != nil {
+		return "", false, err
+	}
+	return a.text, true, nil
+}
+
+// ---------------------------------------------------------------------
+// Predicates
+
+func (p *parser) parseOr() (engine.Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []engine.Predicate{left}
+	for p.atKeyword("or") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return engine.Or(children...), nil
+}
+
+func (p *parser) parseAnd() (engine.Predicate, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []engine.Predicate{left}
+	for p.atKeyword("and") {
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return engine.And(children...), nil
+}
+
+func (p *parser) parseUnary() (engine.Predicate, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not(child), nil
+	}
+	if p.cur().kind == tokLParen {
+		p.advance()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (engine.Predicate, error) {
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToLower(col.text)] {
+		return nil, p.errf("expected column name, found keyword %q", col.text)
+	}
+	switch {
+	case p.cur().kind == tokOp:
+		opTok := p.cur()
+		p.advance()
+		op, err := parseCmpOp(opTok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return engine.Compare(col.text, op, lit), nil
+	case p.atKeyword("in"):
+		p.advance()
+		return p.parseInList(col.text, false)
+	case p.atKeyword("not"):
+		p.advance()
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		return p.parseInList(col.text, true)
+	case p.atKeyword("is"):
+		p.advance()
+		neg := false
+		if p.atKeyword("not") {
+			p.advance()
+			neg = true
+		}
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		if neg {
+			return engine.IsNotNull(col.text), nil
+		}
+		return engine.IsNull(col.text), nil
+	case p.atKeyword("between"):
+		p.advance()
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return engine.And(
+			engine.Compare(col.text, engine.OpGe, lo),
+			engine.Compare(col.text, engine.OpLe, hi),
+		), nil
+	default:
+		return nil, p.errf("expected comparison operator after %q, found %q", col.text, p.cur().text)
+	}
+}
+
+func (p *parser) parseInList(col string, negate bool) (engine.Predicate, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var vals []engine.Value
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, lit)
+		if p.cur().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &engine.InPred{Column: col, Values: vals, Negate: negate}, nil
+}
+
+func (p *parser) parseLiteral() (engine.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.text, ".eE") {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return engine.Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return engine.Value{}, p.errf("invalid number %q", t.text)
+		}
+		return engine.Float(f), nil
+	case tokString:
+		p.advance()
+		return engine.String(t.text), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "null":
+			p.advance()
+			return engine.NullValue(engine.TypeString), nil
+		case "timestamp":
+			p.advance()
+			s, err := p.expect(tokString)
+			if err != nil {
+				return engine.Value{}, err
+			}
+			ts, err := parseTimestamp(s.text)
+			if err != nil {
+				return engine.Value{}, p.errf("%v", err)
+			}
+			return engine.Time(ts), nil
+		}
+	}
+	return engine.Value{}, p.errf("expected literal, found %q", t.text)
+}
+
+func parseTimestamp(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return ts, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("cannot parse timestamp %q", s)
+}
+
+func parseCmpOp(s string) (engine.CmpOp, error) {
+	switch s {
+	case "=":
+		return engine.OpEq, nil
+	case "<>", "!=":
+		return engine.OpNe, nil
+	case "<":
+		return engine.OpLt, nil
+	case "<=":
+		return engine.OpLe, nil
+	case ">":
+		return engine.OpGt, nil
+	case ">=":
+		return engine.OpGe, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}

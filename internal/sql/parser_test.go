@@ -1,0 +1,245 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM Sales WHERE Product = 'Laserwave'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Table != "Sales" {
+		t.Errorf("table = %q", stmt.Table)
+	}
+	if len(stmt.Items) != 1 || !stmt.Items[0].Star {
+		t.Errorf("items = %+v", stmt.Items)
+	}
+	if stmt.Where == nil || stmt.Where.String() != "Product = 'Laserwave'" {
+		t.Errorf("where = %v", stmt.Where)
+	}
+	if stmt.HasAggregates() {
+		t.Error("no aggregates expected")
+	}
+}
+
+func TestParseAggregateGroupBy(t *testing.T) {
+	stmt, err := Parse("SELECT store, SUM(amount) FROM Sales WHERE Product = 'Laserwave' GROUP BY store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %+v", stmt.Items)
+	}
+	if stmt.Items[0].Column != "store" {
+		t.Errorf("item 0 = %+v", stmt.Items[0])
+	}
+	if stmt.Items[1].Agg != "SUM" || stmt.Items[1].AggCol != "amount" {
+		t.Errorf("item 1 = %+v", stmt.Items[1])
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "store" || stmt.GroupBy[0].BinWidth != 0 {
+		t.Errorf("groupBy = %v", stmt.GroupBy)
+	}
+	if !stmt.HasAggregates() {
+		t.Error("aggregates expected")
+	}
+}
+
+func TestParseCountStarAndAlias(t *testing.T) {
+	stmt, err := Parse("SELECT region, COUNT(*) AS n, AVG(profit) AS mean FROM orders GROUP BY region ORDER BY n DESC, region LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[1].Agg != "COUNT" || stmt.Items[1].AggCol != "" || stmt.Items[1].Alias != "n" {
+		t.Errorf("count item = %+v", stmt.Items[1])
+	}
+	if stmt.Items[2].Alias != "mean" {
+		t.Errorf("avg item = %+v", stmt.Items[2])
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("orderBy = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT * FROM t WHERE a = 1 AND b > 2.5", "(a = 1) AND (b > 2.5)"},
+		{"SELECT * FROM t WHERE a = 1 OR b < 2 AND c >= 3", "(a = 1) OR ((b < 2) AND (c >= 3))"},
+		{"SELECT * FROM t WHERE NOT (a <> 'x')", "NOT (a <> 'x')"},
+		{"SELECT * FROM t WHERE a != 'it''s'", "a <> 'it''s'"},
+		{"SELECT * FROM t WHERE a IN ('x', 'y')", "a IN ('x', 'y')"},
+		{"SELECT * FROM t WHERE a NOT IN (1, 2)", "a NOT IN (1, 2)"},
+		{"SELECT * FROM t WHERE a IS NULL", "a IS NULL"},
+		{"SELECT * FROM t WHERE a IS NOT NULL", "a IS NOT NULL"},
+		{"SELECT * FROM t WHERE a BETWEEN 1 AND 5", "(a >= 1) AND (a <= 5)"},
+		{"SELECT * FROM t WHERE a <= -3", "a <= -3"},
+	}
+	for _, tc := range cases {
+		stmt, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if got := stmt.Where.String(); got != tc.want {
+			t.Errorf("%s:\n got  %s\n want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseTimestampLiteral(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE ts >= TIMESTAMP '2014-09-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := stmt.Where.(*engine.ComparePred)
+	if !ok {
+		t.Fatalf("where = %T", stmt.Where)
+	}
+	if cp.Value.Kind != engine.TypeTime {
+		t.Errorf("literal type = %v", cp.Value.Kind)
+	}
+}
+
+func TestParseQuotedIdentifier(t *testing.T) {
+	stmt, err := Parse(`SELECT "ship mode" FROM orders WHERE "ship mode" = 'Air'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].Column != "ship mode" {
+		t.Errorf("column = %q", stmt.Items[0].Column)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t WHERE a IN (1,)",
+		"SELECT * FROM t WHERE a BETWEEN 1",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER city",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t extra garbage",
+		"SELECT SUM( FROM t",
+		"SELECT SUM(a FROM t",
+		"SELECT * FROM where",
+		"SELECT * FROM t WHERE select = 1",
+		"SELECT * FROM t WHERE a ! 1",
+		"SELECT * FROM t WHERE ts = TIMESTAMP 'gibberish'",
+		`SELECT "unterminated FROM t`,
+		"SELECT a, FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	src := "SELECT store, SUM(amount) AS total, COUNT(*) FROM sales WHERE product = 'X' GROUP BY store ORDER BY total DESC LIMIT 5"
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stmt.String()
+	for _, frag := range []string{"SELECT store, SUM(amount) AS total, COUNT(*)", "FROM sales", "WHERE product = 'X'", "GROUP BY store", "ORDER BY total DESC", "LIMIT 5"} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("String() = %q missing %q", rendered, frag)
+		}
+	}
+	// Round trip: rendered SQL must re-parse to the same string.
+	stmt2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if stmt2.String() != rendered {
+		t.Errorf("round trip:\n first  %s\n second %s", rendered, stmt2.String())
+	}
+	// Star render.
+	star, _ := Parse("SELECT * FROM t")
+	if star.String() != "SELECT * FROM t" {
+		t.Errorf("star String() = %q", star.String())
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	ok := []string{
+		"SELECT * FROM t WHERE a = 1e5",
+		"SELECT * FROM t WHERE a = 1.5E-3",
+		"SELECT * FROM t WHERE a = .5",
+		"SELECT * FROM t WHERE a = -2",
+	}
+	for _, src := range ok {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	if _, err := Parse("SELECT * FROM t WHERE a = ."); err == nil {
+		t.Error("bare dot must error")
+	}
+}
+
+func TestParseBinGroupBy(t *testing.T) {
+	stmt, err := Parse("SELECT bin(price, 10) AS bucket, COUNT(*) FROM t GROUP BY bin(price, 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Items[0].Column != "price" || stmt.Items[0].BinWidth != 10 || stmt.Items[0].Alias != "bucket" {
+		t.Errorf("select item = %+v", stmt.Items[0])
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "price" || stmt.GroupBy[0].BinWidth != 10 {
+		t.Errorf("group by = %+v", stmt.GroupBy)
+	}
+	// Renders back and re-parses.
+	rendered := stmt.String()
+	if !strings.Contains(rendered, "bin(price, 10)") {
+		t.Errorf("String() = %q", rendered)
+	}
+	if _, err := Parse(rendered); err != nil {
+		t.Errorf("re-parse of %q: %v", rendered, err)
+	}
+	// Errors.
+	bad := []string{
+		"SELECT bin(price) FROM t",
+		"SELECT bin(price, 0) FROM t",
+		"SELECT bin(price, -5) FROM t",
+		"SELECT bin(price, x) FROM t",
+		"SELECT COUNT(*) FROM t GROUP BY bin(price 10)",
+		"SELECT COUNT(*) FROM t GROUP BY bin(price,",
+		"SELECT COUNT(*) FROM t GROUP BY where",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestParseInNullLiteral(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE a = NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stmt.Where.(*engine.ComparePred)
+	if !cp.Value.Null {
+		t.Error("NULL literal should parse to null value")
+	}
+}

@@ -1,0 +1,358 @@
+// Package stats implements SeeDB's Metadata Collector (paper §3.1):
+// per-column statistics (distinct counts, null counts, numeric moments,
+// entropy), pairwise correlation between dimension attributes (Cramér's
+// V over contingency tables), and correlation clustering. The pruning
+// strategies in internal/core consume these statistics together with
+// the access-pattern counters kept by the engine catalog.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"seedb/internal/engine"
+)
+
+// ValueCount is one (value, frequency) pair.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Name     string
+	Type     engine.Type
+	Rows     int
+	Nulls    int
+	Distinct int // distinct non-null values
+
+	// Numeric moments; valid when Type is numeric and Distinct > 0.
+	Min      float64
+	Max      float64
+	Mean     float64
+	Variance float64
+
+	// Entropy is the Shannon entropy (nats) of the value-frequency
+	// distribution; NormEntropy = Entropy / ln(Distinct) lies in [0,1]
+	// and is 0 when Distinct <= 1. SeeDB's variance-based pruning uses
+	// NormEntropy for categorical dimensions ("consider the extreme
+	// case where an attribute only takes a single value").
+	Entropy     float64
+	NormEntropy float64
+
+	// TopValues holds the most frequent values (up to 5), for the
+	// frontend's per-view metadata pane.
+	TopValues []ValueCount
+}
+
+// IsDimension reports whether the column can act as a grouping
+// attribute: strings, ints and timestamps with at most maxDistinct
+// distinct values.
+func (c *ColumnStats) IsDimension(maxDistinct int) bool {
+	switch c.Type {
+	case engine.TypeString, engine.TypeInt, engine.TypeTime:
+		return c.Distinct > 0 && c.Distinct <= maxDistinct
+	default:
+		return false
+	}
+}
+
+// IsMeasure reports whether the column can act as an aggregation
+// measure (numeric).
+func (c *ColumnStats) IsMeasure() bool { return c.Type.Numeric() }
+
+// TableStats summarizes a table.
+type TableStats struct {
+	Table   string
+	Rows    int
+	Columns map[string]*ColumnStats
+}
+
+// Column returns stats for the named column or an error.
+func (t *TableStats) Column(name string) (*ColumnStats, error) {
+	c, ok := t.Columns[name]
+	if !ok {
+		return nil, fmt.Errorf("stats: no statistics for column %q of table %q", name, t.Table)
+	}
+	return c, nil
+}
+
+// valueKey returns a lossless string key for a non-null value.
+// Value.Format truncates timestamps to seconds, which would collapse
+// distinct sub-second values.
+func valueKey(v engine.Value) string {
+	if v.Kind == engine.TypeTime {
+		return fmt.Sprintf("t%d", v.I)
+	}
+	return v.Format()
+}
+
+// Collect computes statistics for every column of the table in one
+// pass per column.
+func Collect(t *engine.Table) *TableStats {
+	ts := &TableStats{Table: t.Name(), Rows: t.NumRows(), Columns: map[string]*ColumnStats{}}
+	for i := 0; i < t.NumCols(); i++ {
+		col := t.ColumnAt(i)
+		ts.Columns[col.Name()] = collectColumn(col)
+	}
+	return ts
+}
+
+func collectColumn(col engine.Column) *ColumnStats {
+	cs := &ColumnStats{Name: col.Name(), Type: col.Type(), Rows: col.Len()}
+	counts := map[string]int{} // value label -> count
+	var sum, sumsq float64
+	numericSeen := 0
+	for row := 0; row < col.Len(); row++ {
+		if col.IsNull(row) {
+			cs.Nulls++
+			continue
+		}
+		v := col.Value(row)
+		counts[valueKey(v)]++
+		if f, ok := v.AsFloat(); ok {
+			if numericSeen == 0 || f < cs.Min {
+				cs.Min = f
+			}
+			if numericSeen == 0 || f > cs.Max {
+				cs.Max = f
+			}
+			sum += f
+			sumsq += f * f
+			numericSeen++
+		} else if col.Type() == engine.TypeTime {
+			f := float64(v.I)
+			if numericSeen == 0 || f < cs.Min {
+				cs.Min = f
+			}
+			if numericSeen == 0 || f > cs.Max {
+				cs.Max = f
+			}
+			numericSeen++
+		}
+	}
+	cs.Distinct = len(counts)
+	if numericSeen > 0 && col.Type().Numeric() {
+		n := float64(numericSeen)
+		cs.Mean = sum / n
+		cs.Variance = sumsq/n - cs.Mean*cs.Mean
+		if cs.Variance < 0 {
+			cs.Variance = 0
+		}
+	}
+	nonNull := cs.Rows - cs.Nulls
+	if nonNull > 0 {
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / float64(nonNull)
+			h -= p * math.Log(p)
+		}
+		cs.Entropy = h
+		if cs.Distinct > 1 {
+			cs.NormEntropy = h / math.Log(float64(cs.Distinct))
+		}
+	}
+	// Top values, by count desc then label asc for determinism.
+	top := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		top = append(top, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Value < top[j].Value
+	})
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	cs.TopValues = top
+	return cs
+}
+
+// ---------------------------------------------------------------------
+// Correlation
+
+// categoryCodes maps a column's values to dense category codes
+// (-1 for NULL) plus the category count. String columns reuse their
+// dictionary; other types build an ad-hoc dictionary.
+func categoryCodes(col engine.Column) ([]int32, int) {
+	if sc, ok := col.(*engine.StringColumn); ok {
+		return sc.Codes(), sc.Cardinality()
+	}
+	codes := make([]int32, col.Len())
+	index := map[string]int32{}
+	for row := 0; row < col.Len(); row++ {
+		if col.IsNull(row) {
+			codes[row] = -1
+			continue
+		}
+		label := valueKey(col.Value(row))
+		code, ok := index[label]
+		if !ok {
+			code = int32(len(index))
+			index[label] = code
+		}
+		codes[row] = code
+	}
+	return codes, len(index)
+}
+
+// CramersV computes Cramér's V ∈ [0,1] between two columns treated as
+// categorical variables, over rows where both are non-null. V near 1
+// means the attributes are nearly determined by each other (the
+// paper's airport-name / airport-abbreviation example); SeeDB prunes
+// all but one attribute of such a cluster.
+func CramersV(t *engine.Table, a, b string) (float64, error) {
+	ca, err := t.Column(a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := t.Column(b)
+	if err != nil {
+		return 0, err
+	}
+	codesA, cardA := categoryCodes(ca)
+	codesB, cardB := categoryCodes(cb)
+	if cardA == 0 || cardB == 0 {
+		return 0, nil
+	}
+	cont := make([]int, cardA*cardB)
+	rowTot := make([]int, cardA)
+	colTot := make([]int, cardB)
+	n := 0
+	for row := 0; row < len(codesA); row++ {
+		i, j := codesA[row], codesB[row]
+		if i < 0 || j < 0 {
+			continue
+		}
+		cont[int(i)*cardB+int(j)]++
+		rowTot[i]++
+		colTot[j]++
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	minDim := cardA
+	if cardB < minDim {
+		minDim = cardB
+	}
+	if minDim <= 1 {
+		return 0, nil // degenerate: one side is constant
+	}
+	chi2 := 0.0
+	for i := 0; i < cardA; i++ {
+		if rowTot[i] == 0 {
+			continue
+		}
+		for j := 0; j < cardB; j++ {
+			if colTot[j] == 0 {
+				continue
+			}
+			expected := float64(rowTot[i]) * float64(colTot[j]) / float64(n)
+			d := float64(cont[i*cardB+j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	v := math.Sqrt(chi2 / (float64(n) * float64(minDim-1)))
+	if v > 1 { // numerical safety
+		v = 1
+	}
+	return v, nil
+}
+
+// CorrelationClusters groups the given columns so that any pair with
+// Cramér's V ≥ threshold lands in the same cluster (transitively, via
+// union-find). Clusters and their members are returned sorted by name
+// for determinism.
+func CorrelationClusters(t *engine.Table, cols []string, threshold float64) ([][]string, error) {
+	parent := make(map[string]string, len(cols))
+	for _, c := range cols {
+		parent[c] = c
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			v, err := CramersV(t, cols[i], cols[j])
+			if err != nil {
+				return nil, err
+			}
+			if v >= threshold {
+				union(cols[i], cols[j])
+			}
+		}
+	}
+	groups := map[string][]string{}
+	for _, c := range cols {
+		root := find(c)
+		groups[root] = append(groups[root], c)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Collector: cached table statistics
+
+// Collector caches TableStats per table, the way SeeDB's metadata
+// collector amortizes metadata queries across requests.
+type Collector struct {
+	mu    sync.Mutex
+	cache map[string]*TableStats
+}
+
+// NewCollector returns an empty stats cache.
+func NewCollector() *Collector {
+	return &Collector{cache: map[string]*TableStats{}}
+}
+
+// Stats returns (computing and caching on first use) the statistics
+// for a table. The cache key is the table name plus row count, so an
+// appended-to table is re-collected automatically.
+func (c *Collector) Stats(t *engine.Table) *TableStats {
+	key := fmt.Sprintf("%s#%d", t.Name(), t.NumRows())
+	c.mu.Lock()
+	if ts, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return ts
+	}
+	c.mu.Unlock()
+	ts := Collect(t)
+	c.mu.Lock()
+	c.cache[key] = ts
+	c.mu.Unlock()
+	return ts
+}
+
+// Invalidate drops cached stats for a table (all tables when name is
+// empty).
+func (c *Collector) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "" {
+		c.cache = map[string]*TableStats{}
+		return
+	}
+	for key := range c.cache {
+		if len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '#' {
+			delete(c.cache, key)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+func statsTable(t *testing.T) *engine.Table {
+	t.Helper()
+	tb := engine.MustNewTable("t", engine.Schema{
+		{Name: "city", Type: engine.TypeString},
+		{Name: "city_abbrev", Type: engine.TypeString}, // perfectly correlated with city
+		{Name: "constant", Type: engine.TypeString},    // single value
+		{Name: "rand_dim", Type: engine.TypeString},    // independent of city
+		{Name: "amount", Type: engine.TypeFloat},
+		{Name: "qty", Type: engine.TypeInt},
+	})
+	cities := []string{"Boston", "Seattle", "NewYork", "SanFrancisco"}
+	abbrevs := []string{"BOS", "SEA", "NYC", "SFO"}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		c := rng.Intn(len(cities))
+		r := fmt.Sprintf("r%d", rng.Intn(5))
+		var amount engine.Value
+		if i%100 == 0 {
+			amount = engine.NullValue(engine.TypeFloat)
+		} else {
+			amount = engine.Float(float64(i % 10))
+		}
+		if err := tb.AppendRow(
+			engine.String(cities[c]), engine.String(abbrevs[c]), engine.String("only"),
+			engine.String(r), amount, engine.Int(int64(i%7)),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestCollectBasics(t *testing.T) {
+	tb := statsTable(t)
+	ts := Collect(tb)
+	if ts.Rows != 1000 || ts.Table != "t" {
+		t.Fatalf("table stats header wrong: %+v", ts)
+	}
+	city, err := ts.Column("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.Distinct != 4 || city.Nulls != 0 {
+		t.Errorf("city stats: %+v", city)
+	}
+	if city.NormEntropy < 0.9 {
+		t.Errorf("city is near-uniform over 4 values; NormEntropy = %v", city.NormEntropy)
+	}
+	cons, _ := ts.Column("constant")
+	if cons.Distinct != 1 || cons.NormEntropy != 0 || cons.Entropy != 0 {
+		t.Errorf("constant column stats: %+v", cons)
+	}
+	amount, _ := ts.Column("amount")
+	if amount.Nulls != 10 {
+		t.Errorf("amount nulls = %d, want 10", amount.Nulls)
+	}
+	if amount.Min != 0 || amount.Max != 9 {
+		t.Errorf("amount range = [%v,%v]", amount.Min, amount.Max)
+	}
+	if amount.Mean < 4 || amount.Mean > 5.2 {
+		t.Errorf("amount mean = %v", amount.Mean)
+	}
+	if amount.Variance <= 0 {
+		t.Errorf("amount variance = %v", amount.Variance)
+	}
+	if _, err := ts.Column("nope"); err == nil {
+		t.Error("missing column must error")
+	}
+}
+
+func TestCollectTopValues(t *testing.T) {
+	tb := engine.MustNewTable("top", engine.Schema{{Name: "s", Type: engine.TypeString}})
+	for i := 0; i < 6; i++ {
+		_ = tb.AppendRow(engine.String("common"))
+	}
+	for _, s := range []string{"a", "a", "b", "c", "d", "e", "f"} {
+		_ = tb.AppendRow(engine.String(s))
+	}
+	cs, _ := Collect(tb).Column("s")
+	if len(cs.TopValues) != 5 {
+		t.Fatalf("TopValues len = %d, want capped at 5", len(cs.TopValues))
+	}
+	if cs.TopValues[0].Value != "common" || cs.TopValues[0].Count != 6 {
+		t.Errorf("top value = %+v", cs.TopValues[0])
+	}
+	if cs.TopValues[1].Value != "a" || cs.TopValues[1].Count != 2 {
+		t.Errorf("second value = %+v", cs.TopValues[1])
+	}
+}
+
+func TestCollectTimeColumn(t *testing.T) {
+	tb := engine.MustNewTable("tt", engine.Schema{{Name: "ts", Type: engine.TypeTime}})
+	_ = tb.AppendRow(engine.Value{Kind: engine.TypeTime, I: 100})
+	_ = tb.AppendRow(engine.Value{Kind: engine.TypeTime, I: 300})
+	cs, _ := Collect(tb).Column("ts")
+	if cs.Min != 100 || cs.Max != 300 {
+		t.Errorf("time range = [%v,%v]", cs.Min, cs.Max)
+	}
+	if cs.Distinct != 2 {
+		t.Errorf("distinct = %d", cs.Distinct)
+	}
+}
+
+func TestIsDimensionAndMeasure(t *testing.T) {
+	tb := statsTable(t)
+	ts := Collect(tb)
+	city, _ := ts.Column("city")
+	if !city.IsDimension(100) {
+		t.Error("city should be a dimension")
+	}
+	if city.IsDimension(3) {
+		t.Error("city exceeds maxDistinct 3")
+	}
+	if city.IsMeasure() {
+		t.Error("city is not a measure")
+	}
+	amount, _ := ts.Column("amount")
+	if !amount.IsMeasure() {
+		t.Error("amount should be a measure")
+	}
+	if amount.IsDimension(1000) {
+		t.Error("float columns are not dimensions")
+	}
+	qty, _ := ts.Column("qty")
+	if !qty.IsDimension(100) || !qty.IsMeasure() {
+		t.Error("int columns are both dimension candidates and measures")
+	}
+}
+
+func TestCramersVPerfectCorrelation(t *testing.T) {
+	tb := statsTable(t)
+	v, err := CramersV(tb, "city", "city_abbrev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("V(city, abbrev) = %v, want 1 (bijective)", v)
+	}
+}
+
+func TestCramersVIndependence(t *testing.T) {
+	tb := statsTable(t)
+	v, err := CramersV(tb, "city", "rand_dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.2 {
+		t.Errorf("V(city, rand_dim) = %v, want near 0 (independent)", v)
+	}
+}
+
+func TestCramersVDegenerate(t *testing.T) {
+	tb := statsTable(t)
+	v, err := CramersV(tb, "city", "constant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("V against constant = %v, want 0 (degenerate)", v)
+	}
+	if _, err := CramersV(tb, "city", "missing"); err == nil {
+		t.Error("missing column must error")
+	}
+	if _, err := CramersV(tb, "missing", "city"); err == nil {
+		t.Error("missing column must error")
+	}
+}
+
+func TestCramersVAllNull(t *testing.T) {
+	tb := engine.MustNewTable("n", engine.Schema{
+		{Name: "a", Type: engine.TypeString},
+		{Name: "b", Type: engine.TypeString},
+	})
+	_ = tb.AppendRow(engine.NullValue(engine.TypeString), engine.String("x"))
+	_ = tb.AppendRow(engine.String("y"), engine.NullValue(engine.TypeString))
+	v, err := CramersV(tb, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("V with no overlapping rows = %v", v)
+	}
+}
+
+func TestCramersVNonStringColumns(t *testing.T) {
+	tb := engine.MustNewTable("n", engine.Schema{
+		{Name: "i", Type: engine.TypeInt},
+		{Name: "j", Type: engine.TypeInt},
+	})
+	for k := 0; k < 200; k++ {
+		_ = tb.AppendRow(engine.Int(int64(k%4)), engine.Int(int64((k%4)*10)))
+	}
+	v, err := CramersV(tb, "i", "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Errorf("V of deterministic int mapping = %v, want 1", v)
+	}
+}
+
+func TestCorrelationClusters(t *testing.T) {
+	tb := statsTable(t)
+	clusters, err := CorrelationClusters(tb, []string{"city", "city_abbrev", "rand_dim", "constant"}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// city+city_abbrev together; rand_dim alone; constant alone.
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v, want 3", clusters)
+	}
+	found := false
+	for _, c := range clusters {
+		if len(c) == 2 && c[0] == "city" && c[1] == "city_abbrev" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected {city, city_abbrev} cluster, got %v", clusters)
+	}
+	if _, err := CorrelationClusters(tb, []string{"city", "missing"}, 0.9); err == nil {
+		t.Error("missing column must error")
+	}
+	// Threshold 0 unions everything (V >= 0 always).
+	all, err := CorrelationClusters(tb, []string{"city", "rand_dim"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Errorf("threshold 0 should produce one cluster, got %v", all)
+	}
+}
+
+func TestCollectorCache(t *testing.T) {
+	tb := statsTable(t)
+	c := NewCollector()
+	s1 := c.Stats(tb)
+	s2 := c.Stats(tb)
+	if s1 != s2 {
+		t.Error("second Stats call should hit the cache")
+	}
+	// Appending rows changes the cache key.
+	_ = tb.AppendRow(engine.String("X"), engine.String("X"), engine.String("only"),
+		engine.String("r0"), engine.Float(1), engine.Int(1))
+	s3 := c.Stats(tb)
+	if s3 == s1 {
+		t.Error("stats must refresh after growth")
+	}
+	if s3.Rows != s1.Rows+1 {
+		t.Errorf("refreshed rows = %d", s3.Rows)
+	}
+	c.Invalidate(tb.Name())
+	s4 := c.Stats(tb)
+	if s4 == s3 {
+		t.Error("invalidate should drop the cache entry")
+	}
+	c.Invalidate("")
+	s5 := c.Stats(tb)
+	if s5 == s4 {
+		t.Error("invalidate-all should drop everything")
+	}
+}
+
+func TestEntropyUniformVsSkewed(t *testing.T) {
+	mk := func(name string, counts []int) *engine.Table {
+		tb := engine.MustNewTable(name, engine.Schema{{Name: "s", Type: engine.TypeString}})
+		for v, c := range counts {
+			for i := 0; i < c; i++ {
+				_ = tb.AppendRow(engine.String(fmt.Sprintf("v%d", v)))
+			}
+		}
+		return tb
+	}
+	uniform, _ := Collect(mk("u", []int{25, 25, 25, 25})).Column("s")
+	skewed, _ := Collect(mk("s", []int{97, 1, 1, 1})).Column("s")
+	if uniform.NormEntropy < 0.999 {
+		t.Errorf("uniform NormEntropy = %v, want 1", uniform.NormEntropy)
+	}
+	if skewed.NormEntropy >= uniform.NormEntropy {
+		t.Errorf("skewed entropy %v should be below uniform %v", skewed.NormEntropy, uniform.NormEntropy)
+	}
+}

@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII renders the chart as a fixed-width terminal visualization.
+// Bar and table types render paired horizontal bars (█ target, ░
+// comparison); line charts render a compact two-row sparkline plus the
+// same bars, since terminals have no better line primitive.
+func (s Spec) ASCII(width int) string {
+	if width < 40 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	if s.Subtitle != "" {
+		fmt.Fprintf(&b, "%s\n", s.Subtitle)
+	}
+	if len(s.Keys) == 0 || len(s.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	if s.Type == LineChart {
+		for _, ser := range s.Series {
+			fmt.Fprintf(&b, "%-14s %s\n", truncate(ser.Name, 14), sparkline(ser.Values))
+		}
+	}
+
+	labelW := 0
+	for _, k := range s.Keys {
+		if len(k) > labelW {
+			labelW = len(k)
+		}
+	}
+	if labelW > 24 {
+		labelW = 24
+	}
+	barW := width - labelW - 14
+	if barW < 10 {
+		barW = 10
+	}
+	span := s.maxValue() - math.Min(0, s.minValue())
+	if span == 0 {
+		span = 1
+	}
+	for i, k := range s.Keys {
+		for si, ser := range s.Series {
+			if i >= len(ser.Values) {
+				continue
+			}
+			v := ser.Values[i]
+			n := int(math.Abs(v) / span * float64(barW))
+			if n > barW {
+				n = barW
+			}
+			glyph := "█"
+			if si > 0 {
+				glyph = "░"
+			}
+			label := ""
+			if si == 0 {
+				label = truncate(k, labelW)
+			}
+			sign := ""
+			if v < 0 {
+				sign = "-"
+			}
+			fmt.Fprintf(&b, "%-*s %s%s %s%.4g\n", labelW, label, sign, strings.Repeat(glyph, n), sign, math.Abs(v))
+		}
+	}
+	names := make([]string, len(s.Series))
+	for i, ser := range s.Series {
+		glyph := "█"
+		if i > 0 {
+			glyph = "░"
+		}
+		names[i] = glyph + " " + ser.Name
+	}
+	fmt.Fprintf(&b, "(%s)\n", strings.Join(names, "  "))
+	return b.String()
+}
+
+// sparkline renders values as a row of eighth-block glyphs.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}

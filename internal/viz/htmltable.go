@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// HTMLTable renders the spec as a compact HTML table — the fallback
+// presentation for dimensions with too many groups to chart (the
+// paper's frontend likewise falls back to tabular display for views
+// that don't visualize well). Rows are the keys; one column per
+// series; the largest per-row series value gets an inline data bar so
+// relative magnitude still reads at a glance. All content is escaped.
+func (s Spec) HTMLTable(maxRows int) string {
+	if maxRows <= 0 {
+		maxRows = 50
+	}
+	var b strings.Builder
+	b.WriteString(`<table class="seedb-table">`)
+	fmt.Fprintf(&b, `<caption>%s`, html.EscapeString(s.Title))
+	if s.Subtitle != "" {
+		fmt.Fprintf(&b, ` <small>%s</small>`, html.EscapeString(s.Subtitle))
+	}
+	b.WriteString(`</caption>`)
+	b.WriteString(`<thead><tr><th>` + html.EscapeString(orDefault(s.XLabel, "group")) + `</th>`)
+	for _, ser := range s.Series {
+		fmt.Fprintf(&b, `<th>%s</th>`, html.EscapeString(ser.Name))
+	}
+	b.WriteString(`</tr></thead><tbody>`)
+
+	max := s.maxValue()
+	if max <= 0 {
+		max = 1
+	}
+	n := len(s.Keys)
+	truncated := false
+	if n > maxRows {
+		n, truncated = maxRows, true
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<tr><td>%s</td>`, html.EscapeString(s.Keys[i]))
+		for _, ser := range s.Series {
+			v := 0.0
+			if i < len(ser.Values) {
+				v = ser.Values[i]
+			}
+			pct := math.Abs(v) / max * 100
+			if pct > 100 {
+				pct = 100
+			}
+			fmt.Fprintf(&b,
+				`<td><span class="bar" style="display:inline-block;background:#cfe3f3;width:%.0f%%">&#8203;</span> %s</td>`,
+				pct, html.EscapeString(formatCell(v)))
+		}
+		b.WriteString(`</tr>`)
+	}
+	b.WriteString(`</tbody>`)
+	if truncated {
+		fmt.Fprintf(&b, `<tfoot><tr><td colspan="%d">… %d more groups</td></tr></tfoot>`,
+			len(s.Series)+1, len(s.Keys)-n)
+	}
+	b.WriteString(`</table>`)
+	return b.String()
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func formatCell(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case a == math.Trunc(a):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,194 @@
+// Package viz turns SeeDB view data into visualizations. It implements
+// the frontend rule set the paper describes in §3.2: "the frontend
+// creates a visualization based on parameters such as the data type
+// (e.g. ordinal, numeric), number of distinct values, and semantics
+// (e.g. geography vs. time series)". Rendering targets are ASCII (for
+// the CLI) and SVG (for the web frontend); both are dependency-free.
+package viz
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"seedb/internal/core"
+)
+
+// ChartType is the visualization family chosen for a view.
+type ChartType int
+
+const (
+	// BarChart suits nominal dimensions with modest cardinality.
+	BarChart ChartType = iota
+	// LineChart suits ordinal/temporal dimensions (months, years,
+	// numeric buckets) where the x-order is meaningful.
+	LineChart
+	// TableChart is the fallback for very high-cardinality dimensions
+	// where marks would be unreadable.
+	TableChart
+)
+
+// String names the chart type.
+func (c ChartType) String() string {
+	switch c {
+	case BarChart:
+		return "bar"
+	case LineChart:
+		return "line"
+	case TableChart:
+		return "table"
+	default:
+		return fmt.Sprintf("ChartType(%d)", int(c))
+	}
+}
+
+// Series is one named sequence of y-values aligned with the Spec keys.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Spec is a renderable chart: keys on x, one or more series on y.
+type Spec struct {
+	Title    string
+	Subtitle string
+	XLabel   string
+	YLabel   string
+	Type     ChartType
+	Keys     []string
+	Series   []Series
+}
+
+// maxBarKeys is the cardinality beyond which bar charts degrade to
+// tables.
+const maxBarKeys = 40
+
+// monthNames recognizes month-like ordinal labels.
+var monthNames = map[string]bool{
+	"jan": true, "feb": true, "mar": true, "apr": true, "may": true,
+	"jun": true, "jul": true, "aug": true, "sep": true, "oct": true,
+	"nov": true, "dec": true,
+	"january": true, "february": true, "march": true, "april": true,
+	"june": true, "july": true, "august": true, "september": true,
+	"october": true, "november": true, "december": true,
+	"q1": true, "q2": true, "q3": true, "q4": true,
+}
+
+// ChooseType picks a chart family from the key labels, mirroring the
+// paper's "data type, number of distinct values, and semantics" rules:
+// numeric or temporal keys → line; small nominal domains → bar; large
+// domains → table.
+func ChooseType(keys []string) ChartType {
+	if len(keys) == 0 {
+		return TableChart
+	}
+	ordinal := true
+	for _, k := range keys {
+		if !looksOrdinal(k) {
+			ordinal = false
+			break
+		}
+	}
+	if ordinal && len(keys) >= 3 {
+		return LineChart
+	}
+	if len(keys) <= maxBarKeys {
+		return BarChart
+	}
+	return TableChart
+}
+
+// looksOrdinal reports whether a group label carries an intrinsic
+// order: a number, a timestamp, a month/quarter name, or a
+// "01-Jan"-style sortable prefix.
+func looksOrdinal(key string) bool {
+	k := strings.TrimSpace(key)
+	if k == "" || k == "NULL" {
+		return false
+	}
+	if _, err := strconv.ParseFloat(k, 64); err == nil {
+		return true
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02", "2006-01", "2006"} {
+		if _, err := time.Parse(layout, k); err == nil {
+			return true
+		}
+	}
+	lower := strings.ToLower(k)
+	if monthNames[lower] {
+		return true
+	}
+	// "01-Jan" style: numeric prefix + month suffix.
+	if i := strings.IndexAny(k, "-_/ "); i > 0 {
+		if _, err := strconv.Atoi(k[:i]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// FromViewData builds a two-series chart (target vs comparison) from a
+// scored SeeDB view. When normalized is true the probability
+// distributions are plotted (what the utility metric saw); otherwise
+// the raw aggregate values.
+func FromViewData(d *core.ViewData, normalized bool) Spec {
+	spec := Spec{
+		Title:    d.View.String(),
+		Subtitle: fmt.Sprintf("utility %.4f", d.Utility),
+		XLabel:   d.View.Dimension,
+		YLabel:   ylabel(d, normalized),
+		Type:     ChooseType(d.Keys),
+		Keys:     d.Keys,
+	}
+	if normalized {
+		spec.Series = []Series{
+			{Name: "query subset", Values: d.Target},
+			{Name: "overall", Values: d.Comparison},
+		}
+	} else {
+		spec.Series = []Series{
+			{Name: "query subset", Values: d.TargetRaw},
+			{Name: "overall", Values: d.ComparisonRaw},
+		}
+	}
+	return spec
+}
+
+func ylabel(d *core.ViewData, normalized bool) string {
+	m := d.View.Measure
+	if m == "" {
+		m = "*"
+	}
+	label := fmt.Sprintf("%s(%s)", d.View.Func, m)
+	if normalized {
+		return "P[" + label + "]"
+	}
+	return label
+}
+
+// maxValue returns the largest value across all series (0 floor).
+func (s Spec) maxValue() float64 {
+	max := 0.0
+	for _, ser := range s.Series {
+		for _, v := range ser.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// minValue returns the smallest value across all series (0 ceiling).
+func (s Spec) minValue() float64 {
+	min := 0.0
+	for _, ser := range s.Series {
+		for _, v := range ser.Values {
+			if v < min {
+				min = v
+			}
+		}
+	}
+	return min
+}

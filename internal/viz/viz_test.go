@@ -1,0 +1,281 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"seedb/internal/core"
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+)
+
+func sampleViewData() *core.ViewData {
+	return &core.ViewData{
+		View:          core.View{Dimension: "store", Measure: "amount", Func: engine.AggSum},
+		Keys:          []string{"Cambridge, MA", "New York, NY", "San Francisco, CA", "Seattle, WA"},
+		TargetRaw:     []float64{180.55, 122.00, 90.13, 145.50},
+		ComparisonRaw: []float64{10000, 33000, 40000, 28000},
+		Target:        distance.Normalize([]float64{180.55, 122.00, 90.13, 145.50}),
+		Comparison:    distance.Normalize([]float64{10000, 33000, 40000, 28000}),
+		Utility:       0.42,
+	}
+}
+
+func TestChooseType(t *testing.T) {
+	cases := []struct {
+		keys []string
+		want ChartType
+	}{
+		{[]string{"Boston", "Seattle"}, BarChart},
+		{[]string{"Jan", "Feb", "Mar"}, LineChart},
+		{[]string{"01-Jan", "02-Feb", "03-Mar"}, LineChart},
+		{[]string{"1", "2", "3", "4"}, LineChart},
+		{[]string{"2014-01-02", "2014-02-02", "2014-03-02"}, LineChart},
+		{[]string{"Q1", "Q2", "Q3", "Q4"}, LineChart},
+		{[]string{"1", "2"}, BarChart}, // too few points for a line
+		{nil, TableChart},
+		{[]string{"NULL", "a"}, BarChart},
+	}
+	for _, tc := range cases {
+		if got := ChooseType(tc.keys); got != tc.want {
+			t.Errorf("ChooseType(%v) = %v, want %v", tc.keys, got, tc.want)
+		}
+	}
+	// > maxBarKeys nominal values → table.
+	var many []string
+	for i := 0; i < maxBarKeys+1; i++ {
+		many = append(many, strings.Repeat("x", i+1))
+	}
+	if got := ChooseType(many); got != TableChart {
+		t.Errorf("huge nominal domain = %v, want table", got)
+	}
+}
+
+func TestChartTypeString(t *testing.T) {
+	if BarChart.String() != "bar" || LineChart.String() != "line" || TableChart.String() != "table" {
+		t.Error("chart type names wrong")
+	}
+	if ChartType(9).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func TestFromViewData(t *testing.T) {
+	d := sampleViewData()
+	spec := FromViewData(d, true)
+	if spec.Title != "SUM(amount) BY store" {
+		t.Errorf("title = %q", spec.Title)
+	}
+	if !strings.Contains(spec.Subtitle, "0.42") {
+		t.Errorf("subtitle = %q", spec.Subtitle)
+	}
+	if spec.Type != BarChart {
+		t.Errorf("type = %v", spec.Type)
+	}
+	if len(spec.Series) != 2 || len(spec.Series[0].Values) != 4 {
+		t.Fatalf("series shape wrong: %+v", spec.Series)
+	}
+	if spec.YLabel != "P[SUM(amount)]" {
+		t.Errorf("normalized ylabel = %q", spec.YLabel)
+	}
+	raw := FromViewData(d, false)
+	if raw.YLabel != "SUM(amount)" {
+		t.Errorf("raw ylabel = %q", raw.YLabel)
+	}
+	if raw.Series[0].Values[0] != 180.55 {
+		t.Errorf("raw values not used: %v", raw.Series[0].Values)
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	spec := FromViewData(sampleViewData(), true)
+	out := spec.ASCII(80)
+	for _, frag := range []string{"SUM(amount) BY store", "Cambridge, MA", "█", "░", "query subset", "overall"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ASCII output missing %q:\n%s", frag, out)
+		}
+	}
+	// Every line must fit the width roughly (labels + bars + value).
+	for _, line := range strings.Split(out, "\n") {
+		if len([]rune(line)) > 100 {
+			t.Errorf("line too wide: %q", line)
+		}
+	}
+	// Degenerate spec.
+	empty := Spec{Title: "t"}
+	if !strings.Contains(empty.ASCII(80), "(no data)") {
+		t.Error("empty spec should say no data")
+	}
+	// Tiny width is clamped.
+	_ = spec.ASCII(1)
+}
+
+func TestASCIILineChartSparkline(t *testing.T) {
+	spec := Spec{
+		Title: "months",
+		Type:  LineChart,
+		Keys:  []string{"Jan", "Feb", "Mar"},
+		Series: []Series{
+			{Name: "s", Values: []float64{1, 2, 3}},
+		},
+	}
+	out := spec.ASCII(60)
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("line chart should include sparkline:\n%s", out)
+	}
+}
+
+func TestASCIINegativeValues(t *testing.T) {
+	spec := Spec{
+		Title: "profit",
+		Type:  BarChart,
+		Keys:  []string{"Central", "West"},
+		Series: []Series{
+			{Name: "profit", Values: []float64{-500, 300}},
+		},
+	}
+	out := spec.ASCII(60)
+	if !strings.Contains(out, "-") {
+		t.Errorf("negative values must be signed:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	s := sparkline([]float64{0, 1})
+	r := []rune(s)
+	if len(r) != 2 || r[0] == r[1] {
+		t.Errorf("sparkline = %q", s)
+	}
+	flat := []rune(sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Error("flat series should render uniformly")
+	}
+}
+
+func TestSVGRender(t *testing.T) {
+	spec := FromViewData(sampleViewData(), false)
+	out := spec.SVG(480, 320)
+	for _, frag := range []string{"<svg", "</svg>", "<rect", "SUM(amount) BY store", "query subset", "overall"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// Key labels must be escaped-safe; inject a hostile key.
+	spec.Keys[0] = `<script>alert(1)</script>`
+	out = spec.SVG(480, 320)
+	if strings.Contains(out, "<script>") {
+		t.Error("SVG must escape labels")
+	}
+}
+
+func TestSVGLineChart(t *testing.T) {
+	spec := Spec{
+		Title:  "trend",
+		Type:   LineChart,
+		Keys:   []string{"Jan", "Feb", "Mar", "Apr"},
+		Series: []Series{{Name: "a", Values: []float64{1, 3, 2, 5}}},
+	}
+	out := spec.SVG(400, 300)
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "<circle") {
+		t.Error("line chart should render polyline + markers")
+	}
+}
+
+func TestSVGEmptyAndClamped(t *testing.T) {
+	empty := Spec{Title: "x"}
+	if !strings.Contains(empty.SVG(400, 300), "(no data)") {
+		t.Error("empty spec should say no data")
+	}
+	tiny := FromViewData(sampleViewData(), true).SVG(1, 1)
+	if !strings.Contains(tiny, "<svg") {
+		t.Error("tiny sizes must clamp, not fail")
+	}
+}
+
+func TestSVGNegativeBars(t *testing.T) {
+	spec := Spec{
+		Title:  "profit",
+		Type:   BarChart,
+		Keys:   []string{"a", "b"},
+		Series: []Series{{Name: "p", Values: []float64{-10, 20}}},
+	}
+	out := spec.SVG(300, 200)
+	if !strings.Contains(out, "<rect") {
+		t.Error("negative bars must render")
+	}
+}
+
+func TestHTMLTable(t *testing.T) {
+	spec := FromViewData(sampleViewData(), false)
+	out := spec.HTMLTable(50)
+	for _, frag := range []string{"<table", "</table>", "Cambridge, MA", "query subset", "overall", "<caption>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("HTML table missing %q", frag)
+		}
+	}
+	// Escaping.
+	spec.Keys[0] = `<img src=x onerror=alert(1)>`
+	out = spec.HTMLTable(50)
+	if strings.Contains(out, "<img") {
+		t.Error("HTML table must escape keys")
+	}
+	// Truncation.
+	big := Spec{Title: "t", Keys: make([]string, 100), Series: []Series{{Name: "s", Values: make([]float64, 100)}}}
+	for i := range big.Keys {
+		big.Keys[i] = fmt.Sprintf("k%d", i)
+	}
+	out = big.HTMLTable(10)
+	if !strings.Contains(out, "90 more groups") {
+		t.Errorf("truncation footer missing:\n%s", out)
+	}
+	// Default row cap.
+	_ = big.HTMLTable(0)
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1.2345:  "1.234",
+		2.5e6:   "2.5e+06",
+		0.00005: "5e-05",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		2_500_000: "2.5M",
+		1500:      "1.5k",
+		0.25:      "0.25",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if !strings.Contains(fmtTick(0.0001), "e") {
+		t.Error("tiny ticks should use scientific notation")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("hello", 10) != "hello" {
+		t.Error("short strings unchanged")
+	}
+	if got := truncate("hello world", 6); len(got) > 8 { // utf8 ellipsis
+		t.Errorf("truncate = %q", got)
+	}
+	if truncate("ab", 1) != "a" {
+		t.Error("n=1 edge")
+	}
+}

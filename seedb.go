@@ -1,0 +1,305 @@
+// Package seedb is a Go implementation of SeeDB ("SEEDB: Automatically
+// Generating Query Visualizations", VLDB 2014): a system that, given a
+// query selecting a subset of a table, automatically finds and
+// recommends the most "interesting" visualizations of that subset —
+// the aggregate views whose distribution over the subset deviates most
+// from the same view over the whole dataset.
+//
+// The library bundles everything the paper's architecture (Figure 4)
+// requires: an embedded in-memory columnar SQL engine, a metadata
+// collector, the view-space enumerator and pruner, the query-combining
+// optimizer, the view processor with pluggable deviation metrics (EMD,
+// Euclidean, KL, Jensen-Shannon), chart generation (SVG and terminal),
+// and an HTTP frontend.
+//
+// Quickstart:
+//
+//	db := seedb.Open()
+//	table, _ := db.LoadCSV("sales", csvReader)
+//	res, _ := db.RecommendSQL(ctx,
+//	    "SELECT * FROM sales WHERE product = 'Laserwave'",
+//	    seedb.DefaultOptions())
+//	for _, rec := range res.Recommendations {
+//	    fmt.Println(rec.Rank, rec.Data.View, rec.Data.Utility)
+//	    fmt.Print(seedb.Chart(rec.Data, true).ASCII(80))
+//	}
+package seedb
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"seedb/internal/core"
+	"seedb/internal/engine"
+	"seedb/internal/sql"
+	"seedb/internal/stats"
+	"seedb/internal/viz"
+)
+
+// Re-exported storage types. The aliases make the embedded engine's
+// vocabulary part of the public API without duplicating it.
+type (
+	// Value is a dynamically typed scalar (cell value, predicate
+	// constant).
+	Value = engine.Value
+	// Type is a column storage type.
+	Type = engine.Type
+	// ColumnDef declares one column of a schema.
+	ColumnDef = engine.ColumnDef
+	// Schema is an ordered list of column definitions.
+	Schema = engine.Schema
+	// Table is an in-memory columnar table.
+	Table = engine.Table
+	// Predicate filters rows (the analyst query's WHERE clause).
+	Predicate = engine.Predicate
+	// AggFunc is an aggregate function identifier.
+	AggFunc = engine.AggFunc
+	// QueryResult is a materialized tabular result.
+	QueryResult = engine.Result
+)
+
+// Column types.
+const (
+	TypeInt    = engine.TypeInt
+	TypeFloat  = engine.TypeFloat
+	TypeString = engine.TypeString
+	TypeTime   = engine.TypeTime
+)
+
+// Aggregate functions.
+const (
+	AggCount    = engine.AggCount
+	AggSum      = engine.AggSum
+	AggAvg      = engine.AggAvg
+	AggMin      = engine.AggMin
+	AggMax      = engine.AggMax
+	AggVariance = engine.AggVariance
+	AggStddev   = engine.AggStddev
+)
+
+// Re-exported recommendation types.
+type (
+	// Options configures Recommend; see DefaultOptions and
+	// BasicOptions.
+	Options = core.Options
+	// CombineMode selects the multi-group-by combining strategy.
+	CombineMode = core.CombineMode
+	// Result is the outcome of a Recommend call.
+	Result = core.Result
+	// Recommendation is one ranked view.
+	Recommendation = core.Recommendation
+	// ViewData is a fully evaluated view with its distributions.
+	ViewData = core.ViewData
+	// View is the (dimension, measure, aggregate) triple.
+	View = core.View
+	// ViewScore pairs a view with its utility.
+	ViewScore = core.ViewScore
+	// RunStats reports pruning and execution effort for a run.
+	RunStats = core.RunStats
+	// ChartSpec is a renderable chart (ASCII or SVG).
+	ChartSpec = viz.Spec
+	// TableStats summarizes a table's metadata.
+	TableStats = stats.TableStats
+)
+
+// Multi-group-by combining strategies.
+const (
+	CombineNone         = core.CombineNone
+	CombineGroupingSets = core.CombineGroupingSets
+	CombineCompositeKey = core.CombineCompositeKey
+)
+
+// DefaultOptions returns the demo configuration: all optimizations on,
+// EMD metric, top 10 views.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BasicOptions returns the unoptimized "basic framework" baseline the
+// paper measures optimizations against.
+func BasicOptions() Options { return core.BasicOptions() }
+
+// Value constructors.
+var (
+	// Int boxes an INT value.
+	Int = engine.Int
+	// Float boxes a FLOAT value.
+	Float = engine.Float
+	// String boxes a STRING value.
+	String = engine.String
+	// Time boxes a TIMESTAMP value.
+	Time = engine.Time
+	// NullValue boxes a NULL of the given type.
+	NullValue = engine.NullValue
+)
+
+// Predicate constructors for programmatic queries.
+var (
+	// Eq builds column = value.
+	Eq = engine.Eq
+	// Compare builds column <op> value.
+	Compare = engine.Compare
+	// In builds column IN (values...).
+	In = engine.In
+	// IsNull builds column IS NULL.
+	IsNull = engine.IsNull
+	// IsNotNull builds column IS NOT NULL.
+	IsNotNull = engine.IsNotNull
+	// And conjoins predicates.
+	And = engine.And
+	// Or disjoins predicates.
+	Or = engine.Or
+	// Not negates a predicate.
+	Not = engine.Not
+)
+
+// Comparison operators for Compare.
+const (
+	OpEq = engine.OpEq
+	OpNe = engine.OpNe
+	OpLt = engine.OpLt
+	OpLe = engine.OpLe
+	OpGt = engine.OpGt
+	OpGe = engine.OpGe
+)
+
+// NewTable creates an empty table with the given schema (register it
+// with DB.RegisterTable to make it queryable).
+func NewTable(name string, schema Schema) (*Table, error) {
+	return engine.NewTable(name, schema)
+}
+
+// DB is a SeeDB instance: an embedded analytical database plus the
+// recommendation engine on top.
+type DB struct {
+	cat  *engine.Catalog
+	ex   *engine.Executor
+	core *core.Engine
+}
+
+// Open creates an empty SeeDB instance.
+func Open() *DB {
+	cat := engine.NewCatalog()
+	ex := engine.NewExecutor(cat)
+	return &DB{cat: cat, ex: ex, core: core.New(ex)}
+}
+
+// RegisterTable makes a table queryable under its name.
+func (db *DB) RegisterTable(t *Table) error { return db.cat.Register(t) }
+
+// DropTable removes a table; missing names are a no-op.
+func (db *DB) DropTable(name string) { db.cat.Drop(name) }
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, error) { return db.cat.Table(name) }
+
+// Tables lists registered table names, sorted.
+func (db *DB) Tables() []string { return db.cat.TableNames() }
+
+// LoadCSV reads a CSV stream (header row first, types inferred) into a
+// new registered table.
+func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
+	t, err := engine.LoadCSV(name, r, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.cat.Register(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveTable writes a binary snapshot of a registered table to w
+// (columnar layout with a CRC32 checksum; see internal/engine for the
+// format).
+func (db *DB) SaveTable(name string, w io.Writer) error {
+	t, err := db.cat.Table(name)
+	if err != nil {
+		return err
+	}
+	return engine.WriteTable(w, t)
+}
+
+// LoadTable reads a snapshot written by SaveTable and registers it
+// under its stored name.
+func (db *DB) LoadTable(r io.Reader) (*Table, error) {
+	t, err := engine.ReadTable(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.cat.Register(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Query executes a SQL statement (the supported subset: single-table
+// SELECT with optional aggregation/grouping/ordering/limit) and
+// returns its result.
+func (db *DB) Query(ctx context.Context, sqlText string) (*QueryResult, error) {
+	c, err := sql.ParseAndCompile(sqlText, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, db.ex)
+}
+
+// Recommend runs the SeeDB pipeline for the subset of table selected
+// by predicate (nil selects everything) and returns the top-k most
+// deviating views.
+func (db *DB) Recommend(ctx context.Context, table string, predicate Predicate, opts Options) (*Result, error) {
+	return db.core.Recommend(ctx, core.Query{Table: table, Predicate: predicate}, opts)
+}
+
+// RecommendSQL is Recommend with the analyst query given as SQL, e.g.
+// "SELECT * FROM sales WHERE product = 'Laserwave'". The statement
+// must be a plain selection (no aggregates or grouping) — it defines
+// the data subset, not a view.
+func (db *DB) RecommendSQL(ctx context.Context, sqlText string, opts Options) (*Result, error) {
+	c, err := sql.ParseAndCompile(sqlText, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	if c.Scan == nil {
+		return nil, fmt.Errorf("seedb: the analyst query must be a plain SELECT (it defines the data subset); got an aggregate query")
+	}
+	return db.core.Recommend(ctx, core.Query{Table: c.Scan.Table, Predicate: c.Scan.Where}, opts)
+}
+
+// DrillDown refines a previous analyst query by one group of a
+// recommended view (paper §1 step 4) and re-runs the recommendation on
+// the narrower subset: Q' = Q AND (dimension = label), or the bin
+// range for binned dimensions. label must be one of the view's result
+// keys ("NULL" selects the NULL group).
+func (db *DB) DrillDown(ctx context.Context, table string, predicate Predicate, view View, label string, opts Options) (*Result, error) {
+	return db.core.DrillDown(ctx, core.Query{Table: table, Predicate: predicate}, view, label, opts)
+}
+
+// TableStats computes (cached) metadata statistics for a table.
+func (db *DB) TableStats(name string) (*TableStats, error) {
+	t, err := db.cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return db.core.Collector().Stats(t), nil
+}
+
+// ExecStats exposes cumulative executor counters (queries, scans, rows
+// read) — useful for measuring optimization effects.
+func (db *DB) ExecStats() (queries, scans, rows int64) {
+	return db.ex.Stats().Snapshot()
+}
+
+// ResetExecStats zeroes the executor counters.
+func (db *DB) ResetExecStats() { db.ex.Stats().Reset() }
+
+// Engine exposes the recommendation engine for advanced integrations
+// (the bundled HTTP frontend uses it).
+func (db *DB) Engine() *core.Engine { return db.core }
+
+// Chart builds a renderable chart (bar/line chosen per the frontend
+// rules) from a recommended view. With normalized=true it plots the
+// probability distributions the utility metric compared; otherwise the
+// raw aggregate values.
+func Chart(d *ViewData, normalized bool) ChartSpec {
+	return viz.FromViewData(d, normalized)
+}

@@ -1,0 +1,293 @@
+package seedb
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOpenAndRegister(t *testing.T) {
+	db := Open()
+	tb, err := NewTable("t", Schema{
+		{Name: "g", Type: TypeString},
+		{Name: "v", Type: TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(tb); err == nil {
+		t.Error("duplicate registration must error")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Tables = %v", got)
+	}
+	if _, err := db.Table("t"); err != nil {
+		t.Error(err)
+	}
+	db.DropTable("t")
+	if _, err := db.Table("t"); err == nil {
+		t.Error("dropped table should be gone")
+	}
+}
+
+func TestLoadCSVAndQuery(t *testing.T) {
+	db := Open()
+	csv := "store,amount\nBoston,10\nBoston,20\nSeattle,5\n"
+	tb, err := db.LoadCSV("sales", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+	res, err := db.Query(context.Background(),
+		"SELECT store, SUM(amount) AS total FROM sales GROUP BY store ORDER BY total DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "Boston" || res.Rows[0][1].F != 30 {
+		t.Errorf("query result = %+v", res.Rows)
+	}
+	if _, err := db.Query(context.Background(), "SELECT nope FROM sales"); err == nil {
+		t.Error("bad SQL must error")
+	}
+	// Duplicate CSV name.
+	if _, err := db.LoadCSV("sales", strings.NewReader(csv)); err == nil {
+		t.Error("duplicate CSV table must error")
+	}
+	// Bad CSV.
+	if _, err := db.LoadCSV("bad", strings.NewReader("")); err == nil {
+		t.Error("empty CSV must error")
+	}
+}
+
+func TestRecommendEndToEnd(t *testing.T) {
+	db := Open()
+	if err := db.RegisterTable(LaserwaveTable("sales", ScenarioA)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Recommend(context.Background(), "sales",
+		Eq("product", String("Laserwave")), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	top := res.Recommendations[0]
+	if top.Data.View.Dimension != "store" {
+		t.Errorf("top view %v, want a store view", top.Data.View)
+	}
+	// Chart both ways.
+	ascii := Chart(top.Data, true).ASCII(80)
+	if !strings.Contains(ascii, "Cambridge, MA") {
+		t.Errorf("chart missing store label:\n%s", ascii)
+	}
+	svg := Chart(top.Data, false).SVG(400, 300)
+	if !strings.Contains(svg, "<svg") {
+		t.Error("SVG render failed")
+	}
+}
+
+func TestRecommendSQL(t *testing.T) {
+	db := Open()
+	if err := db.RegisterTable(LaserwaveTable("sales", ScenarioA)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RecommendSQL(context.Background(),
+		"SELECT * FROM sales WHERE product = 'Laserwave'", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetRowCount != 8 {
+		t.Errorf("|D_Q| = %d", res.TargetRowCount)
+	}
+	// Aggregate statements are rejected as analyst queries.
+	_, err = db.RecommendSQL(context.Background(),
+		"SELECT store, SUM(amount) FROM sales GROUP BY store", DefaultOptions())
+	if err == nil {
+		t.Error("aggregate analyst query must error")
+	}
+	if _, err := db.RecommendSQL(context.Background(), "not sql", DefaultOptions()); err == nil {
+		t.Error("unparseable SQL must error")
+	}
+}
+
+func TestTableStatsAndExecStats(t *testing.T) {
+	db := Open()
+	if err := db.RegisterTable(SuperstoreTable("orders", 1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := db.TableStats("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 1000 {
+		t.Errorf("stats rows = %d", ts.Rows)
+	}
+	region, err := ts.Column("region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Distinct != 4 {
+		t.Errorf("region distinct = %d", region.Distinct)
+	}
+	if _, err := db.TableStats("none"); err == nil {
+		t.Error("missing table must error")
+	}
+
+	db.ResetExecStats()
+	if _, err := db.Query(context.Background(), "SELECT COUNT(*) FROM orders"); err != nil {
+		t.Fatal(err)
+	}
+	q, scans, rows := db.ExecStats()
+	if q != 1 || scans != 1 || rows != 1000 {
+		t.Errorf("exec stats = %d/%d/%d", q, scans, rows)
+	}
+}
+
+func TestDemoDatasets(t *testing.T) {
+	db := Open()
+	for _, tb := range []*Table{
+		SuperstoreTable("orders", 500, 1),
+		ElectionsTable("fec", 500, 1),
+		MedicalTable("mimic", 500, 1),
+	} {
+		if err := db.RegisterTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		if tb.NumRows() != 500 {
+			t.Errorf("%s rows = %d", tb.Name(), tb.NumRows())
+		}
+	}
+	cfg := DefaultSyntheticConfig("syn", 500, 1)
+	tb, gt, err := SyntheticTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Predicate == nil || len(gt.PlantedViews) != 2 {
+		t.Errorf("ground truth incomplete: %+v", gt)
+	}
+	if len(db.Tables()) != 4 {
+		t.Errorf("tables = %v", db.Tables())
+	}
+}
+
+func TestSaveLoadTable(t *testing.T) {
+	db := Open()
+	orig := SuperstoreTable("orders", 1000, 5)
+	if err := db.RegisterTable(orig); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := db.SaveTable("orders", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveTable("missing", &buf); err == nil {
+		t.Error("saving a missing table must error")
+	}
+	db2 := Open()
+	got, err := db2.LoadTable(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "orders" || got.NumRows() != 1000 {
+		t.Errorf("loaded %s with %d rows", got.Name(), got.NumRows())
+	}
+	// Loaded table recommends identically.
+	res1, err := db.Recommend(context.Background(), "orders", Eq("category", String("Furniture")), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db2.Recommend(context.Background(), "orders", Eq("category", String("Furniture")), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Recommendations[0].Data.View != res2.Recommendations[0].Data.View {
+		t.Error("snapshot round trip changed the recommendation")
+	}
+	if math.Abs(res1.Recommendations[0].Data.Utility-res2.Recommendations[0].Data.Utility) > 1e-12 {
+		t.Error("snapshot round trip changed utilities")
+	}
+	// Bad stream errors.
+	if _, err := db2.LoadTable(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage snapshot must error")
+	}
+}
+
+func TestDrillDownPublicAPI(t *testing.T) {
+	db := Open()
+	if err := db.RegisterTable(SuperstoreTable("orders", 5000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pred := Eq("category", String("Furniture"))
+	opts := DefaultOptions()
+	opts.K = 3
+	res, err := db.Recommend(ctx, "orders", pred, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v View
+	found := false
+	for _, s := range res.AllScores {
+		if s.View.Dimension == "region" {
+			v = s.View
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no region view")
+	}
+	drill, err := db.DrillDown(ctx, "orders", pred, v, "Central", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drill.TargetRowCount >= res.TargetRowCount || drill.TargetRowCount == 0 {
+		t.Errorf("drill subset = %d of %d", drill.TargetRowCount, res.TargetRowCount)
+	}
+}
+
+// TestPaperExampleNumbers reproduces the §2 normalization example at
+// the public API level.
+func TestPaperExampleNumbers(t *testing.T) {
+	db := Open()
+	if err := db.RegisterTable(LaserwaveTable("Sales", ScenarioA)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RecommendSQL(context.Background(),
+		`SELECT * FROM Sales WHERE product = 'Laserwave'`, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var store *ViewData
+	for _, r := range res.Recommendations {
+		if r.Data.View.Dimension == "store" && r.Data.View.Func == AggSum {
+			store = r.Data
+			break
+		}
+	}
+	if store == nil {
+		t.Fatal("store SUM view missing")
+	}
+	total := 538.18
+	want := map[string]float64{
+		"Cambridge, MA":     180.55 / total,
+		"Seattle, WA":       145.50 / total,
+		"New York, NY":      122.00 / total,
+		"San Francisco, CA": 90.13 / total,
+	}
+	for i, k := range store.Keys {
+		if math.Abs(store.Target[i]-want[k]) > 1e-9 {
+			t.Errorf("P[%s] = %v, want %v", k, store.Target[i], want[k])
+		}
+	}
+}
