@@ -26,12 +26,38 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset seed")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke test")
 	list := flag.Bool("list", false, "list experiments and exit")
+	baseline := flag.String("baseline", "", "measure cold vs warm-cache recommend latency and write the JSON baseline to this path (e.g. BENCH_baseline.json), then exit")
+	baselineIters := flag.Int("baseline-iters", 9, "iterations per baseline measurement (median is recorded)")
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.Registry {
 			fmt.Printf("%-4s %s\n", r.ID, r.Title)
 		}
+		return
+	}
+
+	if *baseline != "" {
+		n := *rows
+		if n == 0 {
+			n = 100_000
+		}
+		b, err := experiments.RunBaseline(n, *seed, *baselineIters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedb-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := b.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedb-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "seedb-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline (rows=%d seed=%d iters=%d): cold=%.1fms warm=%.1fms speedup=%.1fx -> %s\n",
+			b.Rows, b.Seed, b.Iterations, b.ColdMillis, b.WarmMillis, b.Speedup, *baseline)
 		return
 	}
 

@@ -1,0 +1,3 @@
+module seedb
+
+go 1.24

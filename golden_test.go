@@ -1,0 +1,138 @@
+package seedb
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden paper-faithfulness tests: with fixed dataset seeds, the top-k
+// recommended views and their deviation scores must be byte-identical
+// across runs, across processes (the committed testdata/golden files),
+// and with the view-result cache on vs off. Any drift in enumeration,
+// pruning, execution, scoring, or caching shows up here as a diff.
+//
+// Regenerate after an intentional behavior change with:
+//
+//	go test -run TestGolden -update .
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenOptions pins every source of nondeterminism: fixed K, single
+// worker (so float accumulation order never depends on GOMAXPROCS),
+// and the metric under test.
+func goldenOptions(metric string) Options {
+	opts := DefaultOptions()
+	opts.K = 5
+	opts.Metric = metric
+	opts.Parallelism = 1
+	return opts
+}
+
+// goldenDB builds a fresh instance over deterministic datasets.
+func goldenDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.RegisterTable(SuperstoreTable("orders", 5_000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	syn, _, err := SyntheticTable(DefaultSyntheticConfig("synthetic", 5_000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTable(syn); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// renderGolden serializes a result's ranked views and scores with full
+// float precision, so byte equality means score equality.
+func renderGolden(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\nmetric: %s\ntarget_rows: %d\n", res.Query.String(), res.Metric, res.TargetRowCount)
+	for _, rec := range res.Recommendations {
+		fmt.Fprintf(&b, "%d\t%s\tutility=%.17g\tgroups=%d\n",
+			rec.Rank, rec.Data.View, rec.Data.Utility, len(rec.Data.Keys))
+	}
+	return b.String()
+}
+
+var goldenQueries = []string{
+	"SELECT * FROM orders WHERE category = 'Furniture'",
+	"SELECT * FROM synthetic WHERE d0 = 'd0_v0'",
+}
+
+func TestGoldenRecommendations(t *testing.T) {
+	ctx := context.Background()
+	for _, metric := range []string{"emd", "kl", "js"} {
+		for qi, query := range goldenQueries {
+			name := fmt.Sprintf("%s_q%d", metric, qi)
+			t.Run(name, func(t *testing.T) {
+				opts := goldenOptions(metric)
+
+				// Run 1 and 2 on a plain (uncached) instance: stable
+				// within a process.
+				plain := goldenDB(t)
+				r1, err := plain.RecommendSQL(ctx, query, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := plain.RecommendSQL(ctx, query, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := renderGolden(r1)
+				if again := renderGolden(r2); again != got {
+					t.Fatalf("repeated run diverged:\n%s\nvs\n%s", got, again)
+				}
+
+				// Runs 3 and 4 on a cache-enabled instance: the warm
+				// (fully cached) answer must match the cold one and the
+				// uncached one byte for byte.
+				cached := goldenDB(t)
+				cached.Serve(ServeConfig{})
+				c1, err := cached.RecommendSQL(ctx, query, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c2, err := cached.RecommendSQL(ctx, query, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st := cached.CacheStats(); st.Hits == 0 {
+					t.Fatalf("second cached run should hit: %+v", st)
+				}
+				if cold := renderGolden(c1); cold != got {
+					t.Fatalf("cache-on (cold) differs from cache-off:\n%s\nvs\n%s", cold, got)
+				}
+				if warm := renderGolden(c2); warm != got {
+					t.Fatalf("cache-on (warm) differs from cache-off:\n%s\nvs\n%s", warm, got)
+				}
+
+				// Cross-process stability: compare with the committed file.
+				path := filepath.Join("testdata", "golden", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				if string(want) != got {
+					t.Fatalf("output differs from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+
+	"seedb/internal/engine"
+)
+
+// ExecCache is the seam between plan execution and the service layer's
+// view-result cache. Keys are content-addressed digests of everything
+// that determines an exec-unit query's output — table fingerprint,
+// grouping structure, aggregate list, predicate, sampling, and row
+// range — so a hit is always safe to reuse and invalidation is
+// implicit: mutating or reloading a table changes its fingerprint and
+// the old entries simply age out.
+//
+// GetOrCompute returns the cached results for key, or runs compute,
+// stores its (immutable) results, and returns them. Implementations
+// must de-duplicate concurrent misses on the same key (singleflight)
+// so that identical in-flight queries share one table scan. compute
+// reports whether its results may be stored: plan execution returns
+// cacheable=false when it detects the table mutated mid-scan, so
+// results observed under a newer table version are never published
+// under the older version's key. Results handed out must never be
+// mutated by callers; plan execution only reads them.
+type ExecCache interface {
+	GetOrCompute(ctx context.Context, key string, compute func() (results []*engine.Result, cacheable bool, err error)) ([]*engine.Result, error)
+}
+
+// execCacheKey digests one exec-unit engine call into a stable
+// content-addressed key. Everything that can change the result bytes
+// is included — even scan parallelism: partitioned scans merge float
+// partials in worker order, so SUM/AVG can differ in low-order bits
+// across parallelism settings, and a client that pinned Parallelism
+// for reproducibility must never be served another setting's floats.
+func execCacheKey(fingerprint string, q *engine.Query, gsets []engine.GroupingSet) string {
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteString(fingerprint)
+	b.WriteByte('\n')
+	writePredicate(&b, q.Where)
+	b.WriteByte('\n')
+	// Sampling and the phased row range select which rows feed the
+	// aggregation, so both are part of the content address.
+	b.WriteString(strconv.FormatFloat(q.SampleFraction, 'g', -1, 64))
+	b.WriteByte(',')
+	b.WriteString(strconv.FormatUint(q.SampleSeed, 10))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.RowLo))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.RowHi))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.Parallelism))
+	b.WriteByte('\n')
+	if gsets == nil {
+		gsets = []engine.GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}}
+	}
+	for _, gs := range gsets {
+		b.WriteString("set ")
+		b.WriteString(strings.Join(gs.By, ","))
+		writeBinWidths(&b, gs.BinWidths)
+		b.WriteByte('\n')
+		for _, a := range gs.Aggs {
+			b.WriteString(a.Func.String())
+			b.WriteByte('(')
+			b.WriteString(a.Column)
+			b.WriteByte(')')
+			b.WriteString(a.Alias)
+			if a.Filter != nil {
+				b.WriteString(" FILTER ")
+				writePredicate(&b, a.Filter)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func writePredicate(b *strings.Builder, p engine.Predicate) {
+	if p == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	b.WriteString(p.String())
+}
+
+func writeBinWidths(b *strings.Builder, widths map[string]float64) {
+	if len(widths) == 0 {
+		return
+	}
+	cols := make([]string, 0, len(widths))
+	for c := range widths {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		b.WriteString(" bin:")
+		b.WriteString(c)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(widths[c], 'g', -1, 64))
+	}
+}

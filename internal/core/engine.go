@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"seedb/internal/distance"
@@ -16,6 +17,14 @@ import (
 type Engine struct {
 	ex        *engine.Executor
 	collector *stats.Collector
+
+	// cache, when set, short-circuits exec-unit queries whose results
+	// were already computed against the same table fingerprint (see
+	// ExecCache). Installed by the service layer; unset means every
+	// query scans. Held behind an atomic pointer so installing a cache
+	// on a live engine cannot tear the two-word interface read in
+	// concurrent Recommend calls.
+	cache atomic.Pointer[ExecCache]
 }
 
 // New builds a SeeDB engine over an executor.
@@ -29,6 +38,25 @@ func (e *Engine) Executor() *engine.Executor { return e.ex }
 
 // Collector exposes the metadata collector.
 func (e *Engine) Collector() *stats.Collector { return e.collector }
+
+// SetCache installs (or, with nil, removes) the exec-unit result
+// cache. Safe to call on a live engine; in-flight plans keep the
+// snapshot they started with.
+func (e *Engine) SetCache(c ExecCache) {
+	if c == nil {
+		e.cache.Store(nil)
+		return
+	}
+	e.cache.Store(&c)
+}
+
+// Cache returns the installed exec-unit result cache, if any.
+func (e *Engine) Cache() ExecCache {
+	if p := e.cache.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
 // Recommend runs the full SeeDB pipeline for the analyst query q:
 // metadata collection, view enumeration, pruning, optimization,
@@ -78,7 +106,7 @@ func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result,
 	}
 	res.Stats.CandidateViews = len(views)
 
-	outcome, err := pruneViews(views, tb, ts, e.ex.Catalog(), opts, &res.Stats)
+	outcome, err := pruneViews(views, tb, ts, e.collector, e.ex.Catalog(), opts, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +130,7 @@ func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result,
 		p, err = buildPlan(outcome.views, ts, q, opts)
 		if err == nil {
 			res.Stats.PlanSummary = p.summary(opts.CombineTargetComparison)
-			data, err = executePlan(ctx, e.ex, p, q, opts, metric, sample, 0, 0)
+			data, err = executePlan(ctx, e, p, q, opts, metric, sample, 0, 0)
 		}
 	}
 	if err != nil {

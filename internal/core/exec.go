@@ -11,8 +11,14 @@ import (
 
 // runUnit executes one unit's queries and converts the engine results
 // into scored ViewData (the View Processor of Figure 4: results are
-// normalized, utilities computed).
-func runUnit(ctx context.Context, ex *engine.Executor, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
+// normalized, utilities computed). cache, tb, and fingerprint are the
+// snapshot taken by executePlan — passed together so a SetCache racing
+// with an in-flight plan can never pair a live cache with an empty
+// fingerprint (tb is nil exactly when the cache path is off). With a
+// cache installed, identical queries (the comparison side of every
+// request against the same table, repeated target queries, concurrent
+// duplicates) skip the scan entirely.
+func runUnit(ctx context.Context, e *Engine, cache ExecCache, tb *engine.Table, fingerprint string, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
 	mkQuery := func(aggs []engine.AggSpec, where engine.Predicate) *engine.Query {
 		eq := &engine.Query{Table: q.Table, Where: where, Aggs: aggs, Parallelism: scanPar, RowLo: rowLo, RowHi: rowHi}
 		if sample {
@@ -32,23 +38,51 @@ func runUnit(ctx context.Context, ex *engine.Executor, u *execUnit, q Query, opt
 	// the combined rewrite is active).
 	var compRes, targRes []*engine.Result
 	run := func(combined bool, where engine.Predicate) ([]*engine.Result, error) {
+		var eq *engine.Query
+		var gsets []engine.GroupingSet
 		if u.sets != nil {
 			// Shared scan: each dimension's grouping set computes only
 			// its own aggregates.
-			gsets := make([]engine.GroupingSet, len(u.dims))
+			gsets = make([]engine.GroupingSet, len(u.dims))
 			for i, d := range u.dims {
 				gsets[i] = engine.GroupingSet{By: []string{d}, Aggs: u.aggsFor(d, combined)}
 				if w, ok := u.binWidths[d]; ok {
 					gsets[i].BinWidths = map[string]float64{d: w}
 				}
 			}
-			return ex.RunSharedScan(ctx, mkQuery(nil, where), gsets)
+			eq = mkQuery(nil, where)
+		} else {
+			eq = mkQuery(u.allAggs(combined), where)
 		}
-		res, err := ex.Run(ctx, mkQuery(u.allAggs(combined), where))
-		if err != nil {
-			return nil, err
+		do := func() ([]*engine.Result, error) {
+			if gsets != nil {
+				return e.ex.RunSharedScan(ctx, eq, gsets)
+			}
+			res, err := e.ex.Run(ctx, eq)
+			if err != nil {
+				return nil, err
+			}
+			return []*engine.Result{res}, nil
 		}
-		return []*engine.Result{res}, nil
+		if cache == nil || fingerprint == "" {
+			return do()
+		}
+		return cache.GetOrCompute(ctx, execCacheKey(fingerprint, eq, gsets), func() ([]*engine.Result, bool, error) {
+			res, err := do()
+			if err != nil {
+				return nil, false, err
+			}
+			// A mutation racing with this plan means the scan may have
+			// observed newer rows than the key's fingerprint claims;
+			// serve the results but never publish them under the old
+			// version's content address. The executor resolves the
+			// table by NAME per query, so a drop+reload must also be
+			// caught: the catalog has to still hand back the snapshot
+			// instance, not a replacement that the scan actually read.
+			cur, lookupErr := e.ex.Catalog().Table(q.Table)
+			cacheable := lookupErr == nil && cur == tb && tb.Fingerprint() == fingerprint
+			return res, cacheable, nil
+		})
 	}
 
 	if opts.CombineTargetComparison {
@@ -236,9 +270,22 @@ func buildViewData(v View, tMap, cMap map[string]float64, metric distance.Metric
 
 // executePlan dispatches units across a worker pool ("Parallel Query
 // Execution", §3.3) and gathers scored views.
-func executePlan(ctx context.Context, ex *engine.Executor, p *plan, q Query, opts Options, metric distance.Metric, sample bool, rowLo, rowHi int) ([]*ViewData, error) {
+func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options, metric distance.Metric, sample bool, rowLo, rowHi int) ([]*ViewData, error) {
 	if len(p.units) == 0 {
 		return nil, nil
+	}
+	// One cache + fingerprint snapshot per plan: every unit of this
+	// call caches against the same table version, and a concurrent
+	// SetCache cannot hand later units a cache without a fingerprint.
+	cache := e.Cache()
+	var tb *engine.Table
+	var fingerprint string
+	if cache != nil {
+		var err error
+		if tb, err = e.ex.Catalog().Table(q.Table); err != nil {
+			return nil, err
+		}
+		fingerprint = tb.Fingerprint()
 	}
 	workers := opts.Parallelism
 	if workers > len(p.units) {
@@ -247,7 +294,7 @@ func executePlan(ctx context.Context, ex *engine.Executor, p *plan, q Query, opt
 	if workers <= 1 {
 		var all []*ViewData
 		for _, u := range p.units {
-			vds, err := runUnit(ctx, ex, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+			vds, err := runUnit(ctx, e, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +316,7 @@ func executePlan(ctx context.Context, ex *engine.Executor, p *plan, q Query, opt
 		go func(w int) {
 			defer wg.Done()
 			for u := range unitCh {
-				vds, err := runUnit(ctx, ex, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+				vds, err := runUnit(ctx, e, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
 				if err != nil {
 					errs[w] = err
 					continue

@@ -157,7 +157,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		if err != nil {
 			return nil, err
 		}
-		phaseData, err := executePlan(ctx, e.ex, p, q, opts, metric, sample, lo, hi)
+		phaseData, err := executePlan(ctx, e, p, q, opts, metric, sample, lo, hi)
 		if err != nil {
 			return nil, err
 		}

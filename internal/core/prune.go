@@ -19,7 +19,7 @@ type pruneOutcome struct {
 // in order: variance-based, correlated-attribute clustering, and
 // access-frequency. Each strategy removes whole dimensions (and with
 // them every view on that dimension), recording reasons in st.
-func pruneViews(views []View, tb *engine.Table, ts *stats.TableStats, cat *engine.Catalog, opts Options, st *RunStats) (pruneOutcome, error) {
+func pruneViews(views []View, tb *engine.Table, ts *stats.TableStats, coll *stats.Collector, cat *engine.Catalog, opts Options, st *RunStats) (pruneOutcome, error) {
 	out := pruneOutcome{views: views, represents: map[string][]string{}}
 
 	if opts.PruneLowVariance {
@@ -27,7 +27,7 @@ func pruneViews(views []View, tb *engine.Table, ts *stats.TableStats, cat *engin
 	}
 	if opts.PruneCorrelated {
 		var err error
-		out.views, err = pruneCorrelated(out.views, tb, cat, opts, st, out.represents)
+		out.views, err = pruneCorrelated(out.views, tb, coll, cat, opts, st, out.represents)
 		if err != nil {
 			return out, err
 		}
@@ -79,7 +79,7 @@ func dimDecision(m map[string]bool, dim string) (keep, seen bool) {
 // per cluster", §3.3). The representative is the most-accessed member
 // (ties broken by name) so the kept attribute is the one analysts
 // actually look at — e.g. full airport name over its abbreviation.
-func pruneCorrelated(views []View, tb *engine.Table, cat *engine.Catalog, opts Options, st *RunStats, represents map[string][]string) ([]View, error) {
+func pruneCorrelated(views []View, tb *engine.Table, coll *stats.Collector, cat *engine.Catalog, opts Options, st *RunStats, represents map[string][]string) ([]View, error) {
 	dims, byDim := viewsByDimension(views)
 	// Binned (continuous) dimensions are excluded from correlation
 	// clustering: Cramér's V over thousands of raw numeric categories
@@ -94,7 +94,7 @@ func pruneCorrelated(views []View, tb *engine.Table, cat *engine.Catalog, opts O
 	if len(dims) < 2 {
 		return views, nil
 	}
-	clusters, err := stats.CorrelationClusters(tb, dims, opts.CorrelationThreshold)
+	clusters, err := coll.CorrelationClusters(tb, dims, opts.CorrelationThreshold)
 	if err != nil {
 		return nil, err
 	}

@@ -101,7 +101,7 @@ func TestPruneCorrelated(t *testing.T) {
 	st := &RunStats{}
 	represents := map[string][]string{}
 	views := viewsForDims("normal", "city", "city_code")
-	kept, err := pruneCorrelated(views, tb, cat, opts, st, represents)
+	kept, err := pruneCorrelated(views, tb, stats.NewCollector(), cat, opts, st, represents)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestPruneCorrelatedRepresentativeByAccess(t *testing.T) {
 	opts, _ := DefaultOptions().normalize()
 	st := &RunStats{}
 	represents := map[string][]string{}
-	kept, err := pruneCorrelated(viewsForDims("city", "city_code"), tb, cat, opts, st, represents)
+	kept, err := pruneCorrelated(viewsForDims("city", "city_code"), tb, stats.NewCollector(), cat, opts, st, represents)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPruneCorrelatedSingleDim(t *testing.T) {
 	opts, _ := DefaultOptions().normalize()
 	st := &RunStats{}
 	views := viewsForDims("normal")
-	kept, err := pruneCorrelated(views, tb, cat, opts, st, map[string][]string{})
+	kept, err := pruneCorrelated(views, tb, stats.NewCollector(), cat, opts, st, map[string][]string{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestPruneViewsPipeline(t *testing.T) {
 	opts, _ := DefaultOptions().normalize()
 	views := viewsForDims("normal", "constant", "city", "city_code")
 	st := &RunStats{}
-	outcome, err := pruneViews(views, tb, ts, cat, opts, st)
+	outcome, err := pruneViews(views, tb, ts, stats.NewCollector(), cat, opts, st)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestPruneViewsPipeline(t *testing.T) {
 	off.PruneCorrelated = false
 	off.PruneRarelyAccessed = false
 	st2 := &RunStats{}
-	outcome2, err := pruneViews(views, tb, ts, cat, off, st2)
+	outcome2, err := pruneViews(views, tb, ts, stats.NewCollector(), cat, off, st2)
 	if err != nil {
 		t.Fatal(err)
 	}

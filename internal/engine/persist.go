@@ -99,7 +99,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if ncols == 0 || ncols > 1<<20 {
 		return nil, fmt.Errorf("engine: snapshot has implausible column count %d", ncols)
 	}
-	t := &Table{name: name, rows: int(rows), byName: make(map[string]int, ncols)}
+	t := &Table{name: name, id: tableIDs.Add(1), rows: int(rows), byName: make(map[string]int, ncols)}
 	for i := 0; i < int(ncols); i++ {
 		col, err := readColumn(br, int(rows))
 		if err != nil {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ColumnDef describes one column of a table schema.
@@ -24,17 +25,38 @@ func (s Schema) ColumnIndex(name string) int {
 	return -1
 }
 
+// tableIDs hands every Table instance a process-unique identity, so
+// that two distinct tables which happen to share a name (for example
+// after a drop + reload cycle) can never be confused by fingerprint
+// consumers such as the service layer's view-result cache.
+var tableIDs atomic.Uint64
+
 // Table is an in-memory columnar table. All rows are append-only; SeeDB
 // is a read-mostly analytical workload so there is no update/delete
 // path. A Table is safe for concurrent readers once loading finishes;
 // appends take the write lock.
 type Table struct {
 	name string
+	id   uint64
+
+	// version counts mutations (row appends, bulk loads). Together with
+	// id it forms the table fingerprint used for cache invalidation:
+	// any change to the table's contents changes the fingerprint, so
+	// stale cache entries simply become unreachable.
+	version atomic.Uint64
 
 	mu     sync.RWMutex
 	cols   []Column
 	byName map[string]int
 	rows   int
+}
+
+// Fingerprint returns a cheap content-version identifier for the
+// table: unique per table instance and bumped on every mutation.
+// Results computed against one fingerprint are valid exactly as long
+// as the table still reports the same fingerprint.
+func (t *Table) Fingerprint() string {
+	return fmt.Sprintf("%s#%d.%d", t.name, t.id, t.version.Load())
 }
 
 // NewTable creates an empty table with the given schema.
@@ -45,7 +67,7 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	if len(schema) == 0 {
 		return nil, fmt.Errorf("engine: table %q needs at least one column", name)
 	}
-	t := &Table{name: name, byName: make(map[string]int, len(schema))}
+	t := &Table{name: name, id: tableIDs.Add(1), byName: make(map[string]int, len(schema))}
 	for i, def := range schema {
 		if def.Name == "" {
 			return nil, fmt.Errorf("engine: table %q: column %d has empty name", name, i)
@@ -130,6 +152,7 @@ func (t *Table) AppendRow(vals ...Value) error {
 		}
 	}
 	t.rows++
+	t.version.Add(1)
 	return nil
 }
 
@@ -195,6 +218,7 @@ func (l *Loader) Close() error {
 		}
 	}
 	l.t.rows = n
+	l.t.version.Add(1)
 	return nil
 }
 
@@ -203,7 +227,7 @@ func (l *Loader) Close() error {
 func (t *Table) Gather(name string, sel []int32) *Table {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := &Table{name: name, byName: make(map[string]int, len(t.cols)), rows: len(sel)}
+	out := &Table{name: name, id: tableIDs.Add(1), byName: make(map[string]int, len(t.cols)), rows: len(sel)}
 	for i, c := range t.cols {
 		out.byName[c.Name()] = i
 		out.cols = append(out.cols, c.gather(c.Name(), sel))
@@ -215,7 +239,7 @@ func (t *Table) Gather(name string, sel []int32) *Table {
 func (t *Table) Clone(name string) *Table {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := &Table{name: name, byName: make(map[string]int, len(t.cols)), rows: t.rows}
+	out := &Table{name: name, id: tableIDs.Add(1), byName: make(map[string]int, len(t.cols)), rows: t.rows}
 	for i, c := range t.cols {
 		out.byName[c.Name()] = i
 		out.cols = append(out.cols, c.clone(c.Name()))

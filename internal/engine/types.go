@@ -121,7 +121,11 @@ func (v Value) Format() string {
 	case TypeString:
 		return v.S
 	case TypeTime:
-		return time.Unix(0, v.I).UTC().Format(time.RFC3339)
+		// RFC3339Nano renders whole seconds identically to RFC3339 and
+		// keeps sub-second precision otherwise — predicates differing
+		// only below the second must not collapse to one rendering
+		// (cache keys are built from predicate strings).
+		return time.Unix(0, v.I).UTC().Format(time.RFC3339Nano)
 	default:
 		return "?"
 	}

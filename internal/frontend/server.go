@@ -30,9 +30,15 @@ type QueryTemplate struct {
 	Description string `json:"description"`
 }
 
-// Server serves the SeeDB UI and JSON API.
+// Server serves the SeeDB UI and JSON API. Every recommendation
+// request goes through the service layer (DB.Serve): concurrent
+// clients share one view-result cache, and clients that want
+// long-lived exploration contexts can create named sessions via
+// /api/session and pass the ID in subsequent requests.
 type Server struct {
 	db        *seedb.DB
+	svc       *seedb.Service
+	anonymous *seedb.Session // serves requests with no session ID
 	templates []QueryTemplate
 	logger    *log.Logger
 	mux       *http.ServeMux
@@ -40,20 +46,53 @@ type Server struct {
 	timeout time.Duration
 }
 
-// New builds a frontend server over a SeeDB instance.
+// New builds a frontend server over a SeeDB instance, enabling its
+// service layer (shared view-result cache + sessions) with default
+// limits. DB.Serve latches its configuration on first call, so to
+// customize cache or session limits either call db.Serve(cfg) BEFORE
+// New, or use NewWithConfig.
 func New(db *seedb.DB, templates []QueryTemplate, logger *log.Logger) *Server {
+	return NewWithConfig(db, seedb.ServeConfig{}, templates, logger)
+}
+
+// NewWithConfig is New with explicit service-layer limits. cfg is
+// ignored if the DB's service layer was already started (DB.Serve is
+// one-shot).
+func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplate, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.Default()
 	}
-	s := &Server{db: db, templates: templates, logger: logger, timeout: 60 * time.Second}
+	svc := db.Serve(cfg)
+	s := &Server{
+		db:  db,
+		svc: svc,
+		// The shared pinned anonymous session backs every session-less
+		// request; client churn cannot evict it, and servers over the
+		// same DB reuse one instead of each registering their own.
+		anonymous: svc.AnonymousSession(),
+		templates: templates,
+		logger:    logger,
+		timeout:   60 * time.Second,
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/api/meta", s.handleMeta)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
 	mux.HandleFunc("/api/drilldown", s.handleDrillDown)
 	mux.HandleFunc("/api/sql", s.handleSQL)
+	mux.HandleFunc("/api/session", s.handleSession)
+	mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux = mux
 	return s
+}
+
+// session resolves the request's session ID to a live session; the
+// empty ID maps to the shared anonymous session.
+func (s *Server) session(id string) (*seedb.Session, error) {
+	if id == "" {
+		return s.anonymous, nil
+	}
+	return s.svc.Session(id)
 }
 
 // ServeHTTP implements http.Handler.
@@ -140,17 +179,26 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 // /api/recommend
 
 type recommendRequest struct {
-	SQL        string `json:"sql"`
+	SQL string `json:"sql"`
+	// Session names a session created via /api/session; empty uses the
+	// shared anonymous session.
+	Session    string `json:"session,omitempty"`
 	Metric     string `json:"metric"`
 	K          int    `json:"k"`
-	ShowWorst  bool   `json:"showWorst"`
 	Normalized bool   `json:"normalized"`
+
+	// Tri-state toggles: absent keeps the session default, true/false
+	// overrides it either way.
+	ShowWorst *bool `json:"showWorst"`
 
 	// Optimization toggles (demo Scenario 2: "select the optimizations
 	// that SEEDB applies and observe the effect").
-	DisablePruning   bool    `json:"disablePruning"`
-	DisableCombining bool    `json:"disableCombining"`
-	SampleFraction   float64 `json:"sampleFraction"`
+	DisablePruning   *bool `json:"disablePruning"`
+	DisableCombining *bool `json:"disableCombining"`
+	// SampleFraction is tri-state like the booleans: absent keeps the
+	// session default; a value in (0,1) enables sampling at that
+	// fraction; any other value (e.g. 0) disables sampling.
+	SampleFraction *float64 `json:"sampleFraction"`
 }
 
 type viewJSON struct {
@@ -199,10 +247,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: missing sql"))
 		return
 	}
-	opts := s.optionsFrom(req)
+	sess, err := s.session(req.Session)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	opts := s.optionsFrom(req, sess.Options())
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	res, err := s.db.RecommendSQL(ctx, req.SQL, opts)
+	res, err := sess.RecommendSQL(ctx, req.SQL, &opts)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -210,31 +263,59 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.recommendResponseFrom(res, req.Normalized))
 }
 
-// optionsFrom maps the request toggles onto engine options.
-func (s *Server) optionsFrom(req recommendRequest) seedb.Options {
-	opts := seedb.DefaultOptions()
+// optionsFrom maps the request toggles onto engine options, starting
+// from base — the session's defaults — so a session configured via
+// /api/session keeps its settings unless a request overrides them.
+// Boolean toggles are tri-state (*bool): absent keeps the session
+// default, and an explicit false can switch a session-level toggle
+// back off; "enable" restores the stock defaults for the affected
+// knobs.
+func (s *Server) optionsFrom(req recommendRequest, base seedb.Options) seedb.Options {
+	opts := base
+	def := seedb.DefaultOptions()
 	if req.Metric != "" {
 		opts.Metric = req.Metric
 	}
 	if req.K > 0 {
 		opts.K = req.K
 	}
-	if req.ShowWorst {
-		opts.IncludeWorst = 3
+	if req.ShowWorst != nil {
+		if *req.ShowWorst {
+			opts.IncludeWorst = 3
+		} else {
+			opts.IncludeWorst = 0
+		}
 	}
-	if req.DisablePruning {
-		opts.PruneLowVariance = false
-		opts.PruneCorrelated = false
-		opts.PruneRarelyAccessed = false
+	if req.DisablePruning != nil {
+		if *req.DisablePruning {
+			opts.PruneLowVariance = false
+			opts.PruneCorrelated = false
+			opts.PruneRarelyAccessed = false
+		} else {
+			opts.PruneLowVariance = def.PruneLowVariance
+			opts.PruneCorrelated = def.PruneCorrelated
+			opts.PruneRarelyAccessed = def.PruneRarelyAccessed
+		}
 	}
-	if req.DisableCombining {
-		opts.CombineTargetComparison = false
-		opts.CombineAggregates = false
-		opts.CombineGroupBys = seedb.CombineNone
+	if req.DisableCombining != nil {
+		if *req.DisableCombining {
+			opts.CombineTargetComparison = false
+			opts.CombineAggregates = false
+			opts.CombineGroupBys = seedb.CombineNone
+		} else {
+			opts.CombineTargetComparison = def.CombineTargetComparison
+			opts.CombineAggregates = def.CombineAggregates
+			opts.CombineGroupBys = def.CombineGroupBys
+		}
 	}
-	if req.SampleFraction > 0 && req.SampleFraction < 1 {
-		opts.SampleFraction = req.SampleFraction
-		opts.SampleMinRows = 0
+	if req.SampleFraction != nil {
+		if f := *req.SampleFraction; f > 0 && f < 1 {
+			opts.SampleFraction = f
+			opts.SampleMinRows = 0
+		} else {
+			opts.SampleFraction = 0 // exact answers for this request
+			opts.SampleMinRows = def.SampleMinRows
+		}
 	}
 	return opts
 }
@@ -261,16 +342,11 @@ func (s *Server) recommendResponseFrom(res *seedb.Result, normalized bool) recom
 	return resp
 }
 
-// parseAnalystQuery resolves a plain SELECT into (table, predicate).
+// parseAnalystQuery resolves a plain SELECT into (table, predicate)
+// through the same compile path as /api/recommend, so both front
+// doors share column validation and timestamp-literal coercion.
 func (s *Server) parseAnalystQuery(sqlText string) (string, seedb.Predicate, error) {
-	stmt, err := sqlparse.Parse(sqlText)
-	if err != nil {
-		return "", nil, err
-	}
-	if stmt.HasAggregates() || len(stmt.GroupBy) > 0 {
-		return "", nil, fmt.Errorf("frontend: the analyst query must be a plain SELECT")
-	}
-	return stmt.Table, stmt.Where, nil
+	return sqlparse.AnalystQuery(sqlText, s.db.Engine().Executor().Catalog())
 }
 
 func engineAggFunc(name string) (seedb.AggFunc, error) {
@@ -336,7 +412,12 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view := seedb.View{Dimension: req.Dimension, Measure: req.Measure, Func: fn, BinWidth: req.BinWidth}
-	opts := s.optionsFrom(req.recommendRequest)
+	sess, err := s.session(req.Session)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	opts := s.optionsFrom(req.recommendRequest, sess.Options())
 
 	// Resolve the analyst query via the same SQL front door.
 	table, predicate, err := s.parseAnalystQuery(req.SQL)
@@ -346,7 +427,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	res, err := s.db.DrillDown(ctx, table, predicate, view, req.Label, opts)
+	res, err := sess.DrillDown(ctx, seedb.Query{Table: table, Predicate: predicate}, view, req.Label, &opts)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -400,6 +481,70 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, cells)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// /api/session and /api/stats (service layer)
+
+type sessionResponse struct {
+	ID string `json:"id"`
+}
+
+// handleSession creates (POST) or closes (DELETE, ?id=...) a service
+// session. Sessions let a client pin default options and give the
+// operator per-client request accounting; all sessions share the
+// view-result cache. The POST body optionally carries the same option
+// toggles as /api/recommend (sql is ignored) and becomes the
+// session's defaults. Session IDs are random capabilities: knowing an
+// ID is what authorizes using or closing that session, and they are
+// never listed back out.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		opts := seedb.DefaultOptions()
+		if r.ContentLength != 0 {
+			var req recommendRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing session options: %w", err))
+				return
+			}
+			opts = s.optionsFrom(req, opts)
+		}
+		sess := s.svc.NewSession(opts)
+		s.writeJSON(w, http.StatusOK, sessionResponse{ID: sess.ID()})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if id == s.anonymous.ID() {
+			// The shared anonymous session backs every session-less
+			// request; closing it would break other clients.
+			s.writeError(w, http.StatusForbidden, fmt.Errorf("frontend: the anonymous session cannot be closed"))
+			return
+		}
+		if id == "" || !s.svc.CloseSession(id) {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("frontend: no session %q", id))
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+	default:
+		http.Error(w, "POST or DELETE only", http.StatusMethodNotAllowed)
+	}
+}
+
+type statsResponse struct {
+	Cache seedb.CacheStats `json:"cache"`
+	// Sessions is a count, not an ID list: IDs are capabilities.
+	Sessions int `json:"sessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Cache:    s.svc.CacheStats(),
+		Sessions: s.svc.SessionCount(),
+	})
 }
 
 // ---------------------------------------------------------------------

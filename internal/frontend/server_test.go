@@ -6,10 +6,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"seedb"
 )
+
+func boolPtr(b bool) *bool { return &b }
+
+func floatPtr(f float64) *float64 { return &f }
 
 func testServer(t *testing.T) *Server {
 	t.Helper()
@@ -105,7 +110,7 @@ func TestRecommendEndpoint(t *testing.T) {
 		SQL:        "SELECT * FROM sales WHERE product = 'Laserwave'",
 		Metric:     "emd",
 		K:          2,
-		ShowWorst:  true,
+		ShowWorst:  boolPtr(true),
 		Normalized: true,
 	})
 	if w.Code != http.StatusOK {
@@ -146,9 +151,9 @@ func TestRecommendEndpointOptions(t *testing.T) {
 		SQL:              "SELECT * FROM orders WHERE category = 'Furniture'",
 		Metric:           "js",
 		K:                2,
-		DisablePruning:   true,
-		DisableCombining: true,
-		SampleFraction:   0.5,
+		DisablePruning:   boolPtr(true),
+		DisableCombining: boolPtr(true),
+		SampleFraction:   floatPtr(0.5),
 	})
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
@@ -290,5 +295,260 @@ func TestSQLEndpoint(t *testing.T) {
 	s.ServeHTTP(w4, httptest.NewRequest(http.MethodGet, "/api/sql", nil))
 	if w4.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET status = %d", w4.Code)
+	}
+}
+
+func TestSessionEndpoints(t *testing.T) {
+	s := testServer(t)
+
+	// Create a session.
+	w := postJSON(t, s, "/api/session", map[string]string{})
+	if w.Code != http.StatusOK {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body.String())
+	}
+	var created sessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" {
+		t.Fatal("empty session id")
+	}
+
+	// Recommend through the session.
+	w2 := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:     "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Session: created.ID,
+		K:       2,
+	})
+	if w2.Code != http.StatusOK {
+		t.Fatalf("recommend via session status = %d: %s", w2.Code, w2.Body.String())
+	}
+
+	// Unknown session is a 404.
+	w3 := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:     "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Session: "nope",
+	})
+	if w3.Code != http.StatusNotFound {
+		t.Fatalf("unknown session status = %d", w3.Code)
+	}
+
+	// Close it; closing again 404s; using it afterwards 404s.
+	del := httptest.NewRequest(http.MethodDelete, "/api/session?id="+created.ID, nil)
+	w4 := httptest.NewRecorder()
+	s.ServeHTTP(w4, del)
+	if w4.Code != http.StatusOK {
+		t.Fatalf("delete status = %d", w4.Code)
+	}
+	w5 := httptest.NewRecorder()
+	s.ServeHTTP(w5, httptest.NewRequest(http.MethodDelete, "/api/session?id="+created.ID, nil))
+	if w5.Code != http.StatusNotFound {
+		t.Errorf("double delete status = %d", w5.Code)
+	}
+	w6 := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:     "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Session: created.ID,
+	})
+	if w6.Code != http.StatusNotFound {
+		t.Errorf("closed session status = %d", w6.Code)
+	}
+
+	// Method guard.
+	w7 := httptest.NewRecorder()
+	s.ServeHTTP(w7, httptest.NewRequest(http.MethodGet, "/api/session", nil))
+	if w7.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/session status = %d", w7.Code)
+	}
+}
+
+// TestConcurrentRecommendSharesCache fires identical and overlapping
+// requests from many goroutines through the HTTP layer and checks the
+// shared cache absorbed the repeats. Run with -race.
+func TestConcurrentRecommendSharesCache(t *testing.T) {
+	s := testServer(t)
+	queries := []string{
+		"SELECT * FROM orders WHERE category = 'Furniture'",
+		"SELECT * FROM orders WHERE category = 'Technology'",
+	}
+	const clients = 10
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(recommendRequest{SQL: queries[i%len(queries)], K: 2})
+			req := httptest.NewRequest(http.MethodPost, "/api/recommend", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			codes[i] = w.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("client %d status = %d", i, code)
+		}
+	}
+
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/api/stats", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", w.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits+st.Cache.Shared == 0 {
+		t.Fatalf("10 clients over 2 distinct queries must share work: %+v", st.Cache)
+	}
+	if st.Cache.Misses == 0 || st.Cache.Entries == 0 {
+		t.Fatalf("cache should have computed and stored entries: %+v", st.Cache)
+	}
+	if st.Sessions == 0 {
+		t.Error("stats should count the anonymous session")
+	}
+}
+
+// TestSessionDefaultOptions checks that options posted at session
+// creation become the session's defaults for later requests.
+func TestSessionDefaultOptions(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/session", recommendRequest{K: 1, Metric: "js"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body.String())
+	}
+	var created sessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	// Request leaves K and metric unset: the session defaults apply.
+	w2 := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:     "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Session: created.ID,
+	})
+	if w2.Code != http.StatusOK {
+		t.Fatalf("recommend status = %d: %s", w2.Code, w2.Body.String())
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Views) != 1 {
+		t.Errorf("session default K=1 ignored: %d views", len(resp.Views))
+	}
+	if resp.Metric != "js" {
+		t.Errorf("session default metric ignored: %q", resp.Metric)
+	}
+	// A request override still wins.
+	w3 := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL:     "SELECT * FROM sales WHERE product = 'Laserwave'",
+		Session: created.ID,
+		K:       2,
+	})
+	var resp3 recommendResponse
+	if err := json.Unmarshal(w3.Body.Bytes(), &resp3); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp3.Views) != 2 {
+		t.Errorf("request K=2 should override session default: %d views", len(resp3.Views))
+	}
+}
+
+// TestBooleanOverrideBackToFalse: an explicit false in the request
+// must override a session-level true (tri-state toggles).
+func TestBooleanOverrideBackToFalse(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/session", recommendRequest{K: 2, ShowWorst: boolPtr(true)})
+	var created sessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	run := func(show *bool) recommendResponse {
+		t.Helper()
+		w := postJSON(t, s, "/api/recommend", recommendRequest{
+			SQL:       "SELECT * FROM sales WHERE product = 'Laserwave'",
+			Session:   created.ID,
+			ShowWorst: show,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		var resp recommendResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := run(nil); len(resp.WorstViews) == 0 {
+		t.Error("session default showWorst=true should include bad views")
+	}
+	if resp := run(boolPtr(false)); len(resp.WorstViews) != 0 {
+		t.Error("explicit showWorst=false must override the session default")
+	}
+}
+
+// TestSampleFractionTriState: an explicit out-of-range sampleFraction
+// (e.g. 0) disables a session-level sampling default for that request.
+func TestSampleFractionTriState(t *testing.T) {
+	s := testServer(t)
+	w := postJSON(t, s, "/api/session", recommendRequest{K: 2, SampleFraction: floatPtr(0.5)})
+	var created sessionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	run := func(f *float64) recommendResponse {
+		t.Helper()
+		w := postJSON(t, s, "/api/recommend", recommendRequest{
+			SQL:            "SELECT * FROM orders WHERE category = 'Furniture'",
+			Session:        created.ID,
+			SampleFraction: f,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		var resp recommendResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := run(nil); !resp.Sampled {
+		t.Error("session default sampleFraction=0.5 should sample")
+	}
+	if resp := run(floatPtr(0)); resp.Sampled {
+		t.Error("explicit sampleFraction=0 must disable sampling for the request")
+	}
+}
+
+// TestAnonymousSessionSurvivesChurn floods session creation past a
+// small cap and checks the pinned anonymous session keeps serving
+// session-less requests.
+func TestAnonymousSessionSurvivesChurn(t *testing.T) {
+	db := seedb.Open()
+	if err := db.RegisterTable(seedb.LaserwaveTable("sales", seedb.ScenarioA)); err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(db, seedb.ServeConfig{MaxSessions: 8}, nil, nil)
+	for i := 0; i < 50; i++ {
+		if w := postJSON(t, s, "/api/session", map[string]any{}); w.Code != http.StatusOK {
+			t.Fatalf("create %d status = %d", i, w.Code)
+		}
+	}
+	if got := db.Service().SessionCount(); got != 8 {
+		t.Fatalf("SessionCount = %d, want the cap (8)", got)
+	}
+	w := postJSON(t, s, "/api/recommend", recommendRequest{
+		SQL: "SELECT * FROM sales WHERE product = 'Laserwave'",
+		K:   1,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("anonymous request after churn: %d: %s", w.Code, w.Body.String())
+	}
+	// The pinned anonymous session is still registered, not merely
+	// reachable through the server's pointer.
+	if _, err := db.Service().Session(s.anonymous.ID()); err != nil {
+		t.Fatalf("anonymous session evicted: %v", err)
 	}
 }

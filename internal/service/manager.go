@@ -1,0 +1,269 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedb/internal/core"
+	"seedb/internal/sql"
+)
+
+// Config tunes the service layer.
+type Config struct {
+	// CacheMaxBytes bounds the view-result cache (<= 0 selects the
+	// 64 MiB default).
+	CacheMaxBytes int64
+	// MaxSessions caps the session registry (<= 0 selects 1024). At
+	// the cap, creating a session evicts the one idle the longest, so
+	// clients that never close sessions cannot grow memory without
+	// bound.
+	MaxSessions int
+}
+
+// Manager is the concurrent entry point of the service layer: it owns
+// the shared view-result cache (installed into the core engine) and a
+// registry of analyst sessions. All methods are safe for concurrent
+// use; any number of sessions may issue requests in parallel and they
+// all share cached work.
+type Manager struct {
+	eng         *core.Engine
+	cache       *ViewCache
+	maxSessions int
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	anon     *Session
+}
+
+// NewManager builds the service layer over a core engine and installs
+// its cache. Safe to call on a live engine: SetCache swaps the cache
+// atomically and in-flight plans keep the snapshot they started with.
+func NewManager(eng *core.Engine, cfg Config) *Manager {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 1024
+	}
+	m := &Manager{
+		eng:         eng,
+		cache:       NewViewCache(cfg.CacheMaxBytes),
+		maxSessions: cfg.MaxSessions,
+		sessions:    make(map[string]*Session),
+	}
+	eng.SetCache(m.cache)
+	return m
+}
+
+// Engine returns the underlying core engine.
+func (m *Manager) Engine() *core.Engine { return m.eng }
+
+// Cache returns the shared view-result cache.
+func (m *Manager) Cache() *ViewCache { return m.cache }
+
+// CacheStats snapshots the shared cache counters.
+func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+// NewSession registers a session with the given default options.
+// Session IDs are random (not sequential), so holding an ID is the
+// capability to use — and close — that session and no other. At the
+// configured cap the longest-idle session is evicted first.
+func (m *Manager) NewSession(opts core.Options) *Session {
+	now := time.Now()
+	s := &Session{
+		id:      newSessionID(),
+		manager: m,
+		opts:    opts,
+		created: now,
+	}
+	s.lastUsed.Store(now.UnixNano())
+	m.mu.Lock()
+	for _, taken := m.sessions[s.id]; taken; _, taken = m.sessions[s.id] {
+		s.id = newSessionID()
+	}
+	for len(m.sessions) >= m.maxSessions {
+		var victim *Session
+		for _, cand := range m.sessions {
+			if cand.pinned.Load() {
+				continue
+			}
+			if victim == nil || cand.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = cand
+			}
+		}
+		if victim == nil {
+			break // only pinned sessions left; exceed the cap rather than break them
+		}
+		delete(m.sessions, victim.id)
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	return s
+}
+
+// newSessionID returns an unguessable session identifier.
+func newSessionID() string {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand never fails on supported platforms; panicking
+		// beats handing out predictable IDs.
+		panic(fmt.Sprintf("service: reading random session id: %v", err))
+	}
+	return "s-" + hex.EncodeToString(buf[:])
+}
+
+// AnonymousSession returns the manager's shared, pinned session for
+// requests that carry no session ID. It is created once per Manager —
+// servers constructed over the same DB share it instead of each
+// pinning (and leaking) their own.
+func (m *Manager) AnonymousSession() *Session {
+	m.mu.RLock()
+	a := m.anon
+	m.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	s := m.NewSession(core.DefaultOptions())
+	s.Pin()
+	m.mu.Lock()
+	if m.anon == nil {
+		m.anon = s
+		m.mu.Unlock()
+		return s
+	}
+	// Lost a creation race: discard ours, use the winner's.
+	a = m.anon
+	id := s.id
+	m.mu.Unlock()
+	m.CloseSession(id)
+	return a
+}
+
+// Session looks up a live session by ID.
+func (m *Manager) Session(id string) (*Session, error) {
+	m.mu.RLock()
+	s, ok := m.sessions[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: no session %q", id)
+	}
+	return s, nil
+}
+
+// CloseSession removes a session; it reports whether the ID was live.
+// Requests already in flight on the session complete normally.
+func (m *Manager) CloseSession(id string) bool {
+	m.mu.Lock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	return ok
+}
+
+// SessionIDs lists live session IDs, sorted. IDs are capabilities:
+// this is for operators and tests, not for handing to clients.
+func (m *Manager) SessionIDs() []string {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// SessionCount returns the number of live sessions.
+func (m *Manager) SessionCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// Session is one analyst's exploration context: a stable ID, default
+// recommendation options, and request accounting. Sessions are cheap —
+// the expensive state (the view-result cache) is shared manager-wide,
+// which is the whole point: overlapping exploration by different
+// analysts reuses each other's scans.
+type Session struct {
+	id      string
+	manager *Manager
+	created time.Time
+
+	optsMu sync.RWMutex
+	opts   core.Options
+
+	requests atomic.Int64
+	lastUsed atomic.Int64 // unix nanos of the latest request (eviction order)
+	pinned   atomic.Bool  // exempt from at-cap eviction
+}
+
+// Pin exempts the session from at-cap idle eviction. Servers pin the
+// sessions they own (e.g. the frontend's shared anonymous session) so
+// client session churn cannot evict them.
+func (s *Session) Pin() { s.pinned.Store(true) }
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Created returns the session creation time.
+func (s *Session) Created() time.Time { return s.created }
+
+// Requests returns how many recommendation calls the session served.
+func (s *Session) Requests() int64 { return s.requests.Load() }
+
+// Options returns the session's current default options.
+func (s *Session) Options() core.Options {
+	s.optsMu.RLock()
+	defer s.optsMu.RUnlock()
+	return s.opts
+}
+
+// SetOptions replaces the session's default options.
+func (s *Session) SetOptions(opts core.Options) {
+	s.optsMu.Lock()
+	s.opts = opts
+	s.optsMu.Unlock()
+}
+
+// effectiveOptions picks the per-call override or the session default.
+func (s *Session) effectiveOptions(opts *core.Options) core.Options {
+	if opts != nil {
+		return *opts
+	}
+	return s.Options()
+}
+
+// Recommend runs the SeeDB pipeline for the analyst query q. opts
+// overrides the session defaults for this call when non-nil.
+func (s *Session) Recommend(ctx context.Context, q core.Query, opts *core.Options) (*core.Result, error) {
+	s.touch()
+	return s.manager.eng.Recommend(ctx, q, s.effectiveOptions(opts))
+}
+
+// RecommendSQL is Recommend with the analyst query given as SQL text.
+// The statement must be a plain selection (it defines the data subset,
+// not a view).
+func (s *Session) RecommendSQL(ctx context.Context, sqlText string, opts *core.Options) (*core.Result, error) {
+	table, where, err := sql.AnalystQuery(sqlText, s.manager.eng.Executor().Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return s.Recommend(ctx, core.Query{Table: table, Predicate: where}, opts)
+}
+
+// DrillDown refines a previous analyst query by one group of a
+// recommended view and re-runs the recommendation (paper §1 step 4).
+func (s *Session) DrillDown(ctx context.Context, q core.Query, view core.View, label string, opts *core.Options) (*core.Result, error) {
+	s.touch()
+	return s.manager.eng.DrillDown(ctx, q, view, label, s.effectiveOptions(opts))
+}
+
+// touch records a request for accounting and idle-eviction ordering.
+func (s *Session) touch() {
+	s.requests.Add(1)
+	s.lastUsed.Store(time.Now().UnixNano())
+}

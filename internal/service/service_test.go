@@ -1,0 +1,560 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"seedb/internal/core"
+	"seedb/internal/datagen"
+	"seedb/internal/engine"
+)
+
+// newTestBackend builds a catalog + executor + core engine over a
+// deterministic superstore table.
+func newTestBackend(t testing.TB, rows int) (*core.Engine, *engine.Catalog) {
+	t.Helper()
+	cat := engine.NewCatalog()
+	if err := cat.Register(datagen.Superstore("orders", rows, 42)); err != nil {
+		t.Fatal(err)
+	}
+	return core.New(engine.NewExecutor(cat)), cat
+}
+
+func testOptions() core.Options {
+	o := core.DefaultOptions()
+	o.K = 3
+	return o
+}
+
+func furnitureQuery() core.Query {
+	return core.Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Furniture"))}
+}
+
+// renderTopK flattens the ranked views into a comparable string.
+func renderTopK(res *core.Result) string {
+	var b strings.Builder
+	for _, rec := range res.Recommendations {
+		fmt.Fprintf(&b, "%d %s %.12f\n", rec.Rank, rec.Data.View, rec.Data.Utility)
+	}
+	return b.String()
+}
+
+func TestCacheHitOnRepeatedRecommend(t *testing.T) {
+	eng, _ := newTestBackend(t, 4000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+	ctx := context.Background()
+
+	r1, err := sess.Recommend(ctx, furnitureQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after1 := m.CacheStats()
+	if after1.Misses == 0 {
+		t.Fatalf("first request must miss, stats %+v", after1)
+	}
+	if after1.Hits != 0 {
+		t.Fatalf("first request cannot hit, stats %+v", after1)
+	}
+
+	r2, err := sess.Recommend(ctx, furnitureQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2 := m.CacheStats()
+	if after2.Hits == 0 {
+		t.Fatalf("repeat request must hit, stats %+v", after2)
+	}
+	if after2.Misses != after1.Misses {
+		t.Fatalf("repeat request must not miss again: %+v -> %+v", after1, after2)
+	}
+	if got, want := renderTopK(r2), renderTopK(r1); got != want {
+		t.Fatalf("cached result differs:\n%s\nvs\n%s", got, want)
+	}
+	if sess.Requests() != 2 {
+		t.Errorf("session request count = %d, want 2", sess.Requests())
+	}
+}
+
+// TestComparisonSideSharedAcrossQueries checks the headline reuse: two
+// different analyst predicates share the comparison-side (whole-table)
+// scan.
+func TestComparisonSideSharedAcrossQueries(t *testing.T) {
+	eng, _ := newTestBackend(t, 4000)
+	m := NewManager(eng, Config{})
+	// Separate target and comparison queries so the comparison side is
+	// its own cacheable unit.
+	opts := testOptions()
+	opts.CombineTargetComparison = false
+	sess := m.NewSession(opts)
+	ctx := context.Background()
+
+	if _, err := sess.Recommend(ctx, furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := m.CacheStats()
+	q2 := core.Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Technology"))}
+	if _, err := sess.Recommend(ctx, q2, nil); err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := m.CacheStats()
+	if afterSecond.Hits <= afterFirst.Hits {
+		t.Fatalf("second query with a different predicate must reuse the comparison side: %+v -> %+v",
+			afterFirst, afterSecond)
+	}
+}
+
+func TestInvalidationOnTableReload(t *testing.T) {
+	eng, cat := newTestBackend(t, 2000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+	ctx := context.Background()
+
+	r1, err := sess.Recommend(ctx, furnitureQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.CacheStats()
+
+	// Reload: drop and register a table with the same name but
+	// different contents. The fingerprint changes, so nothing stale can
+	// be served.
+	cat.Drop("orders")
+	if err := cat.Register(datagen.Superstore("orders", 2000, 7)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sess.Recommend(ctx, furnitureQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m.CacheStats()
+	if after.Misses <= base.Misses {
+		t.Fatalf("reloaded table must miss: %+v -> %+v", base, after)
+	}
+	if renderTopK(r1) == renderTopK(r2) {
+		t.Fatal("different seed data produced identical top-k; reload did not take effect")
+	}
+}
+
+func TestInvalidationOnAppend(t *testing.T) {
+	eng, cat := newTestBackend(t, 2000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+	ctx := context.Background()
+
+	if _, err := sess.Recommend(ctx, furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	base := m.CacheStats()
+
+	tb, err := cat.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpBefore := tb.Fingerprint()
+	row := tb.Row(0)
+	if err := tb.AppendRow(row...); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Fingerprint() == fpBefore {
+		t.Fatal("AppendRow must change the table fingerprint")
+	}
+	if _, err := sess.Recommend(ctx, furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	after := m.CacheStats()
+	if after.Misses <= base.Misses {
+		t.Fatalf("mutated table must miss: %+v -> %+v", base, after)
+	}
+}
+
+func TestSingleflightDeduplicatesConcurrentMisses(t *testing.T) {
+	c := NewViewCache(0)
+	const waiters = 16
+	var computes atomic.Int64
+
+	results := make([]*engine.Result, 1)
+	results[0] = &engine.Result{Columns: []string{"x"}}
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+				computes.Add(1)
+				// Hold the flight open until every other goroutine has
+				// joined it: Shared is incremented before a waiter
+				// blocks, so this leader-side spin makes the 1 miss /
+				// N-1 shared split deterministic.
+				for c.Stats().Shared != waiters-1 {
+					runtime.Gosched()
+				}
+				return results, true, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if len(res) != 1 || res[0] != results[0] {
+				t.Error("waiter got a different result set")
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d shared", st, waiters-1)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := NewViewCache(0)
+	var calls atomic.Int64
+	fail := func() ([]*engine.Result, bool, error) {
+		calls.Add(1)
+		return nil, false, fmt.Errorf("boom")
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("failed computes must be retried, got %d calls", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("errors must not be stored: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Each stored result is ~100 bytes; budget fits only a few.
+	c := NewViewCache(400)
+	mk := func(i int) func() ([]*engine.Result, bool, error) {
+		return func() ([]*engine.Result, bool, error) {
+			return []*engine.Result{{
+				Columns: []string{"g", "v"},
+				Rows:    [][]engine.Value{{engine.String(fmt.Sprintf("group-%d", i)), engine.Float(1)}},
+			}}, true, nil
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.GetOrCompute(context.Background(), fmt.Sprintf("k%d", i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under a 400-byte budget: %+v", st)
+	}
+	if st.Bytes > 400 && st.Entries > 1 {
+		t.Fatalf("cache over budget with multiple entries: %+v", st)
+	}
+	// Most recently used keys survive; the oldest were evicted.
+	hitsBefore := st.Hits
+	if _, err := c.GetOrCompute(context.Background(), "k9", mk(9)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatal("most recently inserted key should still be cached")
+	}
+	missesBefore := c.Stats().Misses
+	if _, err := c.GetOrCompute(context.Background(), "k0", mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != missesBefore+1 {
+		t.Fatal("oldest key should have been evicted")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := NewViewCache(0)
+	if _, err := c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+		return []*engine.Result{{Columns: []string{"x"}}}, true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("purge left %+v", st)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	eng, _ := newTestBackend(t, 500)
+	m := NewManager(eng, Config{})
+	a := m.NewSession(testOptions())
+	b := m.NewSession(testOptions())
+	if a.ID() == b.ID() {
+		t.Fatal("session IDs must be unique")
+	}
+	if got := m.SessionIDs(); len(got) != 2 {
+		t.Fatalf("SessionIDs = %v", got)
+	}
+	if _, err := m.Session(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.CloseSession(a.ID()) {
+		t.Fatal("close must report the session was live")
+	}
+	if m.CloseSession(a.ID()) {
+		t.Fatal("double close must report false")
+	}
+	if _, err := m.Session(a.ID()); err == nil {
+		t.Fatal("closed session must not resolve")
+	}
+
+	// Per-session options are honored and mutable.
+	opts := testOptions()
+	opts.K = 1
+	b.SetOptions(opts)
+	res, err := b.Recommend(context.Background(), furnitureQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 1 {
+		t.Fatalf("K=1 session returned %d views", len(res.Recommendations))
+	}
+}
+
+// TestConcurrentSessionsStress drives many sessions over overlapping
+// queries in parallel. Run with -race; it also checks that every
+// request is answered consistently and the counters add up.
+func TestConcurrentSessionsStress(t *testing.T) {
+	eng, _ := newTestBackend(t, 3000)
+	m := NewManager(eng, Config{})
+	ctx := context.Background()
+
+	queries := []core.Query{
+		furnitureQuery(),
+		{Table: "orders", Predicate: engine.Eq("category", engine.String("Technology"))},
+		{Table: "orders", Predicate: engine.Eq("region", engine.String("East"))},
+		{Table: "orders"}, // whole table
+	}
+	// One reference answer per query, computed before the storm.
+	want := make([]string, len(queries))
+	ref := m.NewSession(testOptions())
+	for i, q := range queries {
+		res, err := ref.Recommend(ctx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = renderTopK(res)
+	}
+
+	const sessions = 8
+	const perSession = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*perSession)
+	for s := 0; s < sessions; s++ {
+		sess := m.NewSession(testOptions())
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < perSession; i++ {
+				qi := (worker + i) % len(queries)
+				res, err := sess.Recommend(ctx, queries[qi], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := renderTopK(res); got != want[qi] {
+					errs <- fmt.Errorf("worker %d query %d: result diverged:\n%s\nvs\n%s", worker, qi, got, want[qi])
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := m.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("stress run produced no cache hits: %+v", st)
+	}
+	if st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("cache should hold entries after the run: %+v", st)
+	}
+}
+
+// TestWaiterTakesOverCancelledLeader: a leader whose own context is
+// cancelled mid-compute must not poison waiters with context.Canceled;
+// a live waiter re-runs the computation under its own context.
+func TestWaiterTakesOverCancelledLeader(t *testing.T) {
+	c := NewViewCache(0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	leaderRelease := make(chan struct{})
+
+	want := []*engine.Result{{Columns: []string{"ok"}}}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		_, err := c.GetOrCompute(leaderCtx, "k", func() ([]*engine.Result, bool, error) {
+			close(leaderStarted)
+			<-leaderRelease
+			// The engine surfaces cancellation as a wrapped ctx error.
+			return nil, false, fmt.Errorf("engine: scan cancelled: %w", leaderCtx.Err())
+		})
+		if err == nil {
+			t.Error("cancelled leader should see its own error")
+		}
+	}()
+
+	<-leaderStarted
+	waiterDone := make(chan error, 1)
+	go func() { // waiter joins the in-flight entry, then takes over
+		res, err := c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+			return want, true, nil
+		})
+		if err == nil && (len(res) != 1 || res[0] != want[0]) {
+			err = fmt.Errorf("takeover returned wrong results")
+		}
+		waiterDone <- err
+	}()
+
+	// Let the waiter reach the flight map before failing the leader.
+	for c.Stats().Shared == 0 {
+		runtime.Gosched()
+	}
+	cancelLeader()
+	close(leaderRelease)
+	wg.Wait()
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter must take over after leader cancellation: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("takeover result should be stored: %+v", st)
+	}
+}
+
+// TestSessionCapEvictsIdle: at MaxSessions the longest-idle session is
+// evicted instead of growing the registry without bound.
+func TestSessionCapEvictsIdle(t *testing.T) {
+	eng, _ := newTestBackend(t, 500)
+	m := NewManager(eng, Config{MaxSessions: 3})
+	a := m.NewSession(testOptions())
+	b := m.NewSession(testOptions())
+	c := m.NewSession(testOptions())
+	// Touch a and b so c is the longest idle.
+	if _, err := a.Recommend(context.Background(), furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recommend(context.Background(), furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	d := m.NewSession(testOptions())
+	if got := m.SessionCount(); got != 3 {
+		t.Fatalf("SessionCount = %d, want 3 (capped)", got)
+	}
+	if _, err := m.Session(c.ID()); err == nil {
+		t.Error("longest-idle session should have been evicted")
+	}
+	for _, s := range []*Session{a, b, d} {
+		if _, err := m.Session(s.ID()); err != nil {
+			t.Errorf("session %s should survive: %v", s.ID(), err)
+		}
+	}
+}
+
+// TestPinnedSessionNotEvicted: pinned sessions survive at-cap churn.
+func TestPinnedSessionNotEvicted(t *testing.T) {
+	eng, _ := newTestBackend(t, 500)
+	m := NewManager(eng, Config{MaxSessions: 2})
+	pinnedSess := m.NewSession(testOptions())
+	pinnedSess.Pin()
+	for i := 0; i < 5; i++ {
+		m.NewSession(testOptions())
+	}
+	if _, err := m.Session(pinnedSess.ID()); err != nil {
+		t.Fatalf("pinned session must survive churn: %v", err)
+	}
+	if got := m.SessionCount(); got != 2 {
+		t.Fatalf("SessionCount = %d, want 2", got)
+	}
+}
+
+// TestPanicInComputeDoesNotWedgeKey: after a panicking compute, the
+// key must be retryable and waiters must not block forever.
+func TestPanicInComputeDoesNotWedgeKey(t *testing.T) {
+	c := NewViewCache(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic must propagate to the leader")
+			}
+		}()
+		_, _ = c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+			panic("boom")
+		})
+	}()
+	// The key is not wedged: the next caller recomputes successfully.
+	res, err := c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+		return []*engine.Result{{Columns: []string{"ok"}}}, true, nil
+	})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("key wedged after panic: res=%v err=%v", res, err)
+	}
+}
+
+// TestNonCacheableResultsNotStored: results compute reports as
+// non-cacheable (e.g. the table mutated mid-scan) are served but never
+// published under the key.
+func TestNonCacheableResultsNotStored(t *testing.T) {
+	c := NewViewCache(0)
+	var calls atomic.Int64
+	mk := func(cacheable bool) func() ([]*engine.Result, bool, error) {
+		return func() ([]*engine.Result, bool, error) {
+			calls.Add(1)
+			return []*engine.Result{{Columns: []string{"x"}}}, cacheable, nil
+		}
+	}
+	res, err := c.GetOrCompute(context.Background(), "k", mk(false))
+	if err != nil || len(res) != 1 {
+		t.Fatalf("non-cacheable result must still be served: res=%v err=%v", res, err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("non-cacheable result must not be stored: %+v", st)
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", mk(true)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("second call should recompute, got %d calls", calls.Load())
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("cacheable result should be stored: %+v", st)
+	}
+}
+
+// TestAnonymousSessionShared: every caller gets the same pinned
+// anonymous session — multiple servers over one manager must not each
+// register their own.
+func TestAnonymousSessionShared(t *testing.T) {
+	eng, _ := newTestBackend(t, 500)
+	m := NewManager(eng, Config{})
+	a := m.AnonymousSession()
+	b := m.AnonymousSession()
+	if a != b {
+		t.Fatal("anonymous session must be shared")
+	}
+	if !a.pinned.Load() {
+		t.Fatal("anonymous session must be pinned")
+	}
+	if got := m.SessionCount(); got != 1 {
+		t.Fatalf("SessionCount = %d, want 1", got)
+	}
+}

@@ -153,6 +153,22 @@ func ParseAndCompile(src string, cat *engine.Catalog) (*Compiled, error) {
 	return Compile(stmt, cat)
 }
 
+// AnalystQuery resolves SQL text into the (table, predicate) pair of a
+// SeeDB analyst query. The statement must be a plain selection — it
+// defines the data subset, not a view — so aggregate queries are
+// rejected. Both the public DB API and the service layer route their
+// RecommendSQL front doors through this single validation point.
+func AnalystQuery(src string, cat *engine.Catalog) (table string, where engine.Predicate, err error) {
+	c, err := ParseAndCompile(src, cat)
+	if err != nil {
+		return "", nil, err
+	}
+	if c.Scan == nil {
+		return "", nil, fmt.Errorf("sql: the analyst query must be a plain SELECT (it defines the data subset); got an aggregate query")
+	}
+	return c.Scan.Table, c.Scan.Where, nil
+}
+
 // coercePredicate rewrites literals so their types line up with the
 // column they are compared against — today that means string literals
 // against TIMESTAMP columns become timestamps.

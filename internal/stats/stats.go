@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"seedb/internal/engine"
@@ -311,48 +312,169 @@ func CorrelationClusters(t *engine.Table, cols []string, threshold float64) ([][
 // ---------------------------------------------------------------------
 // Collector: cached table statistics
 
-// Collector caches TableStats per table, the way SeeDB's metadata
-// collector amortizes metadata queries across requests.
+// Collector caches TableStats and correlation clusterings per table,
+// the way SeeDB's metadata collector amortizes metadata queries across
+// requests. Cache keys are table fingerprints (identity + mutation
+// version), so a mutated or reloaded table — even one reusing a name —
+// is always re-collected.
 type Collector struct {
-	mu    sync.Mutex
-	cache map[string]*TableStats
+	mu       sync.Mutex
+	cache    map[string]*TableStats
+	clusters map[string][][]string
+	// flights de-duplicates concurrent cold computations per memo key
+	// (singleflight): N clients hitting an empty memo after a restart
+	// must not each run the full table scan / quadratic pair scan.
+	flights map[string]chan struct{}
 }
 
 // NewCollector returns an empty stats cache.
 func NewCollector() *Collector {
-	return &Collector{cache: map[string]*TableStats{}}
+	return &Collector{
+		cache:    map[string]*TableStats{},
+		clusters: map[string][][]string{},
+		flights:  map[string]chan struct{}{},
+	}
 }
 
-// Stats returns (computing and caching on first use) the statistics
-// for a table. The cache key is the table name plus row count, so an
-// appended-to table is re-collected automatically.
-func (c *Collector) Stats(t *engine.Table) *TableStats {
-	key := fmt.Sprintf("%s#%d", t.Name(), t.NumRows())
+// endFlight unregisters a computation and wakes waiters. Deferred by
+// leaders so a panicking computation cannot wedge the key.
+func (c *Collector) endFlight(key string, ch chan struct{}) {
 	c.mu.Lock()
-	if ts, ok := c.cache[key]; ok {
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(ch)
+}
+
+// flightLoop is the Collector's memoization cycle, shared by Stats and
+// CorrelationClusters: check the memo and register a flight in ONE
+// critical section (so a caller can never become leader for an
+// already-stored key), wait on an existing flight and re-check, or
+// lead the computation. lookup runs with c.mu held; compute runs
+// unlocked and is responsible for storing its result (taking c.mu
+// itself). On leader failure nothing is stored and the next waiter
+// retries the computation.
+func flightLoop[V any](c *Collector, fkey string, lookup func() (V, bool), compute func() (V, error)) (V, error) {
+	for {
+		c.mu.Lock()
+		if v, ok := lookup(); ok {
+			c.mu.Unlock()
+			return v, nil
+		}
+		if ch, ok := c.flights[fkey]; ok {
+			c.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		c.flights[fkey] = ch
 		c.mu.Unlock()
-		return ts
+
+		var v V
+		var err error
+		func() {
+			defer c.endFlight(fkey, ch)
+			v, err = compute()
+		}()
+		return v, err
 	}
-	c.mu.Unlock()
-	ts := Collect(t)
-	c.mu.Lock()
-	c.cache[key] = ts
-	c.mu.Unlock()
+}
+
+// maxCollectorEntries bounds each memo map; beyond it the maps are
+// reset wholesale (entries are cheap to recompute relative to view
+// queries, and the bound only trips under heavy table churn).
+const maxCollectorEntries = 256
+
+// Stats returns (computing and caching on first use) the statistics
+// for a table. Concurrent misses on the same key share one collection.
+func (c *Collector) Stats(t *engine.Table) *TableStats {
+	key := t.Fingerprint()
+	ts, _ := flightLoop(c, "stats|"+key,
+		func() (*TableStats, bool) { ts, ok := c.cache[key]; return ts, ok },
+		func() (*TableStats, error) {
+			ts := Collect(t)
+			c.mu.Lock()
+			dropStaleVersions(c.cache, key, func(k string) bool { return k == key })
+			if len(c.cache) >= maxCollectorEntries {
+				c.cache = map[string]*TableStats{}
+			}
+			c.cache[key] = ts
+			c.mu.Unlock()
+			return ts, nil
+		})
 	return ts
 }
 
-// Invalidate drops cached stats for a table (all tables when name is
-// empty).
+// dropStaleVersions removes memo entries belonging to other versions
+// of the same table instance: fingerprints are "name#id.version", so
+// keys sharing everything up to fp's last '.' belong to the same
+// table, and only those accepted by keep survive. A mutating table
+// therefore holds one generation of metadata at a time instead of
+// growing without bound.
+func dropStaleVersions[V any](m map[string]V, fp string, keep func(key string) bool) {
+	dot := strings.LastIndexByte(fp, '.')
+	if dot < 0 {
+		return
+	}
+	inst := fp[:dot+1]
+	for k := range m {
+		if strings.HasPrefix(k, inst) && !keep(k) {
+			delete(m, k)
+		}
+	}
+}
+
+// CorrelationClusters is the cached form of the package-level
+// function: pairwise Cramér's V is quadratic in attribute count and
+// scans the table per pair, which would otherwise dominate every
+// warm-cache request, so clusterings are memoized against the table
+// fingerprint, threshold, and attribute list. Concurrent misses on the
+// same key share one computation (singleflight).
+func (c *Collector) CorrelationClusters(t *engine.Table, cols []string, threshold float64) ([][]string, error) {
+	fp := t.Fingerprint()
+	key := fmt.Sprintf("%s|%g|%s", fp, threshold, strings.Join(cols, ","))
+	return flightLoop(c, "clusters|"+key,
+		func() ([][]string, bool) { cl, ok := c.clusters[key]; return cl, ok },
+		func() ([][]string, error) {
+			cl, err := CorrelationClusters(t, cols, threshold)
+			if err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			// Cluster keys are "<fp>|<threshold>|<cols>": keep every
+			// key of the current version, drop other versions'.
+			cur := fp + "|"
+			dropStaleVersions(c.clusters, fp, func(k string) bool { return strings.HasPrefix(k, cur) })
+			if len(c.clusters) >= maxCollectorEntries {
+				c.clusters = map[string][][]string{}
+			}
+			c.clusters[key] = cl
+			c.mu.Unlock()
+			return cl, nil
+		})
+}
+
+// Invalidate drops cached stats and clusterings for a table (all
+// tables when name is empty). Fingerprint keying already prevents
+// stale reads; Invalidate just reclaims memory for dropped tables.
 func (c *Collector) Invalidate(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if name == "" {
 		c.cache = map[string]*TableStats{}
+		c.clusters = map[string][][]string{}
 		return
 	}
+	owns := func(key string) bool {
+		return len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '#'
+	}
 	for key := range c.cache {
-		if len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '#' {
+		if owns(key) {
 			delete(c.cache, key)
+		}
+	}
+	for key := range c.clusters {
+		if owns(key) {
+			delete(c.clusters, key)
 		}
 	}
 }

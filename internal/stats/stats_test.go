@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"seedb/internal/engine"
@@ -289,5 +290,47 @@ func TestEntropyUniformVsSkewed(t *testing.T) {
 	}
 	if skewed.NormEntropy >= uniform.NormEntropy {
 		t.Errorf("skewed entropy %v should be below uniform %v", skewed.NormEntropy, uniform.NormEntropy)
+	}
+}
+
+// TestCollectorSingleflight: concurrent cold misses share one
+// computation — every caller gets the same stored instance instead of
+// racing to compute its own.
+func TestCollectorSingleflight(t *testing.T) {
+	tb := engine.MustNewTable("sf", engine.Schema{
+		{Name: "a", Type: engine.TypeString},
+		{Name: "b", Type: engine.TypeString},
+	})
+	for i := 0; i < 100; i++ {
+		if err := tb.AppendRow(engine.String(string(rune('a'+i%5))), engine.String(string(rune('a'+i%3)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCollector()
+	const callers = 16
+	stats := make([]*TableStats, callers)
+	clusters := make([][][]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i] = c.Stats(tb)
+			cl, err := c.CorrelationClusters(tb, []string{"a", "b"}, 0.95)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			clusters[i] = cl
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if stats[i] != stats[0] {
+			t.Fatalf("caller %d got a different TableStats instance", i)
+		}
+		if len(clusters[i]) != len(clusters[0]) {
+			t.Fatalf("caller %d got a different clustering", i)
+		}
 	}
 }

@@ -27,11 +27,13 @@ package seedb
 
 import (
 	"context"
-	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"seedb/internal/core"
 	"seedb/internal/engine"
+	"seedb/internal/service"
 	"seedb/internal/sql"
 	"seedb/internal/stats"
 	"seedb/internal/viz"
@@ -85,6 +87,8 @@ type (
 	Options = core.Options
 	// CombineMode selects the multi-group-by combining strategy.
 	CombineMode = core.CombineMode
+	// Query is the analyst's input query (table + predicate).
+	Query = core.Query
 	// Result is the outcome of a Recommend call.
 	Result = core.Result
 	// Recommendation is one ranked view.
@@ -168,12 +172,28 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	return engine.NewTable(name, schema)
 }
 
+// Re-exported service-layer types (see DB.Serve).
+type (
+	// ServeConfig tunes the service layer (cache budget).
+	ServeConfig = service.Config
+	// Service is the concurrent recommendation service: a shared
+	// view-result cache plus a session registry.
+	Service = service.Manager
+	// Session is one analyst's exploration context within a Service.
+	Session = service.Session
+	// CacheStats snapshots the view-result cache counters.
+	CacheStats = service.CacheStats
+)
+
 // DB is a SeeDB instance: an embedded analytical database plus the
 // recommendation engine on top.
 type DB struct {
 	cat  *engine.Catalog
 	ex   *engine.Executor
 	core *core.Engine
+
+	serveOnce sync.Once
+	svc       atomic.Pointer[Service]
 }
 
 // Open creates an empty SeeDB instance.
@@ -255,14 +275,11 @@ func (db *DB) Recommend(ctx context.Context, table string, predicate Predicate, 
 // must be a plain selection (no aggregates or grouping) — it defines
 // the data subset, not a view.
 func (db *DB) RecommendSQL(ctx context.Context, sqlText string, opts Options) (*Result, error) {
-	c, err := sql.ParseAndCompile(sqlText, db.cat)
+	table, where, err := sql.AnalystQuery(sqlText, db.cat)
 	if err != nil {
 		return nil, err
 	}
-	if c.Scan == nil {
-		return nil, fmt.Errorf("seedb: the analyst query must be a plain SELECT (it defines the data subset); got an aggregate query")
-	}
-	return db.core.Recommend(ctx, core.Query{Table: c.Scan.Table, Predicate: c.Scan.Where}, opts)
+	return db.core.Recommend(ctx, core.Query{Table: table, Predicate: where}, opts)
 }
 
 // DrillDown refines a previous analyst query by one group of a
@@ -295,6 +312,32 @@ func (db *DB) ResetExecStats() { db.ex.Stats().Reset() }
 // Engine exposes the recommendation engine for advanced integrations
 // (the bundled HTTP frontend uses it).
 func (db *DB) Engine() *core.Engine { return db.core }
+
+// Serve turns the instance into a shared recommendation service: it
+// installs a content-addressed view-result cache (so the comparison
+// side of every request, repeated target queries, and concurrent
+// identical queries all share scans) and returns the session manager.
+// Call it before serving traffic; subsequent calls return the same
+// Service and ignore cfg. After Serve, direct Recommend /
+// RecommendSQL calls on the DB also benefit from the cache.
+func (db *DB) Serve(cfg ServeConfig) *Service {
+	db.serveOnce.Do(func() {
+		db.svc.Store(service.NewManager(db.core, cfg))
+	})
+	return db.svc.Load()
+}
+
+// Service returns the service layer if Serve has been called, else nil.
+func (db *DB) Service() *Service { return db.svc.Load() }
+
+// CacheStats snapshots the view-result cache counters; it returns the
+// zero value when Serve has not been called.
+func (db *DB) CacheStats() CacheStats {
+	if svc := db.svc.Load(); svc != nil {
+		return svc.CacheStats()
+	}
+	return CacheStats{}
+}
 
 // Chart builds a renderable chart (bar/line chosen per the frontend
 // rules) from a recommended view. With normalized=true it plots the
