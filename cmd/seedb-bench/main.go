@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -28,6 +29,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	baseline := flag.String("baseline", "", "measure cold vs warm-cache recommend latency and write the JSON baseline to this path (e.g. BENCH_baseline.json), then exit")
 	baselineIters := flag.Int("baseline-iters", 9, "iterations per baseline measurement (median is recorded)")
+	shards := flag.Int("shards", 0, "run the engine on an in-process sharded backend with N shards (baseline mode)")
+	shardBench := flag.String("shardbench", "", "measure the single-node vs sharded latency curve and write BENCH_shard.json to this path, then exit")
+	shardBenchRows := flag.String("shardbench-rows", "100000,1000000", "comma-separated table sizes for -shardbench")
+	shardBenchShards := flag.String("shardbench-shards", "2,4,8", "comma-separated shard counts for -shardbench")
 	flag.Parse()
 
 	if *list {
@@ -37,12 +42,33 @@ func main() {
 		return
 	}
 
+	if *shardBench != "" {
+		rowsList, err := parseIntList(*shardBenchRows)
+		must(err)
+		shardList, err := parseIntList(*shardBenchShards)
+		must(err)
+		b, err := experiments.RunShardBench(rowsList, shardList, *seed, *baselineIters)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*shardBench, append(data, '\n'), 0o644))
+		for _, w := range b.Workloads {
+			fmt.Printf("rows=%d single=%.1fms\n", w.Rows, w.SingleMillis)
+			for _, pt := range w.Curve {
+				fmt.Printf("  shards=%d wall=%.1fms (%.2fx) projected=%.1fms (%.2fx)\n",
+					pt.Shards, pt.WallMillis, pt.SpeedupWall, pt.ProjectedMillis, pt.SpeedupProjected)
+			}
+		}
+		fmt.Printf("-> %s (hostCores=%d)\n", *shardBench, b.HostCores)
+		return
+	}
+
 	if *baseline != "" {
 		n := *rows
 		if n == 0 {
 			n = 100_000
 		}
-		b, err := experiments.RunBaseline(n, *seed, *baselineIters)
+		b, err := experiments.RunBaseline(n, *seed, *baselineIters, *shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seedb-bench: baseline: %v\n", err)
 			os.Exit(1)
@@ -81,6 +107,11 @@ func main() {
 		}
 	}
 
+	if *shards > 0 {
+		fmt.Fprintln(os.Stderr, "seedb-bench: -shards applies to -baseline and -shardbench modes")
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	failed := false
 	for _, id := range ids {
@@ -94,6 +125,25 @@ func main() {
 	}
 	fmt.Printf("total: %s (rows=%d quick=%v seed=%d)\n", time.Since(start).Round(time.Millisecond), cfg.Rows, cfg.Quick, cfg.Seed)
 	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("seedb-bench: bad list entry %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seedb-bench:", err)
 		os.Exit(1)
 	}
 }

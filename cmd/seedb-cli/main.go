@@ -32,6 +32,7 @@ func main() {
 	width := flag.Int("width", 92, "chart width in characters")
 	normalized := flag.Bool("normalized", true, "plot normalized distributions instead of raw aggregates")
 	sample := flag.Float64("sample", 0, "sample fraction in (0,1); 0 = exact")
+	shards := flag.Int("shards", 0, "scatter-gather execution across N in-process table shards (0 = off)")
 	timeout := flag.Duration("timeout", time.Minute, "recommendation timeout")
 	save := flag.String("save", "", "after loading, save the table to this snapshot file (name=path)")
 	load := flag.String("load", "", "load a table from a snapshot file written by -save")
@@ -102,6 +103,11 @@ func main() {
 	if *sample > 0 && *sample < 1 {
 		opts.SampleFraction = *sample
 		opts.SampleMinRows = 0
+	}
+	if *shards > 0 {
+		// Results are byte-identical to single-node execution; sharding
+		// only changes where the scans run.
+		db.ShardLocal(*shards, seedb.ClusterConfig{})
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)

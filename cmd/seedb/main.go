@@ -6,15 +6,26 @@
 // Usage:
 //
 //	seedb [-addr :8080] [-rows 50000] [-seed 42] [-csv name=path ...]
+//
+// Cluster mode — every node loads the same data (same flags); work is
+// partitioned per query by row range:
+//
+//	seedb -addr :8080 -workers http://w1:8081,http://w2:8082   # coordinator
+//	seedb -addr :8081 -coordinator http://coord:8080 \
+//	      -advertise http://w1:8081                            # worker (self-registers)
+//	seedb -shards 4                                            # single-node scatter-gather
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"seedb"
 	"seedb/internal/frontend"
@@ -34,6 +45,10 @@ func main() {
 	rows := flag.Int("rows", 50000, "rows per demo dataset")
 	seed := flag.Int64("seed", 42, "demo dataset seed")
 	noDemo := flag.Bool("no-demo", false, "skip loading the demo datasets")
+	shards := flag.Int("shards", 0, "enable in-process scatter-gather execution across N table shards")
+	workers := flag.String("workers", "", "comma-separated worker base URLs; makes this node a cluster coordinator")
+	coordinator := flag.String("coordinator", "", "coordinator base URL to register with at startup (worker mode)")
+	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<hostname><addr>)")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a CSV file as name=path (repeatable)")
 	flag.Parse()
@@ -77,10 +92,75 @@ func main() {
 			Description: "ground-truth planted deviations on d1/m0 and d2/m1"},
 	}
 
+	// Execution layout: plain local (default), in-process sharded, or
+	// cluster coordinator over remote workers. Workers need no special
+	// mode — every server exposes the shard API — but may self-register
+	// with a coordinator.
+	switch {
+	case *workers != "" && *shards > 0:
+		log.Fatal("seedb: -workers and -shards are mutually exclusive")
+	case *workers != "":
+		urls := strings.Split(*workers, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		b := db.ShardRemote(urls, 0, seedb.ClusterConfig{})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		for _, st := range b.HealthCheck(ctx) {
+			log.Printf("seedb: worker %s healthy=%v", st.ID, st.Healthy)
+		}
+		cancel()
+		log.Printf("seedb: coordinating %d workers (%s); unhealthy shards fail over to local execution", b.NumShards(), b.Signature())
+	case *shards > 0:
+		db.ShardLocal(*shards, seedb.ClusterConfig{})
+		log.Printf("seedb: in-process scatter-gather across %d shards", *shards)
+	}
+
 	srv := frontend.New(db, templates, log.Default())
+
+	if *coordinator != "" {
+		// Worker mode: announce this node to the coordinator once it is
+		// listening. Registration is idempotent, so a retry loop keeps
+		// restarts simple.
+		self := *advertise
+		if self == "" {
+			host, _ := os.Hostname()
+			self = "http://" + host + *addr
+		}
+		go registerWithCoordinator(*coordinator, self)
+	}
+
 	log.Printf("SeeDB frontend listening on %s (tables: %s)", *addr, strings.Join(db.Tables(), ", "))
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// registerWithCoordinator announces a worker's advertised URL until
+// the coordinator accepts it. It never gives up — in an orchestrated
+// deploy the workers routinely come up before the coordinator finishes
+// loading data — but backs off to 30s between attempts and logs only
+// occasionally to keep restarts quiet.
+func registerWithCoordinator(coordinator, self string) {
+	body := fmt.Sprintf(`{"url":%q}`, self)
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(coordinator+"/api/shard/register", "application/json", bytes.NewReader([]byte(body)))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				log.Printf("seedb: registered with coordinator %s as %s", coordinator, self)
+				return
+			}
+			err = fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		if attempt <= 3 || attempt%10 == 0 {
+			log.Printf("seedb: registration with %s failed (attempt %d: %v), retrying", coordinator, attempt, err)
+		}
+		backoff := time.Duration(attempt) * time.Second
+		if backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+		time.Sleep(backoff)
 	}
 }
 

@@ -1,0 +1,502 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedb/internal/engine"
+)
+
+// Config tunes a ShardedBackend.
+type Config struct {
+	// Retries is how many extra attempts a failing shard gets before
+	// the coordinator fails over (default 1).
+	Retries int
+	// Cooldown is how long an unhealthy shard is skipped before the
+	// next query half-opens it again (default 15s).
+	Cooldown time.Duration
+	// DisableFailover makes a shard failure fail the whole query
+	// instead of running the shard's range on the coordinator replica.
+	DisableFailover bool
+	// MaxConcurrent caps shards in flight per query (0 = all at once).
+	MaxConcurrent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 15 * time.Second
+	}
+	return c
+}
+
+// slot is one shard plus its health/accounting state.
+type slot struct {
+	shard Shard
+
+	mu          sync.Mutex
+	healthy     bool
+	failures    int64
+	lastFailure time.Time
+	execs       int64
+	execNanos   int64
+}
+
+func (s *slot) markFailure(now time.Time) {
+	s.mu.Lock()
+	s.healthy = false
+	s.failures++
+	s.lastFailure = now
+	s.mu.Unlock()
+}
+
+func (s *slot) markSuccess(d time.Duration) {
+	s.mu.Lock()
+	s.healthy = true
+	s.execs++
+	s.execNanos += int64(d)
+	s.mu.Unlock()
+}
+
+// usable reports whether the shard should be tried now: healthy, or
+// unhealthy but past the cooldown (half-open probe).
+func (s *slot) usable(now time.Time, cooldown time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy || now.Sub(s.lastFailure) >= cooldown
+}
+
+// ShardedBackend is a core.Backend that scatter-gathers every engine
+// query across horizontal table shards and merges the
+// partition-mergeable partials. Results are byte-identical to a
+// single-node scan for every shard count: ranges are cut on the
+// engine's deterministic chunk grid and all float state merges
+// exactly.
+//
+// Failure semantics: a shard gets Retries extra attempts; a shard
+// whose replica fingerprint diverged is not retried (the condition is
+// permanent until the operator reloads data). After final failure the
+// shard is marked unhealthy — skipped until Cooldown passes, then
+// half-opened — and, unless DisableFailover is set, its row range runs
+// on the coordinator's own replica, so queries degrade to local
+// execution rather than failing.
+type ShardedBackend struct {
+	ex    *engine.Executor
+	local *LocalShard
+	cfg   Config
+	kind  string // "local" or "remote", for the layout signature
+
+	mu    sync.RWMutex
+	slots []*slot
+
+	scatters   atomic.Int64
+	shardCalls atomic.Int64
+	retriesN   atomic.Int64
+	failovers  atomic.Int64
+	mismatches atomic.Int64
+
+	// Scatter clock: cumulative wall time spent inside scatters and
+	// the projected time had all shards of each scatter run truly
+	// concurrently (gather + max per-shard latency). On a machine with
+	// fewer cores than shards the two diverge; the shard benchmark
+	// reports both.
+	scatterWall atomic.Int64
+	scatterProj atomic.Int64
+}
+
+// NewLocal builds an in-process scatter-gather backend: n logical
+// shards over the given executor, executed on a goroutine pool. This
+// is single-node sharding — it exists so one binary can exercise (and
+// test) the exact merge path, and so per-query shard counts can be
+// benchmarked without a fleet.
+func NewLocal(ex *engine.Executor, n int, cfg Config) *ShardedBackend {
+	if n < 1 {
+		n = 1
+	}
+	b := &ShardedBackend{ex: ex, local: NewLocalShard("coordinator", ex), cfg: cfg.withDefaults(), kind: "local"}
+	for i := 0; i < n; i++ {
+		b.slots = append(b.slots, &slot{shard: NewLocalShard(fmt.Sprintf("local-%d", i), ex), healthy: true})
+	}
+	return b
+}
+
+// NewDistributed builds a coordinator backend over remote worker
+// shards. ex is the coordinator's own replica (metadata, pruning, and
+// the degraded path). Workers can also be added later via AddShard
+// (shard registration).
+func NewDistributed(ex *engine.Executor, shards []Shard, cfg Config) *ShardedBackend {
+	b := &ShardedBackend{ex: ex, local: NewLocalShard("coordinator", ex), cfg: cfg.withDefaults(), kind: "remote"}
+	for _, s := range shards {
+		b.slots = append(b.slots, &slot{shard: s, healthy: true})
+	}
+	return b
+}
+
+// AddShard registers a shard with the live backend; it reports whether
+// the shard was added (false when the ID is already registered).
+func (b *ShardedBackend) AddShard(s Shard) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sl := range b.slots {
+		if sl.shard.ID() == s.ID() {
+			return false
+		}
+	}
+	b.slots = append(b.slots, &slot{shard: s, healthy: true})
+	return true
+}
+
+// NumShards returns the registered shard count.
+func (b *ShardedBackend) NumShards() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.slots)
+}
+
+// Signature implements core.Backend: the layout is the backend kind
+// plus its shard count, so exec-cache entries are scoped to one
+// topology.
+func (b *ShardedBackend) Signature() string {
+	return fmt.Sprintf("sharded(%s,n=%d)", b.kind, b.NumShards())
+}
+
+// Run implements core.Backend.
+func (b *ShardedBackend) Run(ctx context.Context, q *engine.Query) (*engine.Result, error) {
+	results, err := b.scatter(ctx, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := results[0]
+	if len(q.OrderBy) > 0 {
+		if err := res.Sort(q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, nil
+}
+
+// RunSharedScan implements core.Backend.
+func (b *ShardedBackend) RunSharedScan(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet) ([]*engine.Result, error) {
+	if len(gsets) == 0 {
+		return nil, fmt.Errorf("cluster: RunSharedScan needs at least one grouping set")
+	}
+	return b.scatter(ctx, q, gsets)
+}
+
+// scatter assigns grid-aligned row ranges to shards, executes them
+// concurrently, and merges the partials in range order.
+func (b *ShardedBackend) scatter(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet) ([]*engine.Result, error) {
+	t, err := b.ex.Catalog().Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := t.NumRows()
+
+	b.mu.RLock()
+	slots := append([]*slot(nil), b.slots...)
+	b.mu.RUnlock()
+
+	n := q.Shards
+	if n <= 0 || n > len(slots) {
+		n = len(slots)
+	}
+	lo, hi := 0, rows
+	if q.RowHi > 0 {
+		lo, hi = q.RowLo, q.RowHi
+	}
+	ranges := engine.ShardRanges(rows, lo, hi, n)
+	if len(slots) == 0 || len(ranges) == 0 {
+		// Nothing to scatter (no workers, or an empty range): run
+		// whole-range locally, preserving exact semantics.
+		if gsets == nil {
+			res, err := b.ex.Run(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			return []*engine.Result{res}, nil
+		}
+		return b.ex.RunSharedScan(ctx, q, gsets)
+	}
+
+	b.scatters.Add(1)
+	start := time.Now()
+
+	type rangeOut struct {
+		partials []*engine.Partial
+		dur      time.Duration
+		err      error
+	}
+	outs := make([]rangeOut, len(ranges))
+	sem := make(chan struct{}, maxConcurrent(b.cfg.MaxConcurrent, len(ranges)))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, rlo, rhi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			ps, err := b.execRange(ctx, slots[i%len(slots)], q, gsets, rlo, rhi, len(ranges))
+			outs[i] = rangeOut{partials: ps, dur: time.Since(t0), err: err}
+		}(i, rg[0], rg[1])
+	}
+	wg.Wait()
+
+	var maxShard time.Duration
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		if o.dur > maxShard {
+			maxShard = o.dur
+		}
+	}
+
+	// Gather: merge in ascending range order. Order does not change the
+	// bytes (exact state), but keeping it fixed makes the merge path
+	// deterministic end to end.
+	mergeStart := time.Now()
+	merged := outs[0].partials
+	for i := 1; i < len(outs); i++ {
+		for s, p := range outs[i].partials {
+			if err := merged[s].Merge(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	results := make([]*engine.Result, len(merged))
+	for s, p := range merged {
+		results[s] = p.Finalize()
+	}
+	mergeDur := time.Since(mergeStart)
+	b.scatterWall.Add(int64(time.Since(start)))
+	b.scatterProj.Add(int64(maxShard + mergeDur))
+	return results, nil
+}
+
+func maxConcurrent(limit, n int) int {
+	if limit <= 0 || limit > n {
+		return n
+	}
+	return limit
+}
+
+// execRange runs one shard's range with retries, half-open health
+// gating, and local failover.
+func (b *ShardedBackend) execRange(ctx context.Context, sl *slot, q *engine.Query, gsets []engine.GroupingSet, lo, hi, nRanges int) ([]*engine.Partial, error) {
+	// Per-range scan parallelism: remote workers own their machine and
+	// get the full query parallelism; in-process shards share this one,
+	// so each gets a slice.
+	scanPar := q.Parallelism
+	if _, isLocal := sl.shard.(*LocalShard); isLocal && nRanges > 0 {
+		if scanPar = q.Parallelism / nRanges; scanPar < 1 {
+			scanPar = 1
+		}
+	}
+
+	var lastErr error
+	shardFault := false
+	if sl.usable(time.Now(), b.cfg.Cooldown) {
+		attempts := 1 + b.cfg.Retries
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				b.retriesN.Add(1)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b.shardCalls.Add(1)
+			t0 := time.Now()
+			ps, err := b.execOnShard(ctx, sl.shard, q, gsets, lo, hi, scanPar, nRanges)
+			if err == nil {
+				sl.markSuccess(time.Since(t0))
+				return ps, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, err // cancelled, not a shard fault
+			}
+			var qf *queryFaultError
+			if errors.As(err, &qf) {
+				// Deterministic in the query (unserializable predicate,
+				// worker-rejected request): retrying would fail the same
+				// way and the shard is blameless — don't poison its
+				// health, just run the range locally.
+				shardFault = false
+				break
+			}
+			shardFault = true
+			var mm *FingerprintMismatchError
+			if errors.As(err, &mm) {
+				// Permanent until the operator intervenes: no retry.
+				b.mismatches.Add(1)
+				break
+			}
+		}
+		if shardFault {
+			sl.markFailure(time.Now())
+		}
+	} else {
+		lastErr = fmt.Errorf("cluster: shard %s is cooling down after failure", sl.shard.ID())
+	}
+
+	if b.cfg.DisableFailover {
+		return nil, fmt.Errorf("cluster: shard %s failed for rows [%d,%d): %w", sl.shard.ID(), lo, hi, lastErr)
+	}
+	// Degraded path: the coordinator's replica covers every range. Cap
+	// the local scan parallelism at this range's fair share, so a mass
+	// failover (whole fleet down → every range lands here concurrently)
+	// uses one machine's worth of workers in total instead of
+	// nRanges × Parallelism.
+	b.failovers.Add(1)
+	localPar := q.Parallelism / nRanges
+	if localPar < 1 {
+		localPar = 1
+	}
+	return b.local.runRangeDirect(ctx, q, gsets, lo, hi, localPar)
+}
+
+// execOnShard dispatches to the shard, using the direct in-process
+// path for local shards and the wire for remote ones. A query whose
+// predicates cannot be serialized is not distributable; that error
+// reaches execRange, which falls back to the local path (where no
+// serialization is needed).
+func (b *ShardedBackend) execOnShard(ctx context.Context, s Shard, q *engine.Query, gsets []engine.GroupingSet, lo, hi, scanPar, nRanges int) ([]*engine.Partial, error) {
+	if ls, ok := s.(*LocalShard); ok {
+		return ls.runRangeDirect(ctx, q, gsets, lo, hi, scanPar)
+	}
+	t, err := b.ex.Catalog().Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	chash, err := t.ContentHash()
+	if err != nil {
+		return nil, err
+	}
+	req, err := EncodeShardRequest(q, gsets, chash, lo, hi, scanPar)
+	if err != nil {
+		// Not distributable (e.g. a predicate with no SQL wire form):
+		// a query fault, not a shard fault.
+		return nil, &queryFaultError{err: err}
+	}
+	resp, err := s.ExecPartials(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	want := len(gsets)
+	if want == 0 {
+		want = 1
+	}
+	if len(resp.Partials) != want {
+		return nil, fmt.Errorf("cluster: shard %s returned %d partials, want %d", s.ID(), len(resp.Partials), want)
+	}
+	return resp.Partials, nil
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+
+// ShardStatus is one shard's health and accounting snapshot.
+type ShardStatus struct {
+	ID          string    `json:"id"`
+	Healthy     bool      `json:"healthy"`
+	Failures    int64     `json:"failures"`
+	LastFailure time.Time `json:"lastFailure,omitzero"`
+	Execs       int64     `json:"execs"`
+	AvgMillis   float64   `json:"avgMillis"`
+}
+
+// Status snapshots every shard.
+func (b *ShardedBackend) Status() []ShardStatus {
+	b.mu.RLock()
+	slots := append([]*slot(nil), b.slots...)
+	b.mu.RUnlock()
+	out := make([]ShardStatus, len(slots))
+	for i, sl := range slots {
+		sl.mu.Lock()
+		st := ShardStatus{
+			ID:          sl.shard.ID(),
+			Healthy:     sl.healthy,
+			Failures:    sl.failures,
+			LastFailure: sl.lastFailure,
+			Execs:       sl.execs,
+		}
+		if sl.execs > 0 {
+			st.AvgMillis = float64(sl.execNanos) / float64(sl.execs) / 1e6
+		}
+		sl.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// Stats is the backend's cumulative counters.
+type Stats struct {
+	Scatters    int64 `json:"scatters"`
+	ShardCalls  int64 `json:"shardCalls"`
+	Retries     int64 `json:"retries"`
+	Failovers   int64 `json:"failovers"`
+	Mismatches  int64 `json:"mismatches"`
+	ShardsTotal int   `json:"shards"`
+}
+
+// Counters snapshots the backend counters.
+func (b *ShardedBackend) Counters() Stats {
+	return Stats{
+		Scatters:    b.scatters.Load(),
+		ShardCalls:  b.shardCalls.Load(),
+		Retries:     b.retriesN.Load(),
+		Failovers:   b.failovers.Load(),
+		Mismatches:  b.mismatches.Load(),
+		ShardsTotal: b.NumShards(),
+	}
+}
+
+// HealthCheck probes every shard once and updates health state; it
+// returns the post-probe status. Coordinators may call it on a timer;
+// it is also what /api/shard/register uses to vet a new worker.
+func (b *ShardedBackend) HealthCheck(ctx context.Context) []ShardStatus {
+	b.mu.RLock()
+	slots := append([]*slot(nil), b.slots...)
+	b.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, sl := range slots {
+		wg.Add(1)
+		go func(sl *slot) {
+			defer wg.Done()
+			if err := sl.shard.Health(ctx); err != nil {
+				sl.markFailure(time.Now())
+			} else {
+				sl.mu.Lock()
+				sl.healthy = true
+				sl.mu.Unlock()
+			}
+		}(sl)
+	}
+	wg.Wait()
+	return b.Status()
+}
+
+// ResetScatterClock zeroes the wall/projected scatter clocks (used by
+// the shard benchmark between measurements).
+func (b *ShardedBackend) ResetScatterClock() {
+	b.scatterWall.Store(0)
+	b.scatterProj.Store(0)
+}
+
+// ScatterClock returns cumulative wall time spent scattering and the
+// projected time had every scatter's shards run fully concurrently.
+func (b *ShardedBackend) ScatterClock() (wall, projected time.Duration) {
+	return time.Duration(b.scatterWall.Load()), time.Duration(b.scatterProj.Load())
+}

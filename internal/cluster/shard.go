@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"seedb/internal/engine"
+)
+
+// Shard executes partial aggregation over an assigned row range of a
+// table replica. Implementations: LocalShard (in-process worker) and
+// RemoteShard (HTTP worker node).
+type Shard interface {
+	// ID names the shard for logs, stats, and failure accounting.
+	ID() string
+	// ExecPartials runs the request and returns partition-mergeable
+	// partials, one per grouping set.
+	ExecPartials(ctx context.Context, req *ShardRequest) (*ShardResponse, error)
+	// Health probes liveness (and, for remote shards, data presence).
+	Health(ctx context.Context) error
+}
+
+// ---------------------------------------------------------------------
+// LocalShard
+
+// LocalShard runs shard requests on an in-process executor. It powers
+// single-node scatter-gather (a pool of LocalShards over one executor)
+// and the coordinator's degraded path.
+type LocalShard struct {
+	id string
+	ex *engine.Executor
+}
+
+// NewLocalShard wraps an executor as a shard.
+func NewLocalShard(id string, ex *engine.Executor) *LocalShard {
+	return &LocalShard{id: id, ex: ex}
+}
+
+// ID implements Shard.
+func (s *LocalShard) ID() string { return s.id }
+
+// Health implements Shard; an in-process executor is always healthy.
+func (s *LocalShard) Health(context.Context) error { return nil }
+
+// ExecPartials implements Shard. The request's SQL predicates are
+// parsed against the local catalog — the same code path a remote
+// worker runs — so local and remote shards are interchangeable in
+// tests and in degraded mode.
+func (s *LocalShard) ExecPartials(ctx context.Context, req *ShardRequest) (*ShardResponse, error) {
+	resp, _, err := ExecShardRequest(ctx, s.ex, req)
+	if err != nil {
+		var mm *FingerprintMismatchError
+		if errors.As(err, &mm) {
+			mm.Shard = s.id
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ExecShardRequest is the single worker-side implementation behind
+// both LocalShard and the HTTP /api/shard/exec handler: verify the
+// replica's content hash, decode the wire query, run partials. The
+// returned status is what an HTTP server should answer with on error
+// (a 409 still carries a response so the coordinator learns this
+// replica's hash).
+func ExecShardRequest(ctx context.Context, ex *engine.Executor, req *ShardRequest) (*ShardResponse, int, error) {
+	t, err := ex.Catalog().Table(req.Table)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	fp, err := t.ContentHash()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if req.ContentHash != "" && fp != req.ContentHash {
+		return &ShardResponse{ContentHash: fp}, http.StatusConflict,
+			&FingerprintMismatchError{Shard: "local", Table: req.Table, Want: req.ContentHash, Got: fp}
+	}
+	q, gsets, err := req.Decode(ex.Catalog())
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	partials, err := ex.RunPartials(ctx, q, gsets)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return &ShardResponse{ContentHash: fp, Partials: partials}, http.StatusOK, nil
+}
+
+// runRangeDirect executes (q, gsets) over [lo,hi) without the wire
+// round-trip — the fast path for in-process pools and the degraded
+// fallback, where encoding to SQL and back would only add overhead
+// (and would fail for non-serializable predicates that are perfectly
+// runnable locally).
+func (s *LocalShard) runRangeDirect(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet, lo, hi, parallelism int) ([]*engine.Partial, error) {
+	sub := *q
+	sub.RowLo, sub.RowHi = lo, hi
+	sub.Parallelism = parallelism
+	sub.OrderBy, sub.Limit = nil, 0 // ordering is applied after the merge
+	return s.ex.RunPartials(ctx, &sub, gsets)
+}
+
+// queryFaultError marks a failure that is deterministic in the query
+// itself — an unserializable predicate, or a request the worker
+// rejected as malformed. Retrying would fail identically and the shard
+// is not at fault, so the coordinator neither retries nor penalizes
+// shard health; the range just runs on the local replica.
+type queryFaultError struct{ err error }
+
+func (e *queryFaultError) Error() string { return e.err.Error() }
+func (e *queryFaultError) Unwrap() error { return e.err }
+
+// FingerprintMismatchError reports a worker whose table replica
+// diverged from the coordinator's. It is permanent until the operator
+// reloads data, so the coordinator marks the shard unhealthy instead
+// of retrying.
+type FingerprintMismatchError struct {
+	Shard string
+	Table string
+	Want  string
+	Got   string
+}
+
+func (e *FingerprintMismatchError) Error() string {
+	return fmt.Sprintf("cluster: shard %s table %q replica diverged (want fingerprint %s, got %s)",
+		e.Shard, e.Table, e.Want, e.Got)
+}
+
+// ---------------------------------------------------------------------
+// RemoteShard
+
+// RemoteShard executes shard requests on a worker node over HTTP (the
+// worker is an ordinary seedb server; see the frontend's
+// /api/shard/exec). The zero timeout uses DefaultRemoteTimeout.
+type RemoteShard struct {
+	id      string
+	baseURL string
+	client  *http.Client
+}
+
+// DefaultRemoteTimeout bounds one shard exchange.
+const DefaultRemoteTimeout = 30 * time.Second
+
+// NewRemoteShard points a shard at a worker's base URL, e.g.
+// "http://worker-3:8080".
+func NewRemoteShard(baseURL string, timeout time.Duration) *RemoteShard {
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	return &RemoteShard{
+		id:      baseURL,
+		baseURL: baseURL,
+		client:  &http.Client{Timeout: timeout},
+	}
+}
+
+// ID implements Shard.
+func (s *RemoteShard) ID() string { return s.id }
+
+// URL returns the worker's base URL.
+func (s *RemoteShard) URL() string { return s.baseURL }
+
+// ExecPartials implements Shard.
+func (s *RemoteShard) ExecPartials(ctx context.Context, req *ShardRequest) (*ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL+"/api/shard/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s: %w", s.id, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode == http.StatusConflict {
+		// The worker refused because its replica diverged; surface the
+		// typed error (with the worker's own content hash) so the
+		// coordinator stops retrying.
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		var body struct {
+			ContentHash string `json:"contentHash"`
+		}
+		got := string(bytes.TrimSpace(msg))
+		if json.Unmarshal(msg, &body) == nil && body.ContentHash != "" {
+			got = body.ContentHash
+		}
+		return nil, &FingerprintMismatchError{Shard: s.id, Table: req.Table, Want: req.ContentHash, Got: got}
+	}
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		err := fmt.Errorf("cluster: shard %s: HTTP %d: %s", s.id, hres.StatusCode, bytes.TrimSpace(msg))
+		if hres.StatusCode == http.StatusBadRequest {
+			// The worker parsed our request and rejected it: the query,
+			// not the shard, is at fault.
+			return nil, &queryFaultError{err: err}
+		}
+		return nil, err
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s: decoding response: %w", s.id, err)
+	}
+	return &resp, nil
+}
+
+// Health implements Shard: GET /api/shard/health must answer 200.
+func (s *RemoteShard) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, s.baseURL+"/api/shard/health", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: shard %s health: HTTP %d", s.id, hres.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package cluster implements SeeDB's sharded scatter-gather execution
+// layer: a core.Backend that horizontally partitions every engine
+// query across table shards, runs the shards on an in-process worker
+// pool or on remote worker nodes over HTTP, and merges the
+// partition-mergeable partials back into results byte-identical to a
+// single-node scan.
+//
+// Topology: every node (coordinator and workers) loads the same
+// tables; what is partitioned is the WORK, not the data. A shard is a
+// row range of the table, assigned per query along the engine's
+// deterministic chunk grid, so any shard count yields the same result
+// bytes. Workers are plain seedb servers exposing /api/shard/exec and
+// /api/shard/health; the coordinator verifies table fingerprints on
+// every exchange, retries failed shards, and falls back to executing a
+// shard's range on its own replica (the degraded path) when a worker
+// stays unreachable.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"seedb/internal/engine"
+	"seedb/internal/sql"
+)
+
+// ShardRequest is the wire form of one shard's slice of an engine
+// query: everything a worker needs to run RunPartials over [RowLo,
+// RowHi) of its table replica. Predicates travel as SQL text (the
+// same dialect the analyst front door parses).
+type ShardRequest struct {
+	Table string `json:"table"`
+	// ContentHash pins the table data the coordinator planned against
+	// (engine.Table.ContentHash — equal data hashes equal across
+	// processes); a worker whose replica differs must refuse (HTTP
+	// 409), which the coordinator treats as permanent shard failure.
+	ContentHash    string             `json:"contentHash,omitempty"`
+	WhereSQL       string             `json:"where,omitempty"`
+	SampleFraction float64            `json:"sampleFraction,omitempty"`
+	SampleSeed     uint64             `json:"sampleSeed,omitempty"`
+	RowLo          int                `json:"rowLo"`
+	RowHi          int                `json:"rowHi"`
+	Parallelism    int                `json:"parallelism,omitempty"`
+	Sets           []ShardGroupingSet `json:"sets"`
+}
+
+// ShardGroupingSet mirrors engine.GroupingSet on the wire.
+type ShardGroupingSet struct {
+	By        []string           `json:"by,omitempty"`
+	BinWidths map[string]float64 `json:"binWidths,omitempty"`
+	Aggs      []ShardAgg         `json:"aggs"`
+}
+
+// ShardAgg mirrors engine.AggSpec; the per-aggregate filter travels as
+// SQL text like the WHERE clause.
+type ShardAgg struct {
+	Func      string `json:"func"`
+	Column    string `json:"column,omitempty"`
+	Alias     string `json:"alias,omitempty"`
+	FilterSQL string `json:"filter,omitempty"`
+}
+
+// ShardResponse carries the worker's partials plus the content hash of
+// the replica that produced them.
+type ShardResponse struct {
+	ContentHash string            `json:"contentHash"`
+	Partials    []*engine.Partial `json:"partials"`
+}
+
+// EncodeShardRequest lowers (q, gsets) restricted to rows [lo,hi) into
+// the wire form. It fails when a predicate cannot be rendered as SQL —
+// callers treat that as "this query cannot be distributed" and run the
+// range locally instead.
+func EncodeShardRequest(q *engine.Query, gsets []engine.GroupingSet, contentHash string, lo, hi, parallelism int) (*ShardRequest, error) {
+	req := &ShardRequest{
+		Table:          q.Table,
+		ContentHash:    contentHash,
+		SampleFraction: q.SampleFraction,
+		SampleSeed:     q.SampleSeed,
+		RowLo:          lo,
+		RowHi:          hi,
+		Parallelism:    parallelism,
+	}
+	var err error
+	if req.WhereSQL, err = renderPredicateSQL(q.Where); err != nil {
+		return nil, err
+	}
+	if gsets == nil {
+		gsets = []engine.GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}}
+	}
+	for _, gs := range gsets {
+		wgs := ShardGroupingSet{By: gs.By, BinWidths: gs.BinWidths}
+		for _, a := range gs.Aggs {
+			wa := ShardAgg{Func: a.Func.String(), Column: a.Column, Alias: a.Alias}
+			if wa.FilterSQL, err = renderPredicateSQL(a.Filter); err != nil {
+				return nil, err
+			}
+			wgs.Aggs = append(wgs.Aggs, wa)
+		}
+		req.Sets = append(req.Sets, wgs)
+	}
+	return req, nil
+}
+
+// Decode rebuilds the engine query and grouping sets against the
+// worker's catalog. Filter predicates are parsed once per distinct SQL
+// string and the instance reused, preserving the engine's
+// filter-deduplication (identical filters are evaluated once per row).
+func (r *ShardRequest) Decode(cat *engine.Catalog) (*engine.Query, []engine.GroupingSet, error) {
+	preds := map[string]engine.Predicate{}
+	parse := func(sqlText string) (engine.Predicate, error) {
+		if sqlText == "" {
+			return nil, nil
+		}
+		if p, ok := preds[sqlText]; ok {
+			return p, nil
+		}
+		_, p, err := sql.AnalystQuery(fmt.Sprintf("SELECT * FROM %s WHERE %s", r.Table, sqlText), cat)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: parsing shard predicate %q: %w", sqlText, err)
+		}
+		preds[sqlText] = p
+		return p, nil
+	}
+	q := &engine.Query{
+		Table:          r.Table,
+		SampleFraction: r.SampleFraction,
+		SampleSeed:     r.SampleSeed,
+		RowLo:          r.RowLo,
+		RowHi:          r.RowHi,
+		Parallelism:    r.Parallelism,
+	}
+	var err error
+	if q.Where, err = parse(r.WhereSQL); err != nil {
+		return nil, nil, err
+	}
+	var gsets []engine.GroupingSet
+	for _, wgs := range r.Sets {
+		gs := engine.GroupingSet{By: wgs.By, BinWidths: wgs.BinWidths}
+		for _, wa := range wgs.Aggs {
+			fn, err := engine.ParseAggFunc(wa.Func)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec := engine.AggSpec{Func: fn, Column: wa.Column, Alias: wa.Alias}
+			if spec.Filter, err = parse(wa.FilterSQL); err != nil {
+				return nil, nil, err
+			}
+			gs.Aggs = append(gs.Aggs, spec)
+		}
+		gsets = append(gsets, gs)
+	}
+	if len(gsets) == 0 {
+		return nil, nil, fmt.Errorf("cluster: shard request carries no grouping sets")
+	}
+	return q, gsets, nil
+}
+
+// renderPredicateSQL renders a predicate tree as parseable SQL text.
+// It mirrors Predicate.String but quotes timestamp literals (the SQL
+// front door coerces quoted strings against TIMESTAMP columns), so the
+// text round-trips through the worker's parser. nil and TruePred
+// render empty (no WHERE clause).
+func renderPredicateSQL(p engine.Predicate) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	switch pred := p.(type) {
+	case engine.TruePred:
+		return "", nil
+	case *engine.ComparePred:
+		return fmt.Sprintf("%s %s %s", pred.Column, pred.Op, renderValueSQL(pred.Value)), nil
+	case *engine.InPred:
+		parts := make([]string, len(pred.Values))
+		for i, v := range pred.Values {
+			parts[i] = renderValueSQL(v)
+		}
+		kw := "IN"
+		if pred.Negate {
+			kw = "NOT IN"
+		}
+		return fmt.Sprintf("%s %s (%s)", pred.Column, kw, strings.Join(parts, ", ")), nil
+	case *engine.NullPred:
+		return pred.String(), nil
+	case *engine.AndPred:
+		return renderJoinSQL(pred.Children, true)
+	case *engine.OrPred:
+		return renderJoinSQL(pred.Children, false)
+	case *engine.NotPred:
+		child, err := renderPredicateSQL(pred.Child)
+		if err != nil {
+			return "", err
+		}
+		if child == "" {
+			return "", fmt.Errorf("cluster: cannot render NOT TRUE")
+		}
+		return "NOT (" + child + ")", nil
+	default:
+		return "", fmt.Errorf("cluster: predicate %T has no SQL wire form", p)
+	}
+}
+
+// renderJoinSQL renders a conjunction (and=true) or disjunction. The
+// SQL dialect has no TRUE literal, so TruePred children (which render
+// empty) are folded algebraically: TRUE is the identity of AND and
+// absorbs OR entirely.
+func renderJoinSQL(children []engine.Predicate, and bool) (string, error) {
+	var parts []string
+	for _, c := range children {
+		s, err := renderPredicateSQL(c)
+		if err != nil {
+			return "", err
+		}
+		if s == "" {
+			if and {
+				continue // TRUE AND x = x
+			}
+			return "", nil // TRUE OR x = TRUE: no constraint at all
+		}
+		parts = append(parts, "("+s+")")
+	}
+	sep := " OR "
+	if and {
+		sep = " AND "
+	}
+	return strings.Join(parts, sep), nil
+}
+
+// renderValueSQL renders a literal: strings quoted with ” escaping,
+// timestamps quoted so the worker's parser re-coerces them, numbers in
+// full precision.
+func renderValueSQL(v engine.Value) string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Kind {
+	case engine.TypeString, engine.TypeTime:
+		return "'" + strings.ReplaceAll(v.Format(), "'", "''") + "'"
+	default:
+		return v.Format()
+	}
+}

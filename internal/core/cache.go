@@ -34,14 +34,25 @@ type ExecCache interface {
 
 // execCacheKey digests one exec-unit engine call into a stable
 // content-addressed key. Everything that can change the result bytes
-// is included — even scan parallelism: partitioned scans merge float
-// partials in worker order, so SUM/AVG can differ in low-order bits
-// across parallelism settings, and a client that pinned Parallelism
-// for reproducibility must never be served another setting's floats.
-func execCacheKey(fingerprint string, q *engine.Query, gsets []engine.GroupingSet) string {
+// is included. Scan parallelism deliberately is NOT: the engine folds
+// float partials on a fixed per-table chunk grid and combines them with
+// exact summation, so SUM/AVG bytes are identical across parallelism
+// settings and shard counts — one cached entry serves them all. The
+// backend layout signature IS included: in-process layouts are provably
+// result-identical, but a remote fleet could run a heterogeneous build,
+// so entries are never shared across execution layouts.
+func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.GroupingSet) string {
 	var b strings.Builder
 	b.Grow(256)
 	b.WriteString(fingerprint)
+	b.WriteByte('\n')
+	b.WriteString(layout)
+	if q.Shards > 0 {
+		// A per-request shard-count override narrows which workers of a
+		// remote fleet execute; treat it as part of the layout.
+		b.WriteByte('/')
+		b.WriteString(strconv.Itoa(q.Shards))
+	}
 	b.WriteByte('\n')
 	writePredicate(&b, q.Where)
 	b.WriteByte('\n')
@@ -54,8 +65,6 @@ func execCacheKey(fingerprint string, q *engine.Query, gsets []engine.GroupingSe
 	b.WriteString(strconv.Itoa(q.RowLo))
 	b.WriteByte(',')
 	b.WriteString(strconv.Itoa(q.RowHi))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(q.Parallelism))
 	b.WriteByte('\n')
 	if gsets == nil {
 		gsets = []engine.GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}}

@@ -25,6 +25,12 @@ type Engine struct {
 	// on a live engine cannot tear the two-word interface read in
 	// concurrent Recommend calls.
 	cache atomic.Pointer[ExecCache]
+
+	// backend routes the optimizer's engine queries (see Backend); nil
+	// means the in-process executor. Atomic for the same reason as
+	// cache: a cluster backend may be installed on a live engine, and
+	// in-flight plans keep the backend they started with.
+	backend atomic.Pointer[Backend]
 }
 
 // New builds a SeeDB engine over an executor.
@@ -58,6 +64,26 @@ func (e *Engine) Cache() ExecCache {
 	return nil
 }
 
+// SetBackend installs (or, with nil, removes) the execution backend.
+// Safe on a live engine; plans already in flight keep the backend
+// snapshot they started with.
+func (e *Engine) SetBackend(b Backend) {
+	if b == nil {
+		e.backend.Store(nil)
+		return
+	}
+	e.backend.Store(&b)
+}
+
+// Backend returns the active execution backend (the in-process
+// executor when none was installed).
+func (e *Engine) Backend() Backend {
+	if p := e.backend.Load(); p != nil {
+		return *p
+	}
+	return localBackend{ex: e.ex}
+}
+
 // Recommend runs the full SeeDB pipeline for the analyst query q:
 // metadata collection, view enumeration, pruning, optimization,
 // execution, scoring, and top-k selection (Problem 2.1 of the paper).
@@ -78,7 +104,7 @@ func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result,
 	statsBaseQ, statsBaseS, statsBaseR := e.ex.Stats().Snapshot()
 
 	// |D_Q|: validates the predicate and rejects empty targets early.
-	targetRows, err := e.countTarget(ctx, q)
+	targetRows, err := e.countTarget(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -183,12 +209,15 @@ func (e *Engine) packageRec(rank int, d *ViewData, q Query, outcome pruneOutcome
 	}
 }
 
-// countTarget runs SELECT COUNT(*) FROM D WHERE predicate.
-func (e *Engine) countTarget(ctx context.Context, q Query) (int64, error) {
-	res, err := e.ex.Run(ctx, &engine.Query{
-		Table: q.Table,
-		Where: q.Predicate,
-		Aggs:  []engine.AggSpec{{Func: engine.AggCount, Alias: "n"}},
+// countTarget runs SELECT COUNT(*) FROM D WHERE predicate. It goes
+// through the backend, so in cluster mode even the validation count is
+// scattered.
+func (e *Engine) countTarget(ctx context.Context, q Query, opts Options) (int64, error) {
+	res, err := e.Backend().Run(ctx, &engine.Query{
+		Table:  q.Table,
+		Where:  q.Predicate,
+		Shards: opts.Shards,
+		Aggs:   []engine.AggSpec{{Func: engine.AggCount, Alias: "n"}},
 	})
 	if err != nil {
 		return 0, err

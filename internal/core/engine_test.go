@@ -408,9 +408,43 @@ func TestPhasedRejectsUnmergeableAggregates(t *testing.T) {
 	e, q, _ := syntheticEngine(t, 1000, 3)
 	opts := DefaultOptions()
 	opts.Phases = 4
-	opts.AggFuncs = []engine.AggFunc{engine.AggAvg}
+	opts.AggFuncs = []engine.AggFunc{engine.AggVariance}
 	if _, err := e.Recommend(context.Background(), q, opts); err == nil {
-		t.Error("phased AVG must error (not partition-mergeable)")
+		t.Error("phased VAR must error (not partition-mergeable without sum-of-squares partials)")
+	}
+}
+
+// TestPhasedAvgMatchesExact: AVG views are carried through phases as
+// SUM+COUNT pairs, so phased utilities match single-pass execution
+// exactly (phases partition the table; the partials merge losslessly).
+func TestPhasedAvgMatchesExact(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 4000, 7)
+	opts := DefaultOptions()
+	opts.AggFuncs = []engine.AggFunc{engine.AggAvg}
+	opts.PruneLowVariance = false
+	opts.PruneCorrelated = false
+	exact, err := e.Recommend(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Phases = 4
+	opts.PhaseConfidence = 0.9999 // keep every view so scores are comparable
+	phased, err := e.Recommend(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactScores := allScoresMap(exact)
+	if len(phased.AllScores) == 0 {
+		t.Fatal("phased AVG produced no views")
+	}
+	for _, s := range phased.AllScores {
+		w, ok := exactScores[s.View.Key()]
+		if !ok {
+			t.Fatalf("phased scored unknown view %v", s.View)
+		}
+		if math.Abs(s.Utility-w) > 1e-9*(1+w) {
+			t.Errorf("phased AVG utility %v = %v, exact %v", s.View, s.Utility, w)
+		}
 	}
 }
 

@@ -18,9 +18,9 @@ import (
 // cache installed, identical queries (the comparison side of every
 // request against the same table, repeated target queries, concurrent
 // duplicates) skip the scan entirely.
-func runUnit(ctx context.Context, e *Engine, cache ExecCache, tb *engine.Table, fingerprint string, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
+func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *engine.Table, fingerprint string, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
 	mkQuery := func(aggs []engine.AggSpec, where engine.Predicate) *engine.Query {
-		eq := &engine.Query{Table: q.Table, Where: where, Aggs: aggs, Parallelism: scanPar, RowLo: rowLo, RowHi: rowHi}
+		eq := &engine.Query{Table: q.Table, Where: where, Aggs: aggs, Parallelism: scanPar, Shards: opts.Shards, RowLo: rowLo, RowHi: rowHi}
 		if sample {
 			eq.SampleFraction = opts.SampleFraction
 			eq.SampleSeed = opts.SampleSeed
@@ -56,9 +56,9 @@ func runUnit(ctx context.Context, e *Engine, cache ExecCache, tb *engine.Table, 
 		}
 		do := func() ([]*engine.Result, error) {
 			if gsets != nil {
-				return e.ex.RunSharedScan(ctx, eq, gsets)
+				return be.RunSharedScan(ctx, eq, gsets)
 			}
-			res, err := e.ex.Run(ctx, eq)
+			res, err := be.Run(ctx, eq)
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +67,7 @@ func runUnit(ctx context.Context, e *Engine, cache ExecCache, tb *engine.Table, 
 		if cache == nil || fingerprint == "" {
 			return do()
 		}
-		return cache.GetOrCompute(ctx, execCacheKey(fingerprint, eq, gsets), func() ([]*engine.Result, bool, error) {
+		return cache.GetOrCompute(ctx, execCacheKey(fingerprint, be.Signature(), eq, gsets), func() ([]*engine.Result, bool, error) {
 			res, err := do()
 			if err != nil {
 				return nil, false, err
@@ -106,21 +106,47 @@ func runUnit(ctx context.Context, e *Engine, cache ExecCache, tb *engine.Table, 
 		cRes, tRes := compRes[resIndex(u, di)], targRes[resIndex(u, di)]
 		for _, vc := range u.bindings[dim] {
 			var tMap, cMap map[string]float64
+			var tAux, cAux *avgAuxMaps
 			if u.composite {
 				dimPos := di // position of dim in the composite key
-				cMap = marginalize(cRes, dimPos, vc, false, opts.CombineTargetComparison)
-				tMap = marginalize(tRes, dimPos, vc, true, opts.CombineTargetComparison)
+				cMap, cAux = marginalize(cRes, dimPos, vc, false, opts.CombineTargetComparison)
+				tMap, tAux = marginalize(tRes, dimPos, vc, true, opts.CombineTargetComparison)
 			} else {
-				cMap = extractSide(cRes, vc, false, opts.CombineTargetComparison)
-				tMap = extractSide(tRes, vc, true, opts.CombineTargetComparison)
+				cMap, cAux = extractSide(cRes, vc, false, opts.CombineTargetComparison)
+				tMap, tAux = extractSide(tRes, vc, true, opts.CombineTargetComparison)
 			}
 			vd := buildViewData(vc.view, tMap, cMap, metric)
 			if vd != nil {
+				attachAvgAux(vd, tAux, cAux)
 				out = append(out, vd)
 			}
 		}
 	}
 	return out, nil
+}
+
+// avgAuxMaps holds an AVG view's per-group sum and count partials for
+// one side, keyed by group label.
+type avgAuxMaps struct {
+	sums   map[string]float64
+	counts map[string]float64
+}
+
+// attachAvgAux aligns aux partials with the view's key order so phased
+// execution can merge AVG views exactly.
+func attachAvgAux(vd *ViewData, tAux, cAux *avgAuxMaps) {
+	mk := func(a *avgAuxMaps) *AvgAux {
+		if a == nil {
+			return nil
+		}
+		out := &AvgAux{Sums: make([]float64, len(vd.Keys)), Counts: make([]float64, len(vd.Keys))}
+		for i, k := range vd.Keys {
+			out.Sums[i] = a.sums[k]
+			out.Counts[i] = a.counts[k]
+		}
+		return out
+	}
+	vd.TargetAux, vd.ComparisonAux = mk(tAux), mk(cAux)
 }
 
 // resIndex maps a dim position to the result slice index: grouping
@@ -135,14 +161,24 @@ func resIndex(u *execUnit, di int) int {
 // extractSide reads one view's per-group values out of a
 // single-dimension result. When combined is true the target side lives
 // in the FILTER column of the same result; otherwise both sides use
-// the comparison aliases in their own result.
-func extractSide(res *engine.Result, vc viewCols, targetSide, combined bool) map[string]float64 {
-	col := vc.cPrimary
+// the comparison aliases in their own result. An AVG view rewritten to
+// SUM+COUNT (phased execution) is recomposed here, and its partials
+// come back as aux.
+func extractSide(res *engine.Result, vc viewCols, targetSide, combined bool) (map[string]float64, *avgAuxMaps) {
+	col, auxCol := vc.cPrimary, vc.cAux
 	if targetSide && combined {
-		col = vc.tPrimary
+		col, auxCol = vc.tPrimary, vc.tAux
 	}
 	ci := res.ColumnIndex(col)
+	ai := -1
+	if auxCol != "" {
+		ai = res.ColumnIndex(auxCol)
+	}
 	out := make(map[string]float64, len(res.Rows))
+	var aux *avgAuxMaps
+	if ai >= 0 {
+		aux = &avgAuxMaps{sums: make(map[string]float64, len(res.Rows)), counts: make(map[string]float64, len(res.Rows))}
+	}
 	for _, row := range res.Rows {
 		v := row[ci]
 		if v.Null {
@@ -152,17 +188,30 @@ func extractSide(res *engine.Result, vc viewCols, targetSide, combined bool) map
 		if !ok {
 			continue
 		}
-		out[row[0].Format()] = f
+		label := row[0].Format()
+		if ai >= 0 {
+			// Primary is the rewritten SUM; the view's value is AVG.
+			cnt, _ := row[ai].AsFloat()
+			if cnt <= 0 {
+				continue
+			}
+			aux.sums[label] = f
+			aux.counts[label] = cnt
+			out[label] = f / cnt
+			continue
+		}
+		out[label] = f
 	}
-	return out
+	return out, aux
 }
 
 // marginalize recomposes one dimension's per-group aggregates from a
 // composite-key result: COUNT/SUM accumulate, MIN/MAX take extrema,
 // AVG divides accumulated SUM by accumulated COUNT. This is the
 // backend post-processing step of the "combine multiple group-bys"
-// optimization.
-func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combined bool) map[string]float64 {
+// optimization. For AVG views the sum/count partials are also returned
+// so phased execution can merge them across row ranges.
+func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combined bool) (map[string]float64, *avgAuxMaps) {
 	primary := vc.cPrimary
 	aux := vc.cAux
 	if targetSide && combined {
@@ -218,6 +267,10 @@ func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combin
 		}
 	}
 	out := make(map[string]float64, len(seen))
+	var avgAux *avgAuxMaps
+	if f == engine.AggAvg {
+		avgAux = &avgAuxMaps{sums: map[string]float64{}, counts: map[string]float64{}}
+	}
 	for label := range seen {
 		switch f {
 		case engine.AggCount, engine.AggSum:
@@ -229,6 +282,8 @@ func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combin
 		case engine.AggAvg:
 			if counts[label] > 0 {
 				out[label] = sums[label] / counts[label]
+				avgAux.sums[label] = sums[label]
+				avgAux.counts[label] = counts[label]
 			}
 		}
 	}
@@ -236,7 +291,7 @@ func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combin
 	// the group exists on the comparison side; absence handling is
 	// performed by Align, so dropping zero-count labels here is
 	// equivalent and keeps maps sparse.
-	return out
+	return out, avgAux
 }
 
 // buildViewData aligns the two sides, normalizes, and scores. A view
@@ -274,9 +329,11 @@ func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options,
 	if len(p.units) == 0 {
 		return nil, nil
 	}
-	// One cache + fingerprint snapshot per plan: every unit of this
-	// call caches against the same table version, and a concurrent
-	// SetCache cannot hand later units a cache without a fingerprint.
+	// One cache + backend + fingerprint snapshot per plan: every unit
+	// of this call caches against the same table version and runs on
+	// the same backend, and a concurrent SetCache cannot hand later
+	// units a cache without a fingerprint.
+	be := e.Backend()
 	cache := e.Cache()
 	var tb *engine.Table
 	var fingerprint string
@@ -294,7 +351,7 @@ func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options,
 	if workers <= 1 {
 		var all []*ViewData
 		for _, u := range p.units {
-			vds, err := runUnit(ctx, e, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+			vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +373,7 @@ func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options,
 		go func(w int) {
 			defer wg.Done()
 			for u := range unitCh {
-				vds, err := runUnit(ctx, e, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+				vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
 				if err != nil {
 					errs[w] = err
 					continue

@@ -37,11 +37,18 @@ import (
 // This file is an extension beyond the demo paper and is flagged as
 // such in DESIGN.md; experiment E12 measures its effect.
 
-// phasedAcc merges per-phase raw view results across phases.
+// phasedAcc merges per-phase raw view results across phases. COUNT and
+// SUM add, MIN/MAX take extrema, and AVG merges the sum+count pairs
+// the planner materialized as aux columns (an average itself is not
+// partition-mergeable, its partials are).
 type phasedAcc struct {
 	view   View
 	target map[string]float64
 	comp   map[string]float64
+	// tCnt / cCnt carry the AVG denominators per group; target/comp
+	// then hold the numerator sums.
+	tCnt   map[string]float64
+	cCnt   map[string]float64
 	seenT  map[string]bool
 	seenC  map[string]bool
 	pruned bool
@@ -52,6 +59,8 @@ func newPhasedAcc(v View) *phasedAcc {
 		view:   v,
 		target: map[string]float64{},
 		comp:   map[string]float64{},
+		tCnt:   map[string]float64{},
+		cCnt:   map[string]float64{},
 		seenT:  map[string]bool{},
 		seenC:  map[string]bool{},
 	}
@@ -59,6 +68,24 @@ func newPhasedAcc(v View) *phasedAcc {
 
 // merge folds one phase's raw vectors into the accumulator.
 func (a *phasedAcc) merge(d *ViewData) {
+	if a.view.Func == engine.AggAvg {
+		mergeAvg := func(dst, cnt map[string]float64, seen map[string]bool, keys []string, aux *AvgAux) {
+			if aux == nil {
+				return
+			}
+			for i, k := range keys {
+				if aux.Counts[i] <= 0 {
+					continue // group absent on this side this phase
+				}
+				dst[k] += aux.Sums[i]
+				cnt[k] += aux.Counts[i]
+				seen[k] = true
+			}
+		}
+		mergeAvg(a.target, a.tCnt, a.seenT, d.Keys, d.TargetAux)
+		mergeAvg(a.comp, a.cCnt, a.seenC, d.Keys, d.ComparisonAux)
+		return
+	}
 	mergeSide := func(dst map[string]float64, seen map[string]bool, keys []string, raw []float64, present func(i int) bool) {
 		for i, k := range keys {
 			if !present(i) {
@@ -93,6 +120,27 @@ func (a *phasedAcc) merge(d *ViewData) {
 	mergeSide(a.comp, a.seenC, d.Keys, d.ComparisonRaw, presentC)
 }
 
+// valueMaps returns the accumulated per-group view values for both
+// sides: the merged raws directly, or numerator/denominator for AVG.
+func (a *phasedAcc) valueMaps() (tMap, cMap map[string]float64) {
+	if a.view.Func != engine.AggAvg {
+		return a.target, a.comp
+	}
+	tMap = make(map[string]float64, len(a.target))
+	for k, s := range a.target {
+		if c := a.tCnt[k]; c > 0 {
+			tMap[k] = s / c
+		}
+	}
+	cMap = make(map[string]float64, len(a.comp))
+	for k, s := range a.comp {
+		if c := a.cCnt[k]; c > 0 {
+			cMap[k] = s / c
+		}
+	}
+	return tMap, cMap
+}
+
 // metricBound returns an upper bound B on the metric's value for
 // distributions over at most maxGroups groups; used as a fallback
 // utility scale before any interim utilities exist.
@@ -122,9 +170,9 @@ func metricBound(name string, maxGroups int) float64 {
 func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableStats, q Query, opts Options, metric distance.Metric, sample bool, st *RunStats) ([]*ViewData, error) {
 	for _, v := range views {
 		switch v.Func {
-		case engine.AggCount, engine.AggSum, engine.AggMin, engine.AggMax:
+		case engine.AggCount, engine.AggSum, engine.AggMin, engine.AggMax, engine.AggAvg:
 		default:
-			return nil, fmt.Errorf("core: phased execution supports COUNT/SUM/MIN/MAX views; %s is not partition-mergeable without auxiliary state", v)
+			return nil, fmt.Errorf("core: phased execution supports COUNT/SUM/AVG/MIN/MAX views; %s is not partition-mergeable without auxiliary state", v)
 		}
 	}
 	tb, err := e.ex.Catalog().Table(q.Table)
@@ -188,7 +236,8 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 			if acc.pruned {
 				continue
 			}
-			d := buildViewData(acc.view, acc.target, acc.comp, metric)
+			tm, cm := acc.valueMaps()
+			d := buildViewData(acc.view, tm, cm, metric)
 			if d == nil {
 				continue
 			}
@@ -228,7 +277,8 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		if acc.pruned {
 			continue
 		}
-		if d := buildViewData(acc.view, acc.target, acc.comp, metric); d != nil {
+		tm, cm := acc.valueMaps()
+		if d := buildViewData(acc.view, tm, cm, metric); d != nil {
 			out = append(out, d)
 		}
 	}

@@ -275,9 +275,12 @@ func buildPlan(views []View, ts *stats.TableStats, q Query, opts Options) (*plan
 		return nil, fmt.Errorf("core: unknown combine mode %v", opts.CombineGroupBys)
 	}
 
-	// Step 2: materialize aggregate specs for every unit.
+	// Step 2: materialize aggregate specs for every unit. Phased
+	// execution needs every AVG carried as SUM+COUNT pairs so per-phase
+	// partials merge exactly (composite units need the same rewrite to
+	// marginalize).
 	for _, u := range units {
-		materializeAggs(u, q.Predicate, opts.CombineTargetComparison)
+		materializeAggs(u, q.Predicate, opts.CombineTargetComparison, opts.Phases > 1)
 	}
 
 	p := &plan{units: units, scanParallelism: 1}
@@ -329,9 +332,10 @@ func newUnit(dims []string, views map[string][]View, composite bool) *execUnit {
 // and comparison view query" rewrite. Otherwise one side's spec list
 // is built and the executor runs it twice.
 //
-// In composite mode, AVG views are rewritten to SUM + COUNT pairs so
-// marginal averages can be recomposed exactly.
-func materializeAggs(u *execUnit, predicate engine.Predicate, combine bool) {
+// AVG views are rewritten to SUM + COUNT pairs whenever their partials
+// must be recombined downstream: in composite mode (marginal averages)
+// and under phased execution (per-phase merge).
+func materializeAggs(u *execUnit, predicate engine.Predicate, combine, avgParts bool) {
 	idx := 0
 	for _, d := range u.dims {
 		cols := u.bindings[d]
@@ -341,7 +345,7 @@ func materializeAggs(u *execUnit, predicate engine.Predicate, combine bool) {
 			vc.cPrimary = fmt.Sprintf("c%d", idx)
 			vc.tPrimary = fmt.Sprintf("t%d", idx)
 
-			compositeAvg := u.composite && v.Func == engine.AggAvg
+			compositeAvg := (u.composite || avgParts) && v.Func == engine.AggAvg
 			primaryFunc := v.Func
 			if compositeAvg {
 				primaryFunc = engine.AggSum

@@ -22,17 +22,17 @@ func TestExtractSide(t *testing.T) {
 	}
 	vc := viewCols{cPrimary: "c0", tPrimary: "t0"}
 
-	comp := extractSide(res, vc, false, true)
+	comp, _ := extractSide(res, vc, false, true)
 	if len(comp) != 3 || comp["a"] != 10 || comp["b"] != 20 || comp["NULL"] != 5 {
 		t.Errorf("comparison map = %v", comp)
 	}
-	targ := extractSide(res, vc, true, true)
+	targ, _ := extractSide(res, vc, true, true)
 	if len(targ) != 2 || targ["a"] != 4 || targ["NULL"] != 5 {
 		t.Errorf("target map = %v (NULL-valued groups must be absent)", targ)
 	}
 	// Split mode: target side reads the comparison aliases from its own
 	// result.
-	targSplit := extractSide(res, vc, true, false)
+	targSplit, _ := extractSide(res, vc, true, false)
 	if targSplit["a"] != 10 {
 		t.Errorf("split target map = %v, should read cPrimary", targSplit)
 	}
@@ -57,11 +57,11 @@ func TestMarginalize(t *testing.T) {
 	t.Run("sum", func(t *testing.T) {
 		res := mkRes([][2]float64{{1, 0}, {2, 0}, {3, 0}, {4, 0}})
 		vc := viewCols{view: View{Func: engine.AggSum}, cPrimary: "c0"}
-		m := marginalize(res, 0, vc, false, true)
+		m, _ := marginalize(res, 0, vc, false, true)
 		if m["x"] != 3 || m["y"] != 7 {
 			t.Errorf("sum marginal over d0 = %v", m)
 		}
-		m1 := marginalize(res, 1, vc, false, true)
+		m1, _ := marginalize(res, 1, vc, false, true)
 		if m1["p"] != 4 || m1["q"] != 6 {
 			t.Errorf("sum marginal over d1 = %v", m1)
 		}
@@ -70,12 +70,12 @@ func TestMarginalize(t *testing.T) {
 	t.Run("min-max", func(t *testing.T) {
 		res := mkRes([][2]float64{{5, 0}, {-2, 0}, {7, 0}, {1, 0}})
 		vcMin := viewCols{view: View{Func: engine.AggMin}, cPrimary: "c0"}
-		m := marginalize(res, 0, vcMin, false, true)
+		m, _ := marginalize(res, 0, vcMin, false, true)
 		if m["x"] != -2 || m["y"] != 1 {
 			t.Errorf("min marginal = %v", m)
 		}
 		vcMax := viewCols{view: View{Func: engine.AggMax}, cPrimary: "c0"}
-		mm := marginalize(res, 0, vcMax, false, true)
+		mm, _ := marginalize(res, 0, vcMax, false, true)
 		if mm["x"] != 5 || mm["y"] != 7 {
 			t.Errorf("max marginal = %v", mm)
 		}
@@ -85,7 +85,7 @@ func TestMarginalize(t *testing.T) {
 		// AVG partials: (sum, count) per composite group.
 		res := mkRes([][2]float64{{10, 2}, {20, 3}, {30, 5}, {0, 0}})
 		vc := viewCols{view: View{Func: engine.AggAvg}, cPrimary: "c0", cAux: "cc0"}
-		m := marginalize(res, 0, vc, false, true)
+		m, _ := marginalize(res, 0, vc, false, true)
 		if math.Abs(m["x"]-30.0/5) > 1e-12 {
 			t.Errorf("avg[x] = %v, want 6", m["x"])
 		}
@@ -103,7 +103,7 @@ func TestMarginalize(t *testing.T) {
 			},
 		}
 		vc := viewCols{view: View{Func: engine.AggSum}, cPrimary: "c0"}
-		m := marginalize(res, 0, vc, false, true)
+		m, _ := marginalize(res, 0, vc, false, true)
 		if m["x"] != 3 {
 			t.Errorf("null cells must not contribute: %v", m)
 		}

@@ -118,8 +118,24 @@ type ViewData struct {
 	Target     distance.Distribution
 	Comparison distance.Distribution
 
+	// TargetAux / ComparisonAux carry the SUM and COUNT partials
+	// backing an AVG view when it was computed in partition-mergeable
+	// form (phased execution): averages cannot be merged across row
+	// ranges directly, but their sum+count pairs can. nil for other
+	// aggregates and for single-pass execution.
+	TargetAux     *AvgAux
+	ComparisonAux *AvgAux
+
 	// Utility = S(P[V(D_Q)], P[V(D)]) for the configured metric.
 	Utility float64
+}
+
+// AvgAux is the partition-mergeable form of an AVG view's side: per
+// group the sum of the measure and the count of non-null values,
+// aligned with ViewData.Keys.
+type AvgAux struct {
+	Sums   []float64
+	Counts []float64
 }
 
 // MaxDeltaKey returns the group label with the largest absolute

@@ -97,16 +97,35 @@ func (a AggSpec) Name() string {
 
 // accumulator carries enough state to finalize any AggFunc and to merge
 // with a partial accumulator from another partition.
+//
+// Sums are kept in two tiers: sum/sumsq are plain float64 running sums
+// for the current scan chunk (the hot path), and exSum/exSumSq fold the
+// per-chunk partials exactly (see exactFloat). Chunk boundaries come
+// from the table's fixed row grid, so a group's folded state is a
+// function of the table contents alone — not of scan parallelism,
+// phase ranges, or shard layout. That makes every aggregate, including
+// AVG/VAR/STDDEV, partition-mergeable with bit-identical results.
+//
+// chunk tags which grid cell the running sums belong to (1-based;
+// 0 = nothing pending), so folding happens lazily on the first add of
+// a new chunk instead of by sweeping all groups at every boundary.
 type accumulator struct {
-	count int64
-	sum   float64
-	sumsq float64
-	min   float64
-	max   float64
-	seen  bool
+	count   int64
+	sum     float64
+	sumsq   float64
+	exSum   exactFloat
+	exSumSq exactFloat
+	min     float64
+	max     float64
+	chunk   int32
+	seen    bool
 }
 
-func (a *accumulator) addValue(v float64) {
+func (a *accumulator) addValue(v float64, chunk int32) {
+	if a.chunk != chunk {
+		a.fold()
+		a.chunk = chunk
+	}
 	a.count++
 	a.sum += v
 	a.sumsq += v * v
@@ -121,10 +140,25 @@ func (a *accumulator) addValue(v float64) {
 
 func (a *accumulator) addCountOnly() { a.count++ }
 
+// fold moves the current chunk's running sums into the exact totals.
+func (a *accumulator) fold() {
+	if a.sum != 0 {
+		a.exSum.Add(a.sum)
+		a.sum = 0
+	}
+	if a.sumsq != 0 {
+		a.exSumSq.Add(a.sumsq)
+		a.sumsq = 0
+	}
+}
+
 func (a *accumulator) merge(b *accumulator) {
+	a.fold()
+	b.fold()
+	a.chunk, b.chunk = 0, 0
 	a.count += b.count
-	a.sum += b.sum
-	a.sumsq += b.sumsq
+	a.exSum.Merge(&b.exSum)
+	a.exSumSq.Merge(&b.exSumSq)
 	if b.seen {
 		if !a.seen || b.min < a.min {
 			a.min = b.min
@@ -134,6 +168,18 @@ func (a *accumulator) merge(b *accumulator) {
 		}
 		a.seen = true
 	}
+}
+
+// sumValue / sumSqValue round the exact totals (including any pending
+// chunk) to float64.
+func (a *accumulator) sumValue() float64 {
+	a.fold()
+	return a.exSum.Round()
+}
+
+func (a *accumulator) sumSqValue() float64 {
+	a.fold()
+	return a.exSumSq.Round()
 }
 
 // finalize produces the aggregate's result value. COUNT of an empty
@@ -147,12 +193,12 @@ func (a *accumulator) finalize(f AggFunc) Value {
 		if a.count == 0 {
 			return NullValue(TypeFloat)
 		}
-		return Float(a.sum)
+		return Float(a.sumValue())
 	case AggAvg:
 		if a.count == 0 {
 			return NullValue(TypeFloat)
 		}
-		return Float(a.sum / float64(a.count))
+		return Float(a.sumValue() / float64(a.count))
 	case AggMin:
 		if !a.seen {
 			return NullValue(TypeFloat)
@@ -168,8 +214,8 @@ func (a *accumulator) finalize(f AggFunc) Value {
 			return NullValue(TypeFloat)
 		}
 		n := float64(a.count)
-		mean := a.sum / n
-		v := a.sumsq/n - mean*mean
+		mean := a.sumValue() / n
+		v := a.sumSqValue()/n - mean*mean
 		if v < 0 { // numerical noise
 			v = 0
 		}

@@ -38,6 +38,12 @@ type Query struct {
 	Limit int
 	// Parallelism partitions the scan across workers when > 1.
 	Parallelism int
+	// Shards asks a cluster backend to scatter the query across this
+	// many horizontal partitions; 0 keeps the backend's configured
+	// layout. The in-process executor ignores it — results are
+	// partition-invariant by construction, so the hint only affects
+	// where the work runs, never what comes back.
+	Shards int
 	// RowLo/RowHi restrict the scan to rows [RowLo, RowHi) when RowHi > 0.
 	// SeeDB's phased execution uses ranges to stream the table in
 	// chunks, the way a wrapper would page through ctid ranges.
@@ -144,8 +150,122 @@ func (e *Executor) RunSharedScan(ctx context.Context, q *Query, gsets []Grouping
 	return e.runSets(ctx, q, gsets)
 }
 
+// ---------------------------------------------------------------------
+// Deterministic chunk grid
+//
+// Every table's row space is divided into a fixed grid of numChunks
+// cells (boundary i at i*rows/numChunks). Scans fold float sums per
+// grid cell and combine the cell partials exactly (see exactFloat), so
+// aggregate results depend only on the table contents and the query —
+// never on scan parallelism or on how a cluster backend splits the row
+// range — provided every partition boundary lies on the grid.
+// splitAligned and ShardRanges only ever produce grid-aligned
+// boundaries; arbitrary RowLo/RowHi ranges (phased execution) remain
+// deterministic per range because cell partials cut at a range edge
+// are still a pure function of (table, range).
+
+// numChunks is the number of grid cells per table. 256 keeps the
+// exact-fold overhead negligible while giving cluster backends enough
+// boundaries to split even small tables many ways.
+const numChunks = 256
+
+// chunkBoundary returns grid boundary i for a table with rows rows.
+func chunkBoundary(rows, i int) int {
+	if rows <= 0 {
+		return 0
+	}
+	return int(int64(i) * int64(rows) / numChunks)
+}
+
+// chunkOf returns the grid cell containing row r.
+func chunkOf(rows, r int) int {
+	if rows <= 0 {
+		return 0
+	}
+	c := int(int64(r) * numChunks / int64(rows))
+	if c > numChunks-1 {
+		c = numChunks - 1
+	}
+	for c > 0 && chunkBoundary(rows, c) > r {
+		c--
+	}
+	for c < numChunks-1 && chunkBoundary(rows, c+1) <= r {
+		c++
+	}
+	return c
+}
+
+// alignToGrid returns the smallest grid boundary >= r.
+func alignToGrid(rows, r int) int {
+	c := chunkOf(rows, r)
+	if chunkBoundary(rows, c) >= r {
+		return chunkBoundary(rows, c)
+	}
+	return chunkBoundary(rows, c+1)
+}
+
+// splitAligned cuts [lo,hi) into at most parts contiguous sub-ranges
+// whose interior boundaries all lie on the table's chunk grid. Empty
+// sub-ranges are dropped, so fewer than parts ranges may come back.
+func splitAligned(rows, lo, hi, parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	n := hi - lo
+	var out [][2]int
+	prev := lo
+	for k := 1; k < parts; k++ {
+		b := alignToGrid(rows, lo+k*n/parts)
+		if b <= prev {
+			continue
+		}
+		if b >= hi {
+			break
+		}
+		out = append(out, [2]int{prev, b})
+		prev = b
+	}
+	if hi > prev {
+		out = append(out, [2]int{prev, hi})
+	}
+	return out
+}
+
+// ShardRanges partitions [lo,hi) of a table with rows rows into at
+// most n grid-aligned sub-ranges (hi <= 0 means the whole table). The
+// cluster layer uses this to assign shard row ranges: because the cuts
+// are grid-aligned, the merged shard partials are bit-identical to a
+// single-node scan for every n.
+func ShardRanges(rows, lo, hi, n int) [][2]int {
+	if hi <= 0 || hi > rows {
+		hi = rows
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	return splitAligned(rows, lo, hi, n)
+}
+
+// Sort orders the result rows by the given keys (exported for the
+// cluster coordinator, which applies ORDER BY after merging shards).
+func (r *Result) Sort(keys []OrderKey) error { return r.sortBy(keys) }
+
 // runSets is the shared implementation: one scan, many groupers.
 func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) ([]*Result, error) {
+	groupers, err := e.runGroupers(ctx, q, gsets)
+	if err != nil {
+		return nil, err
+	}
+	return finalizeGroupers(groupers)
+}
+
+// runGroupers executes the scan and returns the merged groupers, for
+// callers that finalize (Run and friends) or export partition-mergeable
+// partials (RunPartials).
+func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSet) ([]*grouper, error) {
 	for _, gs := range gsets {
 		if len(gs.Aggs) == 0 {
 			return nil, fmt.Errorf("engine: query on %q has a grouping set with no aggregates", q.Table)
@@ -226,21 +346,21 @@ func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) (
 		if err != nil {
 			return nil, err
 		}
-		if err := scanPartition(ctx, lo, hi, smp, where, fs, groupers); err != nil {
+		if err := scanPartition(ctx, t.rows, lo, hi, smp, where, fs, groupers); err != nil {
 			return nil, err
 		}
-		return finalizeGroupers(groupers)
+		return groupers, nil
 	}
 
-	// Parallel path: each worker owns private groupers over a row
-	// range; partials are merged pairwise at the end.
-	partials := make([][]*grouper, workers)
-	errs := make([]error, workers)
+	// Parallel path: each worker owns private groupers over a
+	// grid-aligned row range; partials are merged pairwise at the end.
+	// Grid alignment plus exact chunk folding makes the merged state —
+	// and therefore the result bytes — independent of the worker count.
+	ranges := splitAligned(t.rows, lo, hi, workers)
+	partials := make([][]*grouper, len(ranges))
+	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		wlo := lo + w*chunk
-		whi := min(wlo+chunk, hi)
+	for w, rng := range ranges {
 		gs, err := buildGroupers(t, gsets, fs)
 		if err != nil {
 			return nil, err
@@ -252,8 +372,8 @@ func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) (
 			// Bound filter closures only read column data, so sharing
 			// fs across workers is safe; each worker owns its fvals
 			// buffer inside scanPartition.
-			errs[w] = scanPartition(ctx, wlo, whi, smp, where, fs, partials[w])
-		}(w, wlo, whi)
+			errs[w] = scanPartition(ctx, t.rows, wlo, whi, smp, where, fs, partials[w])
+		}(w, rng[0], rng[1])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -262,12 +382,12 @@ func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) (
 		}
 	}
 	merged := partials[0]
-	for w := 1; w < workers; w++ {
+	for w := 1; w < len(ranges); w++ {
 		for s := range merged {
 			merged[s].mergeFrom(partials[w][s])
 		}
 	}
-	return finalizeGroupers(merged)
+	return merged, nil
 }
 
 // scanPartition drives rows [lo,hi) through sampling, filtering, and
@@ -275,13 +395,29 @@ func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) (
 // evaluated once per row, no matter how many aggregates or grouping
 // sets share them — SeeDB's combined queries attach the same target
 // predicate to half their aggregates, so this keeps the combined plan
-// strictly cheaper than separate scans. Cancellation is checked every
-// few thousand rows.
-func scanPartition(ctx context.Context, lo, hi int, smp *sampler, where BoundPredicate, fs *filterSet, groupers []*grouper) error {
+// strictly cheaper than separate scans. rows is the table's total row
+// count, the base of the deterministic chunk grid; the current grid
+// cell is threaded into every accumulator update so float sums fold per
+// cell. Cancellation is checked every few thousand rows.
+func scanPartition(ctx context.Context, rows, lo, hi int, smp *sampler, where BoundPredicate, fs *filterSet, groupers []*grouper) error {
 	const cancelCheckMask = 0x3FFF
 	single := len(groupers) == 1
 	fvals := make([]bool, len(fs.bound))
+	cell := chunkOf(rows, lo)
+	next := hi
+	if cell < numChunks-1 && chunkBoundary(rows, cell+1) < hi {
+		next = chunkBoundary(rows, cell+1)
+	}
+	chunk := int32(cell + 1) // 1-based: 0 marks "nothing pending"
 	for row := lo; row < hi; row++ {
+		if row >= next {
+			cell = chunkOf(rows, row)
+			chunk = int32(cell + 1)
+			next = hi
+			if cell < numChunks-1 && chunkBoundary(rows, cell+1) < hi {
+				next = chunkBoundary(rows, cell+1)
+			}
+		}
 		if row&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("engine: scan cancelled: %w", err)
@@ -297,11 +433,11 @@ func scanPartition(ctx context.Context, lo, hi int, smp *sampler, where BoundPre
 			fvals[i] = f(row)
 		}
 		if single {
-			groupers[0].process(row, fvals)
+			groupers[0].process(row, chunk, fvals)
 			continue
 		}
 		for _, g := range groupers {
-			g.process(row, fvals)
+			g.process(row, chunk, fvals)
 		}
 	}
 	return nil
@@ -644,9 +780,10 @@ func newKeyEncoder(col Column, binWidth float64) keyEncoder {
 	}
 }
 
-// process folds one row into the group state; fvals holds the
-// pre-evaluated shared filter outcomes for this row.
-func (g *grouper) process(row int, fvals []bool) {
+// process folds one row into the group state; chunk is the row's
+// (1-based) grid cell and fvals holds the pre-evaluated shared filter
+// outcomes for this row.
+func (g *grouper) process(row int, chunk int32, fvals []bool) {
 	var accs []accumulator
 	if g.fastAccs != nil {
 		code := g.fastCodes[row]
@@ -684,7 +821,7 @@ func (g *grouper) process(row int, fvals []bool) {
 			continue
 		}
 		if v, ok := a.get(row); ok {
-			accs[i].addValue(v)
+			accs[i].addValue(v, chunk)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -49,6 +51,11 @@ type Table struct {
 	cols   []Column
 	byName map[string]int
 	rows   int
+
+	// Content-hash memo (see ContentHash).
+	hashMu      sync.Mutex
+	hash        string
+	hashVersion uint64 // version+1 at compute time; 0 = never computed
 }
 
 // Fingerprint returns a cheap content-version identifier for the
@@ -57,6 +64,37 @@ type Table struct {
 // as the table still reports the same fingerprint.
 func (t *Table) Fingerprint() string {
 	return fmt.Sprintf("%s#%d.%d", t.name, t.id, t.version.Load())
+}
+
+// ContentHash digests the table's schema and data (via the snapshot
+// serialization), memoized per mutation version. Where Fingerprint is
+// a per-instance identity — two identically-loaded tables never share
+// one — equal data yields equal content hashes across processes. The
+// cluster layer uses it to verify that a worker's replica carries the
+// same rows as the coordinator before trusting its partials.
+func (t *Table) ContentHash() (string, error) {
+	t.hashMu.Lock()
+	defer t.hashMu.Unlock()
+	for {
+		v := t.version.Load()
+		if t.hashVersion == v+1 {
+			return t.hash, nil
+		}
+		h := sha256.New()
+		if err := WriteTable(h, t); err != nil {
+			return "", fmt.Errorf("engine: hashing table %q: %w", t.name, err)
+		}
+		if t.version.Load() != v {
+			// A mutation slipped in between reading the version and
+			// WriteTable taking the table lock: the hash belongs to some
+			// newer state, so memoizing it under v would be wrong. Loop
+			// and hash the settled state instead.
+			continue
+		}
+		t.hash = hex.EncodeToString(h.Sum(nil)[:16])
+		t.hashVersion = v + 1
+		return t.hash, nil
+	}
 }
 
 // NewTable creates an empty table with the given schema.

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"seedb/internal/cluster"
+	"seedb/internal/core"
+	"seedb/internal/datagen"
+	"seedb/internal/engine"
+)
+
+// ShardBench is the committed shard-scaling reference point
+// (BENCH_shard.json): single-node vs N-shard latency for the
+// scan-bound recommendation workload, at several table sizes.
+//
+// Two latencies are recorded per point. WallMillis is end-to-end on
+// the benchmark host — on a host with fewer cores than shards it stays
+// flat, because in-process shards compete for the same cores.
+// ProjectedMillis is the distributed-mode latency: gather/merge cost
+// plus the SLOWEST single shard's execution time, measured with shards
+// run back-to-back so their timings don't interleave. On an N-node
+// cluster (or an N-core host) wall clock converges to the projected
+// number; the projected curve is therefore the honest statement of
+// what horizontal partitioning buys, independent of how many cores the
+// CI machine happens to have.
+type ShardBench struct {
+	Seed       int64  `json:"seed"`
+	Iterations int    `json:"iterations"`
+	Query      string `json:"query"`
+	HostCores  int    `json:"hostCores"`
+	Note       string `json:"note"`
+
+	Workloads []ShardWorkload `json:"workloads"`
+}
+
+// ShardWorkload is the scaling curve at one table size.
+type ShardWorkload struct {
+	Rows         int          `json:"rows"`
+	SingleMillis float64      `json:"singleMillis"`
+	Curve        []ShardPoint `json:"curve"`
+}
+
+// ShardPoint is one shard count's measurement.
+type ShardPoint struct {
+	Shards           int     `json:"shards"`
+	WallMillis       float64 `json:"wallMillis"`
+	ProjectedMillis  float64 `json:"projectedMillis"`
+	SpeedupWall      float64 `json:"speedupWall"`
+	SpeedupProjected float64 `json:"speedupProjected"`
+}
+
+// JSON renders the benchmark as indented JSON.
+func (b *ShardBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// shardBenchOptions pins the workload scan-bound and deterministic:
+// no cache, no sampling, single-threaded scans (so the curve isolates
+// horizontal partitioning, not intra-query threading).
+func shardBenchOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.Parallelism = 1
+	opts.SampleFraction = 0
+	return opts
+}
+
+// RunShardBench measures the single-node vs sharded latency curve.
+func RunShardBench(rowsList, shardsList []int, seed int64, iterations int) (*ShardBench, error) {
+	if iterations < 3 {
+		iterations = 3
+	}
+	b := &ShardBench{
+		Seed:       seed,
+		Iterations: iterations,
+		Query:      "SELECT * FROM orders WHERE category = 'Furniture'",
+		HostCores:  runtime.NumCPU(),
+		Note: "wallMillis is end-to-end on this host; projectedMillis = merge cost + slowest shard " +
+			"(shards timed back-to-back), i.e. the latency of a cluster with one node per shard. " +
+			"Sharded results are byte-identical to single-node for every shard count.",
+	}
+	q := core.Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Furniture"))}
+	ctx := context.Background()
+
+	for _, rows := range rowsList {
+		cat := engine.NewCatalog()
+		if err := cat.Register(datagen.Superstore("orders", rows, seed)); err != nil {
+			return nil, err
+		}
+		ex := engine.NewExecutor(cat)
+		eng := core.New(ex)
+
+		measure := func() (float64, error) {
+			times := make([]float64, 0, iterations)
+			for i := 0; i < iterations; i++ {
+				start := time.Now()
+				if _, err := eng.Recommend(ctx, q, shardBenchOptions()); err != nil {
+					return 0, err
+				}
+				times = append(times, float64(time.Since(start).Microseconds())/1000)
+			}
+			return median(times), nil
+		}
+
+		w := ShardWorkload{Rows: rows}
+		var err error
+		if w.SingleMillis, err = measure(); err != nil {
+			return nil, err
+		}
+
+		for _, n := range shardsList {
+			pt := ShardPoint{Shards: n}
+
+			// Wall clock: shards fully concurrent.
+			eng.SetBackend(cluster.NewLocal(ex, n, cluster.Config{}))
+			if pt.WallMillis, err = measure(); err != nil {
+				return nil, err
+			}
+
+			// Projected: shards back-to-back (MaxConcurrent=1) so each
+			// shard's own latency is clean, then replace the serialized
+			// scatter time with (merge + slowest shard).
+			sb := cluster.NewLocal(ex, n, cluster.Config{MaxConcurrent: 1})
+			eng.SetBackend(sb)
+			projected := make([]float64, 0, iterations)
+			for i := 0; i < iterations; i++ {
+				sb.ResetScatterClock()
+				start := time.Now()
+				if _, err := eng.Recommend(ctx, q, shardBenchOptions()); err != nil {
+					return nil, err
+				}
+				wall := time.Since(start)
+				serialized, proj := sb.ScatterClock()
+				projected = append(projected, float64((wall-serialized+proj).Microseconds())/1000)
+			}
+			pt.ProjectedMillis = median(projected)
+			eng.SetBackend(nil)
+
+			if pt.WallMillis > 0 {
+				pt.SpeedupWall = w.SingleMillis / pt.WallMillis
+			}
+			if pt.ProjectedMillis > 0 {
+				pt.SpeedupProjected = w.SingleMillis / pt.ProjectedMillis
+			}
+			w.Curve = append(w.Curve, pt)
+		}
+		b.Workloads = append(b.Workloads, w)
+	}
+	return b, nil
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"seedb"
+	"seedb/internal/cluster"
 	"seedb/internal/distance"
 	"seedb/internal/engine"
 	sqlparse "seedb/internal/sql"
@@ -82,6 +83,12 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/sql", s.handleSQL)
 	mux.HandleFunc("/api/session", s.handleSession)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	// Cluster endpoints: every server can act as a worker shard
+	// (/api/shard/exec, /api/shard/health); a server whose DB runs a
+	// sharded backend additionally accepts worker registrations.
+	mux.HandleFunc("/api/shard/exec", s.handleShardExec)
+	mux.HandleFunc("/api/shard/health", s.handleShardHealth)
+	mux.HandleFunc("/api/shard/register", s.handleShardRegister)
 	s.mux = mux
 	return s
 }
@@ -199,6 +206,12 @@ type recommendRequest struct {
 	// session default; a value in (0,1) enables sampling at that
 	// fraction; any other value (e.g. 0) disables sampling.
 	SampleFraction *float64 `json:"sampleFraction"`
+	// Shards overrides the per-query scatter width when the server runs
+	// a cluster backend: absent keeps the session default, 0 restores
+	// the backend's configured layout, N>0 scatters across N shards.
+	// Results are byte-identical either way; this knob trades fan-out
+	// against per-request overhead.
+	Shards *int `json:"shards"`
 }
 
 type viewJSON struct {
@@ -316,6 +329,9 @@ func (s *Server) optionsFrom(req recommendRequest, base seedb.Options) seedb.Opt
 			opts.SampleFraction = 0 // exact answers for this request
 			opts.SampleMinRows = def.SampleMinRows
 		}
+	}
+	if req.Shards != nil && *req.Shards >= 0 {
+		opts.Shards = *req.Shards
 	}
 	return opts
 }
@@ -530,10 +546,18 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+type clusterStats struct {
+	Signature string                `json:"signature"`
+	Counters  cluster.Stats         `json:"counters"`
+	Shards    []cluster.ShardStatus `json:"shards"`
+}
+
 type statsResponse struct {
 	Cache seedb.CacheStats `json:"cache"`
 	// Sessions is a count, not an ID list: IDs are capabilities.
 	Sessions int `json:"sessions"`
+	// Cluster reports shard health when a sharded backend is active.
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -541,10 +565,125 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Cache:    s.svc.CacheStats(),
 		Sessions: s.svc.SessionCount(),
-	})
+	}
+	if b := s.clusterBackend(); b != nil {
+		resp.Cluster = &clusterStats{
+			Signature: b.Signature(),
+			Counters:  b.Counters(),
+			Shards:    b.Status(),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// Cluster endpoints: worker side (/api/shard/exec, /api/shard/health)
+// and coordinator side (/api/shard/register)
+
+// clusterBackend returns the DB's sharded backend, or nil when the
+// plain in-process backend is active.
+func (s *Server) clusterBackend() *cluster.ShardedBackend {
+	b, _ := s.db.Backend().(*cluster.ShardedBackend)
+	return b
+}
+
+// handleShardExec is the worker half of scatter-gather: it runs a
+// coordinator's shard request over this node's table replica and
+// returns partition-mergeable partials. A fingerprint mismatch answers
+// 409 with this replica's fingerprint so the coordinator can tell data
+// drift from transient failure.
+func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req cluster.ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing shard request: %w", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	resp, status, err := cluster.ExecShardRequest(ctx, s.db.Engine().Executor(), &req)
+	if err != nil {
+		if status == http.StatusConflict {
+			// Carry this replica's hash so the coordinator can tell data
+			// drift from transient failure.
+			s.writeJSON(w, status, map[string]string{
+				"error":       err.Error(),
+				"contentHash": resp.ContentHash,
+			})
+			return
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+type shardHealthTable struct {
+	Rows        int    `json:"rows"`
+	ContentHash string `json:"contentHash"`
+}
+
+// handleShardHealth reports liveness plus the replica's table contents
+// (row counts and content hashes), so coordinators and operators can
+// verify data agreement before routing work here.
+func (s *Server) handleShardHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	tables := map[string]shardHealthTable{}
+	for _, name := range s.db.Tables() {
+		if t, err := s.db.Table(name); err == nil {
+			h, err := t.ContentHash()
+			if err != nil {
+				continue
+			}
+			tables[name] = shardHealthTable{Rows: t.NumRows(), ContentHash: h}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "tables": tables})
+}
+
+type shardRegisterRequest struct {
+	// URL is the worker's advertised base URL, e.g. "http://worker-2:8080".
+	URL string `json:"url"`
+}
+
+// handleShardRegister adds a worker to a coordinator's shard set after
+// probing its health. Registering twice is a no-op, so workers can
+// re-announce on every restart.
+func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	b := s.clusterBackend()
+	if b == nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: this node is not a cluster coordinator"))
+		return
+	}
+	var req shardRegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: shard registration needs a url"))
+		return
+	}
+	shard := cluster.NewRemoteShard(req.URL, 0)
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	if err := shard.Health(ctx); err != nil {
+		s.writeError(w, http.StatusBadGateway, fmt.Errorf("frontend: worker %s failed its health probe: %w", req.URL, err))
+		return
+	}
+	added := b.AddShard(shard)
+	s.logger.Printf("frontend: worker %s %s (now %d shards)", req.URL,
+		map[bool]string{true: "registered", false: "already registered"}[added], b.NumShards())
+	s.writeJSON(w, http.StatusOK, map[string]any{"added": added, "shards": b.NumShards()})
 }
 
 // ---------------------------------------------------------------------

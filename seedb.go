@@ -30,7 +30,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"seedb/internal/cluster"
 	"seedb/internal/core"
 	"seedb/internal/engine"
 	"seedb/internal/service"
@@ -345,4 +347,67 @@ func (db *DB) CacheStats() CacheStats {
 // raw aggregate values.
 func Chart(d *ViewData, normalized bool) ChartSpec {
 	return viz.FromViewData(d, normalized)
+}
+
+// ---------------------------------------------------------------------
+// Cluster execution (see internal/cluster)
+
+// Re-exported cluster types.
+type (
+	// Backend routes the optimizer's engine queries; see core.Backend.
+	Backend = core.Backend
+	// ClusterConfig tunes a sharded backend (retries, cooldown,
+	// failover).
+	ClusterConfig = cluster.Config
+	// ClusterBackend is the scatter-gather coordinator backend.
+	ClusterBackend = cluster.ShardedBackend
+	// ShardStatus is one shard's health snapshot.
+	ShardStatus = cluster.ShardStatus
+)
+
+// SetBackend installs a custom execution backend (nil restores the
+// in-process executor). Safe on a live DB; in-flight requests keep the
+// backend they started with.
+func (db *DB) SetBackend(b Backend) { db.core.SetBackend(b) }
+
+// Backend returns the active execution backend.
+func (db *DB) Backend() Backend { return db.core.Backend() }
+
+// ShardLocal switches the instance to in-process scatter-gather
+// execution across n logical table shards and returns the backend for
+// introspection. Results are byte-identical to the default backend for
+// every n — sharding changes where scans run, never what comes back.
+// Options.Shards (or the frontend's "shards" knob) can lower the
+// per-query shard count below n.
+func (db *DB) ShardLocal(n int, cfg ClusterConfig) *ClusterBackend {
+	b := cluster.NewLocal(db.ex, n, cfg)
+	db.core.SetBackend(b)
+	return b
+}
+
+// ShardRemote switches the instance into cluster-coordinator mode:
+// every view query is scattered across the given worker base URLs
+// (each a seedb server that loaded the same tables, e.g.
+// "http://worker-1:8080"). The local replica remains the degraded
+// path — if a worker stays unreachable past its retries, its row range
+// is executed locally, so queries keep succeeding with reduced
+// offload. Additional workers can register later via the coordinator's
+// /api/shard/register endpoint or AddShard on the returned backend.
+func (db *DB) ShardRemote(workers []string, timeout time.Duration, cfg ClusterConfig) *ClusterBackend {
+	shards := make([]cluster.Shard, len(workers))
+	for i, url := range workers {
+		shards[i] = cluster.NewRemoteShard(url, timeout)
+	}
+	b := cluster.NewDistributed(db.ex, shards, cfg)
+	db.core.SetBackend(b)
+	return b
+}
+
+// ClusterStatus returns the sharded backend's shard health snapshot,
+// or nil when the instance runs the plain in-process backend.
+func (db *DB) ClusterStatus() []ShardStatus {
+	if b, ok := db.core.Backend().(*cluster.ShardedBackend); ok {
+		return b.Status()
+	}
+	return nil
 }
