@@ -33,6 +33,8 @@ func main() {
 	shardBench := flag.String("shardbench", "", "measure the single-node vs sharded latency curve and write BENCH_shard.json to this path, then exit")
 	shardBenchRows := flag.String("shardbench-rows", "100000,1000000", "comma-separated table sizes for -shardbench")
 	shardBenchShards := flag.String("shardbench-shards", "2,4,8", "comma-separated shard counts for -shardbench")
+	appendBench := flag.String("append", "", "measure query-after-append latency vs delta size (incremental chunk-partial reuse) and write BENCH_append.json to this path, then exit")
+	appendDeltas := flag.String("append-deltas", "1000,10000,50000", "comma-separated append batch sizes for -append")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +62,23 @@ func main() {
 			}
 		}
 		fmt.Printf("-> %s (hostCores=%d)\n", *shardBench, b.HostCores)
+		return
+	}
+
+	if *appendBench != "" {
+		n := *rows
+		if n == 0 {
+			n = 200_000
+		}
+		deltaList, err := parseIntList(*appendDeltas)
+		must(err)
+		b, err := experiments.RunAppendBench(n, deltaList, *seed, *baselineIters)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*appendBench, append(data, '\n'), 0o644))
+		fmt.Print(b.String())
+		fmt.Printf("-> %s\n", *appendBench)
 		return
 	}
 

@@ -103,6 +103,13 @@ type ShardedBackend struct {
 	failovers  atomic.Int64
 	mismatches atomic.Int64
 
+	// ingestMu serializes appends through the coordinator so every
+	// replica applies the same batches in the same order — the property
+	// that keeps content hashes aligned across the fleet.
+	ingestMu   sync.Mutex
+	ingests    atomic.Int64
+	ingestRows atomic.Int64
+
 	// Scatter clock: cumulative wall time spent inside scatters and
 	// the projected time had all shards of each scatter run truly
 	// concurrently (gather + max per-shard latency). On a machine with
@@ -159,6 +166,22 @@ func (b *ShardedBackend) NumShards() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return len(b.slots)
+}
+
+// HasRemoteShards reports whether any shard holds its own table
+// replica (a remote worker). In-process shards share the
+// coordinator's tables, so appends reach them with no forwarding;
+// with remote shards, appends MUST go through Ingest or the replicas
+// drift. DB.Append uses this to route.
+func (b *ShardedBackend) HasRemoteShards() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, sl := range b.slots {
+		if _, local := sl.shard.(*LocalShard); !local {
+			return true
+		}
+	}
+	return false
 }
 
 // Signature implements core.Backend: the layout is the backend kind
@@ -392,6 +415,19 @@ func (b *ShardedBackend) execOnShard(ctx context.Context, s Shard, q *engine.Que
 	}
 	resp, err := s.ExecPartials(ctx, req)
 	if err != nil {
+		var mm *FingerprintMismatchError
+		if errors.As(err, &mm) {
+			// A 409 can mean two very different things: the replica's
+			// data really diverged, or an ingest landed between our hash
+			// snapshot and the worker executing the request (the worker
+			// is AHEAD, not wrong). Re-hash the coordinator's table: if
+			// our own hash moved, the mismatch is transient version skew
+			// from a racing append — a query fault (re-plan locally), not
+			// a shard fault worth poisoning health over.
+			if cur, herr := t.ContentHash(); herr == nil && cur != chash {
+				return nil, &queryFaultError{err: fmt.Errorf("cluster: table %q mutated mid-scatter: %w", q.Table, err)}
+			}
+		}
 		return nil, err
 	}
 	want := len(gsets)
@@ -402,6 +438,131 @@ func (b *ShardedBackend) execOnShard(ctx context.Context, s Shard, q *engine.Que
 		return nil, fmt.Errorf("cluster: shard %s returned %d partials, want %d", s.ID(), len(resp.Partials), want)
 	}
 	return resp.Partials, nil
+}
+
+// ---------------------------------------------------------------------
+// Ingest: the append path in distributed mode
+
+// ShardIngestStatus reports one remote replica's outcome for a
+// forwarded append.
+type ShardIngestStatus struct {
+	ID string `json:"id"`
+	OK bool   `json:"ok"`
+	// Rows is the replica's post-append row count and ContentHash its
+	// post-append table digest (both zero-valued on error).
+	Rows        int    `json:"rows,omitempty"`
+	ContentHash string `json:"contentHash,omitempty"`
+	// Diverged means the replica applied the append but its content
+	// hash no longer matches the coordinator's — permanent data drift,
+	// the shard is marked unhealthy.
+	Diverged bool   `json:"diverged,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// IngestSummary is the coordinator-side outcome of a batched append.
+type IngestSummary struct {
+	Table       string              `json:"table"`
+	Appended    int                 `json:"appended"`
+	Rows        int                 `json:"rows"`
+	ContentHash string              `json:"contentHash"`
+	Shards      []ShardIngestStatus `json:"shards,omitempty"`
+}
+
+// Ingest applies a batched append to the coordinator's replica and
+// forwards it to every remote shard, then re-verifies each replica's
+// post-append ContentHash against the coordinator's — so distributed
+// mode stays byte-identical after every append. Appends are serialized
+// (one batch fleet-wide at a time): replicas applying identical batches
+// in identical order necessarily agree on content.
+//
+// A worker that fails to apply (or that diverges) is marked unhealthy
+// rather than failing the ingest: its replica is now behind, every
+// scatter re-verifies content hashes per request (HTTP 409), and the
+// coordinator's degraded path covers its ranges until the operator
+// reloads it. The coordinator's own append failing IS an error — the
+// authoritative replica rejected the rows.
+//
+// Cost note: the post-append re-verification hashes the WHOLE table
+// on every node (ContentHash memoization is per version, and each
+// batch bumps the version), so per-batch ingest cost in cluster mode
+// is O(table), traded deliberately for the byte-identity guarantee.
+// High-rate ingest should batch aggressively; a sealed-chunk-based
+// incremental content hash could lift this later.
+func (b *ShardedBackend) Ingest(ctx context.Context, table string, rows [][]any) (*IngestSummary, error) {
+	b.ingestMu.Lock()
+	defer b.ingestMu.Unlock()
+
+	t, err := b.ex.Catalog().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	typed, err := t.ParseRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	total, err := t.Append(typed)
+	if err != nil {
+		return nil, err
+	}
+	chash, err := t.ContentHash()
+	if err != nil {
+		return nil, err
+	}
+	b.ingests.Add(1)
+	b.ingestRows.Add(int64(len(rows)))
+	sum := &IngestSummary{Table: table, Appended: len(rows), Rows: total, ContentHash: chash}
+
+	b.mu.RLock()
+	slots := append([]*slot(nil), b.slots...)
+	b.mu.RUnlock()
+	req := &IngestRequest{Table: table, Rows: rows, Verify: true}
+	type target struct {
+		sl  *slot
+		ing interface {
+			Ingest(context.Context, *IngestRequest) (*IngestResponse, error)
+		}
+	}
+	var targets []target
+	for _, sl := range slots {
+		if ing, ok := sl.shard.(interface {
+			Ingest(context.Context, *IngestRequest) (*IngestResponse, error)
+		}); ok {
+			targets = append(targets, target{sl: sl, ing: ing})
+		}
+		// In-process shards read the coordinator's own tables; the
+		// local append above already covers them.
+	}
+	// Forward concurrently: the replicas are independent and batch
+	// ORDER is already serialized by ingestMu, so one slow worker
+	// costs max latency, not the sum.
+	statuses := make([]ShardIngestStatus, len(targets))
+	var wg sync.WaitGroup
+	for i, tg := range targets {
+		wg.Add(1)
+		go func(i int, tg target) {
+			defer wg.Done()
+			st := ShardIngestStatus{ID: tg.sl.shard.ID()}
+			resp, err := tg.ing.Ingest(ctx, req)
+			switch {
+			case err != nil:
+				st.Error = err.Error()
+				tg.sl.markFailure(time.Now())
+			case resp.ContentHash != chash:
+				st.Rows, st.ContentHash = resp.Rows, resp.ContentHash
+				st.Diverged = true
+				st.Error = fmt.Sprintf("replica diverged after append (want %s, got %s)", chash, resp.ContentHash)
+				b.mismatches.Add(1)
+				tg.sl.markFailure(time.Now())
+			default:
+				st.OK = true
+				st.Rows, st.ContentHash = resp.Rows, resp.ContentHash
+			}
+			statuses[i] = st
+		}(i, tg)
+	}
+	wg.Wait()
+	sum.Shards = statuses
+	return sum, nil
 }
 
 // ---------------------------------------------------------------------
@@ -448,6 +609,8 @@ type Stats struct {
 	Retries     int64 `json:"retries"`
 	Failovers   int64 `json:"failovers"`
 	Mismatches  int64 `json:"mismatches"`
+	Ingests     int64 `json:"ingests"`
+	IngestRows  int64 `json:"ingestRows"`
 	ShardsTotal int   `json:"shards"`
 }
 
@@ -459,6 +622,8 @@ func (b *ShardedBackend) Counters() Stats {
 		Retries:     b.retriesN.Load(),
 		Failovers:   b.failovers.Load(),
 		Mismatches:  b.mismatches.Load(),
+		Ingests:     b.ingests.Load(),
+		IngestRows:  b.ingestRows.Load(),
 		ShardsTotal: b.NumShards(),
 	}
 }

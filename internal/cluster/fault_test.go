@@ -1,0 +1,213 @@
+package cluster_test
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seedb"
+	"seedb/internal/frontend"
+)
+
+// faultInjector wraps a worker's HTTP handler and misbehaves on demand
+// on the scatter path: it can hang past the coordinator's client
+// timeout (a wedged worker) or fail outright (a crashing one), then be
+// healed mid-test.
+type faultInjector struct {
+	inner http.Handler
+	// mode: 0 = healthy, 1 = hang, 2 = HTTP 500.
+	mode  atomic.Int32
+	hang  time.Duration
+	execs atomic.Int64 // /api/shard/exec arrivals, faulty or not
+}
+
+const (
+	faultNone = iota
+	faultHang
+	faultError
+)
+
+func (f *faultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/api/shard/exec" {
+		f.execs.Add(1)
+		switch f.mode.Load() {
+		case faultHang:
+			time.Sleep(f.hang)
+			// Fall through and answer anyway; the coordinator's client
+			// has long since given up.
+		case faultError:
+			http.Error(w, "injected worker fault", http.StatusInternalServerError)
+			return
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// startFaultyWorker runs a real worker server behind a fault injector.
+func startFaultyWorker(t *testing.T, rows int, hang time.Duration) (*httptest.Server, *faultInjector) {
+	t.Helper()
+	db := newDB(t, rows)
+	fi := &faultInjector{
+		inner: frontend.New(db, nil, log.New(testWriter{t}, "faulty-worker: ", 0)),
+		hang:  hang,
+	}
+	hs := httptest.NewServer(fi)
+	t.Cleanup(hs.Close)
+	return hs, fi
+}
+
+// TestFaultInjectionHangRetryCooldown drives a hanging worker through
+// retry → unhealthy → cooldown: mid-scatter hangs surface as client
+// timeouts, the shard's ranges fail over to the coordinator replica,
+// and while the cooldown holds the wedged worker is never re-dialed.
+// Results stay golden-identical to a plain single-node instance at
+// every stage.
+func TestFaultInjectionHangRetryCooldown(t *testing.T) {
+	ctx := context.Background()
+	const rows = 3000
+	wGood, _ := startWorker(t, rows)
+	wBadSrv, fi := startFaultyWorker(t, rows, 1500*time.Millisecond)
+
+	plain := newDB(t, rows)
+	want, err := plain.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := render(want)
+
+	coord := newDB(t, rows)
+	// Client timeout far below the hang, so a wedged worker surfaces as
+	// a timeout quickly; a 1h cooldown keeps stage 2 deterministically
+	// inside the cooldown window however slow the test host is.
+	b := coord.ShardRemote([]string{wGood.URL, wBadSrv.URL}, 250*time.Millisecond, seedb.ClusterConfig{Cooldown: time.Hour})
+
+	// Stage 1: worker hangs mid-scatter. Retries, goes unhealthy, range
+	// fails over to the coordinator replica; bytes unchanged.
+	fi.mode.Store(faultHang)
+	got, err := coord.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != wantBytes {
+		t.Fatal("hang + failover changed result bytes")
+	}
+	c := b.Counters()
+	if c.Retries == 0 || c.Failovers == 0 {
+		t.Fatalf("expected retry then failover, got %+v", c)
+	}
+	unhealthy := 0
+	for _, st := range b.Status() {
+		if !st.Healthy {
+			unhealthy++
+		}
+	}
+	if unhealthy != 1 {
+		t.Fatalf("expected exactly one unhealthy shard, got %d", unhealthy)
+	}
+
+	// Stage 2: inside the cooldown the wedged worker must not be
+	// re-dialed; its ranges go straight to the degraded path.
+	execsBefore := fi.execs.Load()
+	failoversBefore := b.Counters().Failovers
+	got, err = coord.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != wantBytes {
+		t.Fatal("cooldown-window query changed result bytes")
+	}
+	if fi.execs.Load() != execsBefore {
+		t.Fatalf("cooling-down worker was re-dialed (%d -> %d execs)", execsBefore, fi.execs.Load())
+	}
+	if b.Counters().Failovers <= failoversBefore {
+		t.Fatal("cooldown-window query should have used the degraded path")
+	}
+}
+
+// TestFaultInjectionRecoveryAfterCooldown: once the cooldown elapses, a
+// healed worker is half-open probed, serves its range again, and
+// returns to the healthy pool — with unchanged bytes throughout.
+func TestFaultInjectionRecoveryAfterCooldown(t *testing.T) {
+	ctx := context.Background()
+	const rows = 2000
+	wGood, _ := startWorker(t, rows)
+	// The hang dwarfs the client timeout, but the timeout itself stays
+	// generous so a healthy worker never trips it on slow (-race) hosts.
+	wBadSrv, fi := startFaultyWorker(t, rows, 5*time.Second)
+
+	plain := newDB(t, rows)
+	want, err := plain.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := render(want)
+
+	coord := newDB(t, rows)
+	cooldown := 300 * time.Millisecond
+	b := coord.ShardRemote([]string{wGood.URL, wBadSrv.URL}, time.Second, seedb.ClusterConfig{Cooldown: cooldown})
+
+	fi.mode.Store(faultHang)
+	if got, err := coord.RecommendSQL(ctx, testQuery, testOptions()); err != nil {
+		t.Fatal(err)
+	} else if render(got) != wantBytes {
+		t.Fatal("hang + failover changed result bytes")
+	}
+
+	// Heal, wait out the cooldown, and query: the half-open probe must
+	// reuse the worker and mark it healthy again.
+	fi.mode.Store(faultNone)
+	time.Sleep(cooldown + 200*time.Millisecond)
+	execsBefore := fi.execs.Load()
+	got, err := coord.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != wantBytes {
+		t.Fatal("post-recovery query changed result bytes")
+	}
+	if fi.execs.Load() == execsBefore {
+		t.Fatal("healed worker was never half-open probed after its cooldown")
+	}
+	for _, st := range b.Status() {
+		if !st.Healthy {
+			t.Fatalf("shard %s still unhealthy after recovery", st.ID)
+		}
+	}
+}
+
+// TestFaultInjectionErrorFailover: a worker answering HTTP 500 (crash
+// on the exec path rather than a wedge) follows the same retry →
+// failover contract with byte-identical results.
+func TestFaultInjectionErrorFailover(t *testing.T) {
+	ctx := context.Background()
+	const rows = 2000
+	wGood, _ := startWorker(t, rows)
+	wBadSrv, fi := startFaultyWorker(t, rows, 0)
+	fi.mode.Store(faultError)
+
+	coord := newDB(t, rows)
+	b := coord.ShardRemote([]string{wGood.URL, wBadSrv.URL}, 5*time.Second, seedb.ClusterConfig{Cooldown: time.Hour})
+	got, err := coord.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := newDB(t, rows)
+	want, err := plain.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatal("error-injected execution changed result bytes")
+	}
+	c := b.Counters()
+	if c.Retries == 0 || c.Failovers == 0 {
+		t.Fatalf("expected retries and failovers, got %+v", c)
+	}
+	if fi.execs.Load() < 2 {
+		t.Fatalf("faulty worker should have been retried, saw %d execs", fi.execs.Load())
+	}
+}

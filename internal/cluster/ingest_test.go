@@ -1,0 +1,196 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"seedb"
+)
+
+// ingestRows builds n valid loose-typed rows for the superstore orders
+// table, the same wire shape /api/ingest accepts.
+func ingestRows(n int) [][]any {
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{
+			"East", "New York", "Corporate", "Furniture", "Tables",
+			"Express", "11-Nov", 250.75 + float64(i), -20.5, float64(1 + i%4), 0.3,
+		}
+	}
+	return rows
+}
+
+// TestClusterIngestReplicates: an append through the coordinator
+// reaches every worker replica, all post-append content hashes agree,
+// and subsequent distributed queries are byte-identical to a
+// single-node scan of the grown table.
+func TestClusterIngestReplicates(t *testing.T) {
+	ctx := context.Background()
+	w1, w1db := startWorker(t, 3000)
+	w2, w2db := startWorker(t, 3000)
+
+	coord := newDB(t, 3000)
+	b := coord.ShardRemote([]string{w1.URL, w2.URL}, 10*time.Second, seedb.ClusterConfig{})
+
+	const delta = 1200
+	sum, err := b.Ingest(ctx, "orders", ingestRows(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Appended != delta || sum.Rows != 3000+delta {
+		t.Fatalf("ingest summary %+v", sum)
+	}
+	if len(sum.Shards) != 2 {
+		t.Fatalf("expected 2 forwarded shards, got %d", len(sum.Shards))
+	}
+	for _, st := range sum.Shards {
+		if !st.OK || st.Diverged || st.ContentHash != sum.ContentHash || st.Rows != sum.Rows {
+			t.Fatalf("shard %s did not replicate cleanly: %+v (coordinator %s)", st.ID, st, sum.ContentHash)
+		}
+	}
+	for _, wdb := range []*seedb.DB{w1db, w2db} {
+		wt, err := wdb.Table("orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wt.NumRows() != 3000+delta {
+			t.Fatalf("worker replica has %d rows, want %d", wt.NumRows(), 3000+delta)
+		}
+	}
+	if c := b.Counters(); c.Ingests != 1 || c.IngestRows != delta {
+		t.Fatalf("ingest counters %+v", c)
+	}
+
+	// Distributed query over the grown table == single-node over a
+	// replica built the same way.
+	q := "SELECT * FROM orders WHERE category = 'Furniture'"
+	got, err := coord.RecommendSQL(ctx, q, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := newDB(t, 3000)
+	pt, _ := plain.Table("orders")
+	typed, err := pt.ParseRows(ingestRows(delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Append(typed); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RecommendSQL(ctx, q, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatalf("post-ingest distributed query differs from single-node:\n%s\nvs\n%s", render(got), render(want))
+	}
+	if c := b.Counters(); c.Failovers != 0 || c.Mismatches != 0 {
+		t.Fatalf("healthy post-ingest cluster must not degrade: %+v", c)
+	}
+}
+
+// TestDBAppendRoutesThroughCluster: the embedded DB.Append API on a
+// coordinator with remote workers must forward the batch to every
+// replica (bypassing replication would permanently diverge the fleet).
+func TestDBAppendRoutesThroughCluster(t *testing.T) {
+	w1, w1db := startWorker(t, 2000)
+	coord := newDB(t, 2000)
+	b := coord.ShardRemote([]string{w1.URL}, 10*time.Second, seedb.ClusterConfig{})
+
+	rows := [][]seedb.Value{
+		{seedb.String("West"), seedb.String("California"), seedb.String("Consumer"),
+			seedb.String("Furniture"), seedb.String("Chairs"), seedb.String("Standard"),
+			seedb.String("04-Apr"), seedb.Float(10.5), seedb.Float(1.25), seedb.Int(2), seedb.Float(0.1)},
+	}
+	total, err := coord.Append("orders", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2001 {
+		t.Fatalf("coordinator total = %d, want 2001", total)
+	}
+	wt, err := w1db.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.NumRows() != 2001 {
+		t.Fatalf("worker replica has %d rows: DB.Append bypassed replication", wt.NumRows())
+	}
+	ct, _ := coord.Table("orders")
+	ch, err := ct.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := wt.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != wh {
+		t.Fatalf("replica hashes diverged after DB.Append: %s vs %s", ch, wh)
+	}
+	if b.Counters().Ingests != 1 {
+		t.Fatalf("expected the append to route through Ingest: %+v", b.Counters())
+	}
+}
+
+// TestClusterIngestDivergenceDetected: a worker whose replica already
+// drifted is flagged by the post-append ContentHash re-verification,
+// marked unhealthy, and queries stay correct via the degraded path.
+func TestClusterIngestDivergenceDetected(t *testing.T) {
+	ctx := context.Background()
+	wGood, _ := startWorker(t, 2000)
+	wBad, _ := startWorker(t, 1999) // one row short: diverged before the append
+
+	coord := newDB(t, 2000)
+	b := coord.ShardRemote([]string{wGood.URL, wBad.URL}, 10*time.Second, seedb.ClusterConfig{Cooldown: time.Hour})
+
+	sum, err := b.Ingest(ctx, "orders", ingestRows(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diverged, clean int
+	for _, st := range sum.Shards {
+		if st.Diverged {
+			diverged++
+		} else if st.OK {
+			clean++
+		}
+	}
+	if diverged != 1 || clean != 1 {
+		t.Fatalf("expected exactly one diverged and one clean shard: %+v", sum.Shards)
+	}
+	if b.Counters().Mismatches == 0 {
+		t.Fatal("divergence must be counted as a mismatch")
+	}
+	unhealthy := 0
+	for _, st := range b.Status() {
+		if !st.Healthy {
+			unhealthy++
+		}
+	}
+	if unhealthy != 1 {
+		t.Fatalf("diverged shard must be unhealthy, got %d unhealthy", unhealthy)
+	}
+
+	// Queries keep succeeding (degraded path for the diverged shard)
+	// and match a single-node replica with identical content.
+	q := "SELECT * FROM orders WHERE category = 'Furniture'"
+	got, err := coord.RecommendSQL(ctx, q, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := newDB(t, 2000)
+	pt, _ := plain.Table("orders")
+	typed, _ := pt.ParseRows(ingestRows(300))
+	if _, err := pt.Append(typed); err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RecommendSQL(ctx, q, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != render(want) {
+		t.Fatal("post-divergence query changed result bytes")
+	}
+}

@@ -214,6 +214,34 @@ func (s *RemoteShard) ExecPartials(ctx context.Context, req *ShardRequest) (*Sha
 	return &resp, nil
 }
 
+// Ingest forwards a batched append to the worker's /api/ingest
+// endpoint and returns its post-append table state.
+func (s *RemoteShard) Ingest(ctx context.Context, req *IngestRequest) (*IngestResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL+"/api/ingest", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s ingest: %w", s.id, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return nil, fmt.Errorf("cluster: shard %s ingest: HTTP %d: %s", s.id, hres.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp IngestResponse
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s ingest: decoding response: %w", s.id, err)
+	}
+	return &resp, nil
+}
+
 // Health implements Shard: GET /api/shard/health must answer 200.
 func (s *RemoteShard) Health(ctx context.Context) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, s.baseURL+"/api/shard/health", nil)

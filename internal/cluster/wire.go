@@ -67,6 +67,36 @@ type ShardResponse struct {
 	Partials    []*engine.Partial `json:"partials"`
 }
 
+// IngestRequest is the wire form of a batched append: loosely-typed
+// rows (JSON numbers/strings/nulls) that every node coerces against
+// its own replica's schema. The coercion is deterministic, so a
+// coordinator and its workers derive identical columns — verified
+// after the fact by comparing post-append content hashes.
+type IngestRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+	// Verify asks the node to compute and return its post-append
+	// ContentHash. Hashing is O(table), so it is opt-in: coordinators
+	// always set it when forwarding (replica re-verification is the
+	// point), while a plain client streaming batches into a single
+	// node can skip it and keep ingest O(delta).
+	Verify bool `json:"verify,omitempty"`
+}
+
+// IngestResponse reports a node's table state after applying an
+// append.
+type IngestResponse struct {
+	Table string `json:"table"`
+	// Appended is how many rows this request added; Rows is the
+	// table's new total.
+	Appended int `json:"appended"`
+	Rows     int `json:"rows"`
+	// ContentHash digests the post-append table, so the coordinator
+	// can verify the replica still carries byte-identical data. Empty
+	// unless the request set Verify.
+	ContentHash string `json:"contentHash,omitempty"`
+}
+
 // EncodeShardRequest lowers (q, gsets) restricted to rows [lo,hi) into
 // the wire form. It fails when a predicate cannot be rendered as SQL —
 // callers treat that as "this query cannot be distributed" and run the

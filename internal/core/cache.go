@@ -19,6 +19,17 @@ import (
 // implicit: mutating or reloading a table changes its fingerprint and
 // the old entries simply age out.
 //
+// The fingerprint keying is all-or-nothing per table VERSION, but a
+// miss caused by an append is no longer an all-or-nothing recompute:
+// the engine's chunk-partial store (engine.PartialStore, installed by
+// the service layer) answers the recompute by merging the previous
+// version's sealed-chunk partials with a scan of just the appended
+// delta — byte-identical to a cold scan, per the engine's exact
+// accumulators — so the query against version v+Δ costs O(Δ) even
+// though its cache entry is new. The two layers compose: this cache
+// de-duplicates identical queries within a version, the partial store
+// carries the work across versions.
+//
 // GetOrCompute returns the cached results for key, or runs compute,
 // stores its (immutable) results, and returns them. Implementations
 // must de-duplicate concurrent misses on the same key (singleflight)

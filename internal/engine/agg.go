@@ -170,6 +170,27 @@ func (a *accumulator) merge(b *accumulator) {
 	}
 }
 
+// mergeState folds a serialized partial-accumulator state (a disjoint
+// partition of the same group) into a, via direct digit additions —
+// the allocation-light path incremental execution merges cached chunk
+// partials with.
+func (a *accumulator) mergeState(st AccState) {
+	a.fold()
+	a.chunk = 0
+	a.count += st.Count
+	a.exSum.MergeState(st.Sum)
+	a.exSumSq.MergeState(st.SumSq)
+	if st.Seen {
+		if !a.seen || st.Min < a.min {
+			a.min = st.Min
+		}
+		if !a.seen || st.Max > a.max {
+			a.max = st.Max
+		}
+		a.seen = true
+	}
+}
+
 // sumValue / sumSqValue round the exact totals (including any pending
 // chunk) to float64.
 func (a *accumulator) sumValue() float64 {

@@ -116,6 +116,36 @@ func (x *exactFloat) Merge(o *exactFloat) {
 	}
 }
 
+// MergeState folds a serialized canonical state into x directly —
+// digit additions only, no intermediate accumulator, no
+// re-canonicalization. This is the hot operation of incremental
+// execution: merging hundreds of cached chunk partials per query must
+// cost limb additions, not canon passes.
+func (x *exactFloat) MergeState(st ExactState) {
+	if len(st.Digits) > 0 {
+		lo := st.Lo
+		x.reserve(lo, lo+len(st.Digits)-1)
+		base := lo - int(x.lo)
+		if st.Neg {
+			for i, d := range st.Digits {
+				x.limbs[base+i] -= int64(d)
+			}
+		} else {
+			for i, d := range st.Digits {
+				x.limbs[base+i] += int64(d)
+			}
+		}
+	}
+	switch st.Special {
+	case "+inf":
+		x.special += math.Inf(1)
+	case "-inf":
+		x.special += math.Inf(-1)
+	case "nan":
+		x.special += math.NaN()
+	}
+}
+
 // canon propagates carries into a canonical sign-magnitude form:
 // digits in [0, 2^32), trimmed of leading/trailing zeros. The
 // canonical form of an exact value is unique, so two accumulators that

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Property test for the exact accumulator, the foundation every other
+// byte-identity guarantee (parallel scans, shards, chunk-partial reuse)
+// rests on: for ANY stream of finite float64s, ANY shuffle of it, and
+// ANY partition into sub-accumulators merged in ANY order, the
+// canonical state and the rounded total are identical — and the total
+// is the correctly rounded true sum per a math/big reference.
+func TestExactFloatPartitionShuffleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140901))
+
+	refSum := func(vs []float64) float64 {
+		acc := new(big.Float).SetPrec(2200)
+		tmp := new(big.Float).SetPrec(2200)
+		for _, v := range vs {
+			tmp.SetFloat64(v)
+			acc.Add(acc, tmp)
+		}
+		f, _ := acc.Float64()
+		return f
+	}
+	stateKey := func(x *exactFloat) ExactState { return x.State() }
+	sameState := func(a, b ExactState) bool {
+		if a.Neg != b.Neg || a.Lo != b.Lo || a.Special != b.Special || len(a.Digits) != len(b.Digits) {
+			return false
+		}
+		for i := range a.Digits {
+			if a.Digits[i] != b.Digits[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		// Value profile varies per trial: magnitude spread, sign mix,
+		// subnormals, exact cancellations, and repeated values.
+		n := 1 + rng.Intn(800)
+		expRange := 1 + rng.Intn(600) // up to the full double exponent span
+		vs := make([]float64, n)
+		for i := range vs {
+			switch rng.Intn(12) {
+			case 0:
+				vs[i] = 0
+			case 1:
+				vs[i] = math.SmallestNonzeroFloat64 * float64(1+rng.Intn(5))
+			case 2:
+				vs[i] = -vs[rng.Intn(i+1)] // plant a cancellation
+			default:
+				vs[i] = (rng.Float64()*2 - 1) * math.Pow(2, float64(rng.Intn(2*expRange)-expRange))
+			}
+		}
+		want := refSum(vs)
+
+		var straight exactFloat
+		for _, v := range vs {
+			straight.Add(v)
+		}
+		if got := straight.Round(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: straight sum %x != big.Float reference %x",
+				trial, math.Float64bits(got), math.Float64bits(want))
+		}
+		wantState := stateKey(&straight)
+
+		// Random shuffle, random partition into k pieces, merge in a
+		// random order.
+		shuffled := append([]float64(nil), vs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		k := 1 + rng.Intn(9)
+		pieces := make([]exactFloat, k)
+		for _, v := range shuffled {
+			pieces[rng.Intn(k)].Add(v)
+		}
+		order := rng.Perm(k)
+		var merged exactFloat
+		for _, pi := range order {
+			merged.Merge(&pieces[pi])
+		}
+		if got := merged.Round(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d (k=%d): partitioned sum %x != reference %x",
+				trial, k, math.Float64bits(got), math.Float64bits(want))
+		}
+		if gotState := stateKey(&merged); !sameState(gotState, wantState) {
+			t.Fatalf("trial %d (k=%d): canonical state differs between straight and partitioned accumulation:\n%+v\nvs\n%+v",
+				trial, k, gotState, wantState)
+		}
+
+		// Serialization round trip preserves the state bytes too (the
+		// wire form shards and the chunk-partial store both rely on).
+		restored := exactFromState(wantState)
+		if !sameState(stateKey(&restored), wantState) {
+			t.Fatalf("trial %d: state round trip changed canonical form", trial)
+		}
+	}
+}

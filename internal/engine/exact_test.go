@@ -149,29 +149,31 @@ func TestExactFloatSpecials(t *testing.T) {
 }
 
 func TestChunkGrid(t *testing.T) {
-	for _, rows := range []int{0, 1, 7, 255, 256, 257, 5000, 1_000_000} {
-		for i := 0; i <= numChunks; i++ {
-			b := chunkBoundary(rows, i)
-			if b < 0 || b > rows {
-				t.Fatalf("rows=%d boundary(%d)=%d out of range", rows, i, b)
-			}
+	// The grid is absolute: cell c spans [c*ChunkRows, (c+1)*ChunkRows),
+	// independent of the table's current row count — the property that
+	// keeps sealed-cell partials valid across appends.
+	for _, r := range []int{0, 1, ChunkRows - 1, ChunkRows, ChunkRows + 1, 5000, 1_000_000} {
+		c := chunkOf(r)
+		if chunkStart(c) > r || chunkStart(c+1) <= r {
+			t.Fatalf("chunkOf(%d)=%d is not the containing cell [%d,%d)", r, c, chunkStart(c), chunkStart(c+1))
 		}
-		for _, r := range []int{0, 1, rows / 3, rows - 1} {
-			if r < 0 || r >= rows {
-				continue
-			}
-			c := chunkOf(rows, r)
-			if chunkBoundary(rows, c) > r || (c < numChunks-1 && chunkBoundary(rows, c+1) <= r) {
-				t.Fatalf("rows=%d chunkOf(%d)=%d is not the containing cell", rows, r, c)
-			}
+		a := alignToGrid(r)
+		if a < r || a-r >= ChunkRows || a%ChunkRows != 0 {
+			t.Fatalf("alignToGrid(%d)=%d is not the next boundary", r, a)
 		}
-		// Shard ranges must partition [0,rows) exactly, in order.
+	}
+	for _, rows := range []int{0, 1, 7, 255, 1023, 1024, 1025, 5000, 1_000_000} {
+		// Shard ranges must partition [0,rows) exactly, in order, with
+		// every interior boundary on the grid.
 		for _, n := range []int{1, 2, 3, 8, 500} {
 			ranges := ShardRanges(rows, 0, rows, n)
 			prev := 0
 			for _, rg := range ranges {
 				if rg[0] != prev || rg[1] <= rg[0] {
 					t.Fatalf("rows=%d n=%d: bad range %v (prev %d)", rows, n, rg, prev)
+				}
+				if rg[0] != 0 && rg[0]%ChunkRows != 0 {
+					t.Fatalf("rows=%d n=%d: interior boundary %d off the grid", rows, n, rg[0])
 				}
 				prev = rg[1]
 			}

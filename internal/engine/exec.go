@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -83,6 +84,11 @@ func (s *ExecStats) Reset() {
 type Executor struct {
 	cat   *Catalog
 	stats ExecStats
+
+	// pstore, when set, enables incremental execution: scans merge
+	// cached per-chunk partials and only visit missing chunks (see
+	// PartialStore). Atomic so it can be installed on a live executor.
+	pstore atomic.Pointer[PartialStore]
 }
 
 // NewExecutor returns an executor over the catalog.
@@ -93,6 +99,15 @@ func (e *Executor) Catalog() *Catalog { return e.cat }
 
 // Stats returns the executor's counters.
 func (e *Executor) Stats() *ExecStats { return &e.stats }
+
+// SetPartialStore installs (or, with nil, removes) the chunk-partial
+// store, switching aggregation queries to the incremental execution
+// path. Safe on a live executor; in-flight queries keep the store they
+// started with.
+func (e *Executor) SetPartialStore(s *PartialStore) { e.pstore.Store(s) }
+
+// PartialStore returns the installed chunk-partial store, if any.
+func (e *Executor) PartialStore() *PartialStore { return e.pstore.Load() }
 
 // GroupingSet pairs one grouping-attribute list with the aggregates to
 // compute for it. RunSharedScan evaluates many GroupingSets in a
@@ -153,61 +168,54 @@ func (e *Executor) RunSharedScan(ctx context.Context, q *Query, gsets []Grouping
 // ---------------------------------------------------------------------
 // Deterministic chunk grid
 //
-// Every table's row space is divided into a fixed grid of numChunks
-// cells (boundary i at i*rows/numChunks). Scans fold float sums per
-// grid cell and combine the cell partials exactly (see exactFloat), so
-// aggregate results depend only on the table contents and the query —
-// never on scan parallelism or on how a cluster backend splits the row
-// range — provided every partition boundary lies on the grid.
-// splitAligned and ShardRanges only ever produce grid-aligned
-// boundaries; arbitrary RowLo/RowHi ranges (phased execution) remain
-// deterministic per range because cell partials cut at a range edge
-// are still a pure function of (table, range).
+// Every table's row space is divided into fixed-size cells of ChunkRows
+// rows (boundary i at i*ChunkRows). Scans fold float sums per grid cell
+// and combine the cell partials exactly (see exactFloat), so aggregate
+// results depend only on the table contents and the query — never on
+// scan parallelism or on how a cluster backend splits the row range —
+// provided every partition boundary lies on the grid. splitAligned and
+// ShardRanges only ever produce grid-aligned boundaries; arbitrary
+// RowLo/RowHi ranges (phased execution) remain deterministic per range
+// because cell partials cut at a range edge are still a pure function
+// of (table, range).
+//
+// The grid is ABSOLUTE: boundaries are multiples of ChunkRows, not
+// fractions of the current row count. That makes it append-stable —
+// appending rows never moves an existing boundary, so a cell that was
+// fully populated ("sealed") before an append holds exactly the same
+// rows after it. The chunk-partial store (pstore.go) relies on this:
+// per-cell partials cached before an append remain byte-valid, and a
+// query after the append only has to scan the cells the append touched.
 
-// numChunks is the number of grid cells per table. 256 keeps the
-// exact-fold overhead negligible while giving cluster backends enough
-// boundaries to split even small tables many ways.
-const numChunks = 256
+// ChunkRows is the fixed number of rows per grid cell. 1024 keeps the
+// exact-fold overhead negligible while giving even small tables enough
+// boundaries for cluster backends to split, and bounds the incremental
+// re-scan after an append to (delta + ChunkRows) rows.
+const ChunkRows = 1024
 
-// chunkBoundary returns grid boundary i for a table with rows rows.
-func chunkBoundary(rows, i int) int {
-	if rows <= 0 {
-		return 0
-	}
-	return int(int64(i) * int64(rows) / numChunks)
-}
+// chunkStart returns the first row of grid cell c.
+func chunkStart(c int) int { return c * ChunkRows }
 
 // chunkOf returns the grid cell containing row r.
-func chunkOf(rows, r int) int {
-	if rows <= 0 {
+func chunkOf(r int) int {
+	if r < 0 {
 		return 0
 	}
-	c := int(int64(r) * numChunks / int64(rows))
-	if c > numChunks-1 {
-		c = numChunks - 1
-	}
-	for c > 0 && chunkBoundary(rows, c) > r {
-		c--
-	}
-	for c < numChunks-1 && chunkBoundary(rows, c+1) <= r {
-		c++
-	}
-	return c
+	return r / ChunkRows
 }
 
 // alignToGrid returns the smallest grid boundary >= r.
-func alignToGrid(rows, r int) int {
-	c := chunkOf(rows, r)
-	if chunkBoundary(rows, c) >= r {
-		return chunkBoundary(rows, c)
+func alignToGrid(r int) int {
+	if r <= 0 {
+		return 0
 	}
-	return chunkBoundary(rows, c+1)
+	return ((r + ChunkRows - 1) / ChunkRows) * ChunkRows
 }
 
 // splitAligned cuts [lo,hi) into at most parts contiguous sub-ranges
-// whose interior boundaries all lie on the table's chunk grid. Empty
-// sub-ranges are dropped, so fewer than parts ranges may come back.
-func splitAligned(rows, lo, hi, parts int) [][2]int {
+// whose interior boundaries all lie on the chunk grid. Empty sub-ranges
+// are dropped, so fewer than parts ranges may come back.
+func splitAligned(lo, hi, parts int) [][2]int {
 	if parts < 1 {
 		parts = 1
 	}
@@ -215,7 +223,7 @@ func splitAligned(rows, lo, hi, parts int) [][2]int {
 	var out [][2]int
 	prev := lo
 	for k := 1; k < parts; k++ {
-		b := alignToGrid(rows, lo+k*n/parts)
+		b := alignToGrid(lo + k*n/parts)
 		if b <= prev {
 			continue
 		}
@@ -246,15 +254,27 @@ func ShardRanges(rows, lo, hi, n int) [][2]int {
 	if lo >= hi {
 		return nil
 	}
-	return splitAligned(rows, lo, hi, n)
+	return splitAligned(lo, hi, n)
 }
 
 // Sort orders the result rows by the given keys (exported for the
 // cluster coordinator, which applies ORDER BY after merging shards).
 func (r *Result) Sort(keys []OrderKey) error { return r.sortBy(keys) }
 
-// runSets is the shared implementation: one scan, many groupers.
+// runSets is the shared implementation: one scan, many groupers. With
+// a partial store installed, the scan is served incrementally from
+// cached chunk partials instead (identical bytes, see
+// runPartialsChunked).
 func (e *Executor) runSets(ctx context.Context, q *Query, gsets []GroupingSet) ([]*Result, error) {
+	if ps, err := e.runPartialsChunked(ctx, q, gsets); err == nil {
+		results := make([]*Result, len(ps))
+		for i, p := range ps {
+			results[i] = p.Finalize()
+		}
+		return results, nil
+	} else if !errors.Is(err, errChunkPathNA) {
+		return nil, err
+	}
 	groupers, err := e.runGroupers(ctx, q, gsets)
 	if err != nil {
 		return nil, err
@@ -279,34 +299,7 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 	defer t.mu.RUnlock()
 
 	// Record the access pattern: every column this query touches.
-	var touched []string
-	seen := map[string]struct{}{}
-	touch := func(cols ...string) {
-		for _, c := range cols {
-			if c == "" {
-				continue
-			}
-			if _, ok := seen[c]; !ok {
-				seen[c] = struct{}{}
-				touched = append(touched, c)
-			}
-		}
-	}
-	var allAggs []AggSpec
-	for _, gs := range gsets {
-		touch(gs.By...)
-		for _, a := range gs.Aggs {
-			touch(a.Column)
-			if a.Filter != nil {
-				touch(a.Filter.Columns()...)
-			}
-		}
-		allAggs = append(allAggs, gs.Aggs...)
-	}
-	if q.Where != nil {
-		touch(q.Where.Columns()...)
-	}
-	e.cat.RecordAccess(q.Table, touched...)
+	allAggs := e.recordQueryAccess(t, q, gsets)
 
 	var where BoundPredicate
 	if q.Where != nil {
@@ -346,7 +339,7 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 		if err != nil {
 			return nil, err
 		}
-		if err := scanPartition(ctx, t.rows, lo, hi, smp, where, fs, groupers); err != nil {
+		if err := scanPartition(ctx, lo, hi, smp, where, fs, groupers); err != nil {
 			return nil, err
 		}
 		return groupers, nil
@@ -356,7 +349,7 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 	// grid-aligned row range; partials are merged pairwise at the end.
 	// Grid alignment plus exact chunk folding makes the merged state —
 	// and therefore the result bytes — independent of the worker count.
-	ranges := splitAligned(t.rows, lo, hi, workers)
+	ranges := splitAligned(lo, hi, workers)
 	partials := make([][]*grouper, len(ranges))
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
@@ -372,7 +365,7 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 			// Bound filter closures only read column data, so sharing
 			// fs across workers is safe; each worker owns its fvals
 			// buffer inside scanPartition.
-			errs[w] = scanPartition(ctx, t.rows, wlo, whi, smp, where, fs, partials[w])
+			errs[w] = scanPartition(ctx, wlo, whi, smp, where, fs, partials[w])
 		}(w, rng[0], rng[1])
 	}
 	wg.Wait()
@@ -395,28 +388,21 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 // evaluated once per row, no matter how many aggregates or grouping
 // sets share them — SeeDB's combined queries attach the same target
 // predicate to half their aggregates, so this keeps the combined plan
-// strictly cheaper than separate scans. rows is the table's total row
-// count, the base of the deterministic chunk grid; the current grid
+// strictly cheaper than separate scans. The current (absolute) grid
 // cell is threaded into every accumulator update so float sums fold per
 // cell. Cancellation is checked every few thousand rows.
-func scanPartition(ctx context.Context, rows, lo, hi int, smp *sampler, where BoundPredicate, fs *filterSet, groupers []*grouper) error {
+func scanPartition(ctx context.Context, lo, hi int, smp *sampler, where BoundPredicate, fs *filterSet, groupers []*grouper) error {
 	const cancelCheckMask = 0x3FFF
 	single := len(groupers) == 1
 	fvals := make([]bool, len(fs.bound))
-	cell := chunkOf(rows, lo)
-	next := hi
-	if cell < numChunks-1 && chunkBoundary(rows, cell+1) < hi {
-		next = chunkBoundary(rows, cell+1)
-	}
+	cell := chunkOf(lo)
+	next := min(hi, chunkStart(cell+1))
 	chunk := int32(cell + 1) // 1-based: 0 marks "nothing pending"
 	for row := lo; row < hi; row++ {
 		if row >= next {
-			cell = chunkOf(rows, row)
+			cell = chunkOf(row)
 			chunk = int32(cell + 1)
-			next = hi
-			if cell < numChunks-1 && chunkBoundary(rows, cell+1) < hi {
-				next = chunkBoundary(rows, cell+1)
-			}
+			next = min(hi, chunkStart(cell+1))
 		}
 		if row&cancelCheckMask == 0 {
 			if err := ctx.Err(); err != nil {

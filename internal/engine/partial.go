@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -82,10 +83,18 @@ func mergeAccState(a, b AccState) AccState {
 // RunPartials executes one scan feeding every grouping set — exactly
 // like RunSharedScan — but returns partition-mergeable partials
 // instead of finalized results. q.GroupBy/q.Aggs are used as a single
-// implicit set when gsets is nil, mirroring Run.
+// implicit set when gsets is nil, mirroring Run. With a partial store
+// installed, sealed-chunk partials are reused and only missing chunks
+// are scanned (cluster workers therefore keep serving the sealed
+// prefix of a table from cache across appends).
 func (e *Executor) RunPartials(ctx context.Context, q *Query, gsets []GroupingSet) ([]*Partial, error) {
 	if gsets == nil {
 		gsets = []GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}}
+	}
+	if ps, err := e.runPartialsChunked(ctx, q, gsets); err == nil {
+		return ps, nil
+	} else if !errors.Is(err, errChunkPathNA) {
+		return nil, err
 	}
 	groupers, err := e.runGroupers(ctx, q, gsets)
 	if err != nil {

@@ -161,9 +161,19 @@ func TestPartialMergeOrderIrrelevant(t *testing.T) {
 		}
 		return resultBytes(t, acc.Finalize())
 	}
-	fwd := mergeOrder([]int{0, 1, 2, 3, 4, 5, 6, 7})
-	rev := mergeOrder([]int{7, 6, 5, 4, 3, 2, 1, 0})
-	mix := mergeOrder([]int{3, 0, 7, 1, 5, 2, 6, 4})
+	fwdOrder := make([]int, len(parts))
+	revOrder := make([]int, len(parts))
+	for i := range parts {
+		fwdOrder[i] = i
+		revOrder[len(parts)-1-i] = i
+	}
+	mixOrder := append([]int(nil), fwdOrder...)
+	rand.New(rand.NewSource(17)).Shuffle(len(mixOrder), func(i, j int) {
+		mixOrder[i], mixOrder[j] = mixOrder[j], mixOrder[i]
+	})
+	fwd := mergeOrder(fwdOrder)
+	rev := mergeOrder(revOrder)
+	mix := mergeOrder(mixOrder)
 	if fwd != rev || fwd != mix {
 		t.Fatalf("merge order changed result bytes")
 	}

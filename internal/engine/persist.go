@@ -99,6 +99,17 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if ncols == 0 || ncols > 1<<20 {
 		return nil, fmt.Errorf("engine: snapshot has implausible column count %d", ncols)
 	}
+	// Plausibility before allocation: every column stores at least one
+	// byte per row (8 for numerics, >= 1 per dictionary code), so a
+	// declared row or column count the payload cannot possibly back is
+	// corruption — reject it instead of allocating attacker-controlled
+	// amounts of memory.
+	if rows > uint64(len(payload)) {
+		return nil, fmt.Errorf("engine: snapshot declares %d rows in a %d-byte payload", rows, len(payload))
+	}
+	if ncols > uint64(len(payload)) {
+		return nil, fmt.Errorf("engine: snapshot declares %d columns in a %d-byte payload", ncols, len(payload))
+	}
 	t := &Table{name: name, id: tableIDs.Add(1), rows: int(rows), byName: make(map[string]int, ncols)}
 	for i := 0; i < int(ncols); i++ {
 		col, err := readColumn(br, int(rows))

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -56,6 +58,16 @@ type Table struct {
 	hashMu      sync.Mutex
 	hash        string
 	hashVersion uint64 // version+1 at compute time; 0 = never computed
+
+	// Sealed-chunk content-hash memo (see ChunkHash). Entry c is
+	// computed at most once: the table is append-only and the chunk grid
+	// is absolute, so once grid cell c is fully populated its contents —
+	// and therefore its hash — can never change again. chunkMu is only
+	// ever acquired while already holding mu (read or write), never the
+	// other way around, so it cannot deadlock against the table lock.
+	chunkMu     sync.Mutex
+	chunkHashes []string
+	schemaSig   string // memo of the schema digest folded into chunk hashes
 }
 
 // Fingerprint returns a cheap content-version identifier for the
@@ -64,6 +76,15 @@ type Table struct {
 // as the table still reports the same fingerprint.
 func (t *Table) Fingerprint() string {
 	return fmt.Sprintf("%s#%d.%d", t.name, t.id, t.version.Load())
+}
+
+// Identity returns the version-free half of Fingerprint: unique per
+// table instance, stable across mutations. Incremental consumers (the
+// stats collector) key accumulated per-table state on it — the table
+// is append-only, so state covering the first N rows stays valid for
+// every later version.
+func (t *Table) Identity() string {
+	return fmt.Sprintf("%s#%d", t.name, t.id)
 }
 
 // ContentHash digests the table's schema and data (via the snapshot
@@ -194,6 +215,42 @@ func (t *Table) AppendRow(vals ...Value) error {
 	return nil
 }
 
+// Append appends a batch of rows (each in schema order) under one
+// write-lock acquisition and one version bump — the engine's live-table
+// ingest path. On any validation error the table is rolled back to its
+// pre-call state and the error reports the offending row. It returns
+// the table's new row count.
+func (t *Table) Append(rows [][]Value) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := t.rows
+	rollback := func() {
+		for i, c := range t.cols {
+			if c.Len() > base {
+				t.cols[i] = truncate(c, base)
+			}
+		}
+	}
+	for ri, vals := range rows {
+		if len(vals) != len(t.cols) {
+			rollback()
+			return t.rows, fmt.Errorf("engine: table %q has %d columns, append row %d has %d values",
+				t.name, len(t.cols), ri, len(vals))
+		}
+		for i, v := range vals {
+			if err := t.cols[i].Append(v); err != nil {
+				rollback()
+				return t.rows, fmt.Errorf("engine: appending row %d to table %q: %w", ri, t.name, err)
+			}
+		}
+	}
+	if len(rows) > 0 {
+		t.rows = base + len(rows)
+		t.version.Add(1)
+	}
+	return t.rows, nil
+}
+
 // truncate returns a column limited to n rows. Used only by the
 // AppendRow error path, so a gather-based copy is acceptable.
 func truncate(c Column, n int) Column {
@@ -202,6 +259,89 @@ func truncate(c Column, n int) Column {
 		sel[i] = int32(i)
 	}
 	return c.gather(c.Name(), sel)
+}
+
+// View runs f while holding the table's read lock, so column readers
+// outside the engine package (the stats collector) can take a
+// consistent snapshot against concurrent appends. f must not call
+// methods that re-acquire the table lock (NumRows, Append, ...);
+// read row counts before entering and use the lock-free accessors
+// (NumCols, ColumnAt, Column) inside.
+func (t *Table) View(f func()) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f()
+}
+
+// SealedChunks returns the number of fully-populated grid cells: rows
+// [0, SealedChunks()*ChunkRows) can never change again (the table is
+// append-only and the grid is absolute), so state derived from them is
+// cacheable forever.
+func (t *Table) SealedChunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows / ChunkRows
+}
+
+// chunkHashLocked returns the content digest of sealed grid cell c,
+// memoized for the table's lifetime. The digest covers the schema
+// (names and types) plus every cell value, so two tables holding
+// identical rows at the same grid position produce identical digests —
+// the content address the chunk-partial store keys on. The caller must
+// hold t.mu (read or write) and guarantee that cell c is sealed.
+func (t *Table) chunkHashLocked(c int) string {
+	t.chunkMu.Lock()
+	defer t.chunkMu.Unlock()
+	for len(t.chunkHashes) <= c {
+		t.chunkHashes = append(t.chunkHashes, "")
+	}
+	if h := t.chunkHashes[c]; h != "" {
+		return h
+	}
+	if t.schemaSig == "" {
+		sh := sha256.New()
+		for _, col := range t.cols {
+			fmt.Fprintf(sh, "%s\x00%d\x00", col.Name(), col.Type())
+		}
+		t.schemaSig = hex.EncodeToString(sh.Sum(nil)[:16])
+	}
+	h := sha256.New()
+	h.Write([]byte(t.schemaSig))
+	buf := make([]byte, 0, 64)
+	for row := chunkStart(c); row < chunkStart(c+1); row++ {
+		for _, col := range t.cols {
+			buf = appendValueBytes(buf, col.Value(row))
+		}
+		h.Write(buf)
+		buf = buf[:0]
+	}
+	hash := hex.EncodeToString(h.Sum(nil)[:16])
+	t.chunkHashes[c] = hash
+	return hash
+}
+
+// appendValueBytes encodes a value unambiguously for hashing: kind,
+// null flag, then the payload (length-prefixed for strings).
+func appendValueBytes(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	if v.Null {
+		return append(buf, 1)
+	}
+	buf = append(buf, 0)
+	var tmp [8]byte
+	switch v.Kind {
+	case TypeInt, TypeTime:
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+		buf = append(buf, tmp[:]...)
+	case TypeFloat:
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		buf = append(buf, tmp[:]...)
+	case TypeString:
+		binary.LittleEndian.PutUint64(tmp[:], uint64(len(v.S)))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, v.S...)
+	}
+	return buf
 }
 
 // Row materializes row i as boxed values in schema order.
@@ -273,7 +413,10 @@ func (t *Table) Gather(name string, sel []int32) *Table {
 	return out
 }
 
-// Clone returns a deep copy of the table under a new name.
+// Clone returns a deep copy of the table under a new name. The
+// sealed-chunk hash memo carries over: the clone holds identical rows
+// at identical grid positions (and hashes cover data, not the name),
+// so recomputing them would produce the same digests.
 func (t *Table) Clone(name string) *Table {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -282,5 +425,9 @@ func (t *Table) Clone(name string) *Table {
 		out.byName[c.Name()] = i
 		out.cols = append(out.cols, c.clone(c.Name()))
 	}
+	t.chunkMu.Lock()
+	out.chunkHashes = append([]string(nil), t.chunkHashes...)
+	out.schemaSig = t.schemaSig
+	t.chunkMu.Unlock()
 	return out
 }

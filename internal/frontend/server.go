@@ -83,6 +83,7 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/sql", s.handleSQL)
 	mux.HandleFunc("/api/session", s.handleSession)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/ingest", s.handleIngest)
 	// Cluster endpoints: every server can act as a worker shard
 	// (/api/shard/exec, /api/shard/health); a server whose DB runs a
 	// sharded backend additionally accepts worker registrations.
@@ -552,10 +553,22 @@ type clusterStats struct {
 	Shards    []cluster.ShardStatus `json:"shards"`
 }
 
+// incrementalStats surfaces the chunk-partial store's delta-reuse
+// effectiveness: how much aggregation work queries over live tables
+// served from sealed-chunk cache instead of re-scanning.
+type incrementalStats struct {
+	Store seedb.PartialStoreStats `json:"store"`
+	// ReuseRatio = rowsReused / (rowsReused + rowsScanned).
+	ReuseRatio float64 `json:"reuseRatio"`
+}
+
 type statsResponse struct {
 	Cache seedb.CacheStats `json:"cache"`
 	// Sessions is a count, not an ID list: IDs are capabilities.
 	Sessions int `json:"sessions"`
+	// Incremental reports chunk-partial reuse when the store is
+	// enabled (it is by default under Serve).
+	Incremental *incrementalStats `json:"incremental,omitempty"`
 	// Cluster reports shard health when a sharded backend is active.
 	Cluster *clusterStats `json:"cluster,omitempty"`
 }
@@ -569,12 +582,80 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:    s.svc.CacheStats(),
 		Sessions: s.svc.SessionCount(),
 	}
+	if s.db.Engine().Executor().PartialStore() != nil {
+		st := s.db.IncrementalStats()
+		resp.Incremental = &incrementalStats{Store: st, ReuseRatio: st.ReuseRatio()}
+	}
 	if b := s.clusterBackend(); b != nil {
 		resp.Cluster = &clusterStats{
 			Signature: b.Signature(),
 			Counters:  b.Counters(),
 			Shards:    b.Status(),
 		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------
+// /api/ingest: the live-table append path
+
+// handleIngest applies a batched append to this node's tables. On a
+// cluster coordinator the append is also forwarded to every worker
+// replica and each post-append ContentHash is re-verified against the
+// coordinator's, so distributed execution stays byte-identical across
+// appends; on a plain node (or worker) it applies locally. Rows are
+// loosely typed JSON ([[...], ...], numbers/strings/nulls) coerced
+// against the table schema; a bad batch is rejected atomically.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req cluster.IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing ingest request: %w", err))
+		return
+	}
+	if req.Table == "" || len(req.Rows) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: ingest needs a table and at least one row"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	if b := s.clusterBackend(); b != nil {
+		sum, err := b.Ingest(ctx, req.Table, req.Rows)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, sum)
+		return
+	}
+	t, err := s.db.Table(req.Table)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	typed, err := t.ParseRows(req.Rows)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	total, err := t.Append(typed)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := cluster.IngestResponse{Table: req.Table, Appended: len(req.Rows), Rows: total}
+	if req.Verify {
+		// Hashing is O(table); only coordinators (replica
+		// re-verification) and explicitly curious clients pay for it.
+		chash, err := t.ContentHash()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.ContentHash = chash
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"seedb/internal/core"
+	"seedb/internal/engine"
 	"seedb/internal/sql"
 )
 
@@ -24,6 +25,15 @@ type Config struct {
 	// clients that never close sessions cannot grow memory without
 	// bound.
 	MaxSessions int
+	// PartialStoreMaxBytes bounds the engine's chunk-partial store (the
+	// incremental-execution cache that makes queries over live tables
+	// cost O(delta) after an append; see engine.PartialStore). <= 0
+	// selects the 256 MiB default; DisableIncremental turns the store
+	// off entirely.
+	PartialStoreMaxBytes int64
+	// DisableIncremental leaves the engine on the direct scan path (no
+	// chunk-partial reuse).
+	DisableIncremental bool
 }
 
 // Manager is the concurrent entry point of the service layer: it owns
@@ -55,7 +65,26 @@ func NewManager(eng *core.Engine, cfg Config) *Manager {
 		sessions:    make(map[string]*Session),
 	}
 	eng.SetCache(m.cache)
+	// Incremental execution: the chunk-partial store sits below the
+	// view cache. The view cache answers "this exact query against this
+	// exact table version"; on a version bump (append) it misses, and
+	// the recompute falls through to the store, which reuses every
+	// sealed chunk and scans only the delta. Respect a store a caller
+	// installed beforehand (benchmarks do).
+	if !cfg.DisableIncremental && eng.Executor().PartialStore() == nil {
+		eng.Executor().SetPartialStore(engine.NewPartialStore(cfg.PartialStoreMaxBytes))
+	}
 	return m
+}
+
+// PartialStoreStats snapshots the engine's chunk-partial store
+// counters; the zero value comes back when incremental execution is
+// disabled.
+func (m *Manager) PartialStoreStats() engine.PartialStoreStats {
+	if st := m.eng.Executor().PartialStore(); st != nil {
+		return st.Stats()
+	}
+	return engine.PartialStoreStats{}
 }
 
 // Engine returns the underlying core engine.

@@ -1,0 +1,314 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"seedb/internal/engine"
+)
+
+// Incremental metadata collection: the append-path counterpart of the
+// engine's chunk-partial store. Tables are append-only, so every
+// statistic the collector serves is derivable from accumulable state —
+// value-count maps, running moments, contingency tables — that covers
+// rows [0,n) and extends to [0,m) by scanning only the delta [n,m).
+// Because the running float sums continue in row order and the final
+// float passes (entropy, chi-squared) run over identical counts in
+// identical loop order, the results are byte-identical to a cold full
+// recollection, so pruning decisions can never diverge between a live
+// instance and a freshly loaded replica.
+
+// tableState is the accumulated statistics state of one table
+// instance, keyed by engine.Table.Identity.
+type tableState struct {
+	mu   sync.Mutex
+	rows int // rows covered
+	cols []*colState
+}
+
+// extendTo folds rows [t.rows, rows) of every column into the state
+// and returns the finalized TableStats. Caller must not hold c.mu.
+// The column reads run under the table's read lock (Table.View) so a
+// concurrent append can never tear a column mid-scan.
+func (st *tableState) extendTo(t *engine.Table, rows int) *TableStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cols == nil || len(st.cols) != t.NumCols() || st.rows > rows {
+		st.cols = make([]*colState, t.NumCols())
+		for i := range st.cols {
+			st.cols[i] = newColState()
+		}
+		st.rows = 0
+	}
+	ts := &TableStats{Table: t.Name(), Rows: rows, Columns: map[string]*ColumnStats{}}
+	t.View(func() {
+		for i := 0; i < t.NumCols(); i++ {
+			col := t.ColumnAt(i)
+			st.cols[i].extend(col, st.rows, rows)
+			ts.Columns[col.Name()] = st.cols[i].finalize(col, rows)
+		}
+	})
+	st.rows = rows
+	return ts
+}
+
+// ---------------------------------------------------------------------
+// Incremental correlation state
+
+// colCodes continues a column's dense category coding across appends.
+// String columns reuse their dictionary codes directly; other types
+// grow an ad-hoc dictionary in row order — the same order a cold
+// categoryCodes pass uses, so code assignments always agree with it.
+type colCodes struct {
+	rows  int
+	codes []int32 // nil for string columns
+	index map[string]int32
+}
+
+func (cc *colCodes) extendTo(col engine.Column, rows int) {
+	if _, ok := col.(*engine.StringColumn); ok {
+		cc.rows = rows
+		return
+	}
+	if cc.index == nil {
+		cc.index = map[string]int32{}
+	}
+	for row := cc.rows; row < rows; row++ {
+		if col.IsNull(row) {
+			cc.codes = append(cc.codes, -1)
+			continue
+		}
+		label := valueKey(col.Value(row))
+		code, ok := cc.index[label]
+		if !ok {
+			code = int32(len(cc.index))
+			cc.index[label] = code
+		}
+		cc.codes = append(cc.codes, code)
+	}
+	cc.rows = rows
+}
+
+// at returns the category code of row r; card the current cardinality.
+func (cc *colCodes) at(col engine.Column, r int) int32 {
+	if sc, ok := col.(*engine.StringColumn); ok {
+		return sc.Codes()[r]
+	}
+	return cc.codes[r]
+}
+
+func (cc *colCodes) card(col engine.Column) int {
+	if sc, ok := col.(*engine.StringColumn); ok {
+		return sc.Cardinality()
+	}
+	return len(cc.index)
+}
+
+// pairCounts is one attribute pair's sparse contingency table.
+type pairCounts struct {
+	rows int
+	cont map[int64]int
+}
+
+// corrState is a table instance's accumulated correlation state.
+type corrState struct {
+	mu    sync.Mutex
+	codes map[string]*colCodes
+	pairs map[string]*pairCounts
+}
+
+// cramersVIncremental extends the pair's contingency counts by the
+// delta rows and computes Cramér's V from the final dense table —
+// looping in exactly the order the cold CramersV does, over equal
+// counts, so the returned bytes match it.
+func (cs *corrState) cramersVIncremental(t *engine.Table, a, b string, rows int) (float64, error) {
+	ca, err := t.Column(a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := t.Column(b)
+	if err != nil {
+		return 0, err
+	}
+	cca, ok := cs.codes[a]
+	if !ok {
+		cca = &colCodes{}
+		cs.codes[a] = cca
+	}
+	ccb, ok := cs.codes[b]
+	if !ok {
+		ccb = &colCodes{}
+		cs.codes[b] = ccb
+	}
+	cca.extendTo(ca, rows)
+	ccb.extendTo(cb, rows)
+
+	pkey := a + "\x00" + b
+	pc, ok := cs.pairs[pkey]
+	if !ok {
+		pc = &pairCounts{cont: map[int64]int{}}
+		cs.pairs[pkey] = pc
+	}
+	if pc.rows > rows {
+		pc = &pairCounts{cont: map[int64]int{}}
+		cs.pairs[pkey] = pc
+	}
+	for row := pc.rows; row < rows; row++ {
+		i, j := cca.at(ca, row), ccb.at(cb, row)
+		if i < 0 || j < 0 {
+			continue
+		}
+		pc.cont[int64(i)<<32|int64(uint32(j))]++
+	}
+	pc.rows = rows
+
+	// Finalize exactly like the cold pass: dense tables at the current
+	// cardinalities, identical loop order.
+	cardA, cardB := cca.card(ca), ccb.card(cb)
+	if cardA == 0 || cardB == 0 {
+		return 0, nil
+	}
+	cont := make([]int, cardA*cardB)
+	rowTot := make([]int, cardA)
+	colTot := make([]int, cardB)
+	n := 0
+	for key, c := range pc.cont {
+		i, j := int(key>>32), int(uint32(key))
+		cont[i*cardB+j] += c
+		rowTot[i] += c
+		colTot[j] += c
+		n += c
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	minDim := cardA
+	if cardB < minDim {
+		minDim = cardB
+	}
+	if minDim <= 1 {
+		return 0, nil // degenerate: one side is constant
+	}
+	chi2 := 0.0
+	for i := 0; i < cardA; i++ {
+		if rowTot[i] == 0 {
+			continue
+		}
+		for j := 0; j < cardB; j++ {
+			if colTot[j] == 0 {
+				continue
+			}
+			expected := float64(rowTot[i]) * float64(colTot[j]) / float64(n)
+			d := float64(cont[i*cardB+j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	v := math.Sqrt(chi2 / (float64(n) * float64(minDim-1)))
+	if v > 1 { // numerical safety
+		v = 1
+	}
+	return v, nil
+}
+
+// clustersIncremental computes the correlation clustering over cols,
+// extending per-pair state by the append delta only. The union-find
+// and ordering mirror the package-level CorrelationClusters.
+func (cs *corrState) clustersIncremental(t *engine.Table, cols []string, threshold float64) ([][]string, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.codes == nil {
+		cs.codes = map[string]*colCodes{}
+		cs.pairs = map[string]*pairCounts{}
+	}
+
+	parent := make(map[string]string, len(cols))
+	for _, c := range cols {
+		parent[c] = c
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	// One read-lock scope covers every pair's delta extension: a
+	// concurrent append can never tear the column reads. The row count
+	// is read INSIDE the scope (from a column, not NumRows — the table
+	// lock is not re-entrant) so the scanned prefix and the live
+	// string-dictionary cardinalities describe the same table version.
+	var verr error
+	t.View(func() {
+		rows := 0
+		if t.NumCols() > 0 {
+			rows = t.ColumnAt(0).Len()
+		}
+		for i := 0; i < len(cols); i++ {
+			for j := i + 1; j < len(cols); j++ {
+				v, err := cs.cramersVIncremental(t, cols[i], cols[j], rows)
+				if err != nil {
+					verr = err
+					return
+				}
+				if v >= threshold {
+					union(cols[i], cols[j])
+				}
+			}
+		}
+	})
+	if verr != nil {
+		return nil, verr
+	}
+	groups := map[string][]string{}
+	for _, c := range cols {
+		root := find(c)
+		groups[root] = append(groups[root], c)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Collector integration
+
+// tableStateFor returns (creating if needed) the accumulated stats
+// state for a table instance.
+func (c *Collector) tableStateFor(t *engine.Table) *tableState {
+	id := t.Identity()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.states[id]
+	if !ok {
+		if len(c.states) >= maxCollectorEntries {
+			c.states = map[string]*tableState{}
+		}
+		st = &tableState{}
+		c.states[id] = st
+	}
+	return st
+}
+
+// corrStateFor returns (creating if needed) the accumulated
+// correlation state for a table instance.
+func (c *Collector) corrStateFor(t *engine.Table) *corrState {
+	id := t.Identity()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.corr[id]
+	if !ok {
+		if len(c.corr) >= maxCollectorEntries {
+			c.corr = map[string]*corrState{}
+		}
+		st = &corrState{}
+		c.corr[id] = st
+	}
+	return st
+}

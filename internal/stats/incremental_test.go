@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+func incrTestTable(t *testing.T, rows int, seed int64) *engine.Table {
+	t.Helper()
+	tb, err := engine.NewTable("it", engine.Schema{
+		{Name: "d1", Type: engine.TypeString},
+		{Name: "d2", Type: engine.TypeString},
+		{Name: "g", Type: engine.TypeInt},
+		{Name: "m", Type: engine.TypeFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Append(incrTestRows(rows, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func incrTestRows(n int, seed int64) [][]engine.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]engine.Value, n)
+	for i := range out {
+		d1 := fmt.Sprintf("a%d", rng.Intn(6))
+		// d2 correlates strongly with d1 so clustering has something to
+		// find, with occasional noise.
+		d2 := "x" + d1
+		if rng.Intn(20) == 0 {
+			d2 = fmt.Sprintf("x%d", rng.Intn(4))
+		}
+		m := engine.Float(math.Round(rng.Float64()*1000) / 10)
+		if rng.Intn(30) == 0 {
+			m = engine.NullValue(engine.TypeFloat)
+		}
+		out[i] = []engine.Value{engine.String(d1), engine.String(d2), engine.Int(int64(rng.Intn(5))), m}
+	}
+	return out
+}
+
+func statsEqual(t *testing.T, a, b *TableStats) {
+	t.Helper()
+	if a.Rows != b.Rows || len(a.Columns) != len(b.Columns) {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", a.Rows, len(a.Columns), b.Rows, len(b.Columns))
+	}
+	for name, ca := range a.Columns {
+		cb, ok := b.Columns[name]
+		if !ok {
+			t.Fatalf("column %q missing", name)
+		}
+		// Bit-level equality on every float: incremental collection
+		// continues the same sequential accumulation a cold pass runs,
+		// so the results must be identical, not merely close.
+		if ca.Nulls != cb.Nulls || ca.Distinct != cb.Distinct ||
+			math.Float64bits(ca.Min) != math.Float64bits(cb.Min) ||
+			math.Float64bits(ca.Max) != math.Float64bits(cb.Max) ||
+			math.Float64bits(ca.Mean) != math.Float64bits(cb.Mean) ||
+			math.Float64bits(ca.Variance) != math.Float64bits(cb.Variance) ||
+			math.Float64bits(ca.NormEntropy) != math.Float64bits(cb.NormEntropy) {
+			t.Fatalf("column %q stats differ:\n%+v\nvs\n%+v", name, ca, cb)
+		}
+		if len(ca.TopValues) != len(cb.TopValues) {
+			t.Fatalf("column %q top values differ", name)
+		}
+		for i := range ca.TopValues {
+			if ca.TopValues[i] != cb.TopValues[i] {
+				t.Fatalf("column %q top value %d differs: %+v vs %+v", name, i, ca.TopValues[i], cb.TopValues[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalStatsMatchFullCollect: stats served from delta-extended
+// state equal a cold full pass bit for bit, across several appends.
+func TestIncrementalStatsMatchFullCollect(t *testing.T) {
+	tb := incrTestTable(t, 3000, 44)
+	c := NewCollector()
+	_ = c.Stats(tb) // prime the accumulated state
+	for i, delta := range []int{1, 700, 2500} {
+		if _, err := tb.Append(incrTestRows(delta, int64(50+i))); err != nil {
+			t.Fatal(err)
+		}
+		got := c.Stats(tb)  // delta-extended
+		want := Collect(tb) // cold full pass
+		statsEqual(t, got, want)
+		// Served again: memoized, same pointer semantics as before.
+		if c.Stats(tb) != got {
+			t.Fatal("memoized stats not reused for unchanged version")
+		}
+	}
+}
+
+// TestConcurrentAppendAndCollect: live appends racing stats collection
+// must be race-clean (the collector reads columns under Table.View);
+// meaningful under -race.
+func TestConcurrentAppendAndCollect(t *testing.T) {
+	tb := incrTestTable(t, 2000, 21)
+	c := NewCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			if _, err := tb.Append(incrTestRows(200, int64(300+i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		_ = c.Stats(tb)
+		if _, err := c.CorrelationClusters(tb, []string{"d1", "d2", "g"}, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	statsEqual(t, c.Stats(tb), Collect(tb))
+}
+
+// TestIncrementalClustersMatchFullScan: delta-extended contingency
+// state yields the same Cramér's-V clustering as cold per-pair scans.
+func TestIncrementalClustersMatchFullScan(t *testing.T) {
+	tb := incrTestTable(t, 2000, 9)
+	cols := []string{"d1", "d2", "g"}
+	c := NewCollector()
+	if _, err := c.CorrelationClusters(tb, cols, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	for i, delta := range []int{300, 1800} {
+		if _, err := tb.Append(incrTestRows(delta, int64(70+i))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.CorrelationClusters(tb, cols, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CorrelationClusters(tb, cols, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("incremental clusters %v differ from cold %v", got, want)
+		}
+		// And the pairwise V values themselves are bit-identical.
+		for i := 0; i < len(cols); i++ {
+			for j := i + 1; j < len(cols); j++ {
+				cs := c.corrStateFor(tb)
+				cs.mu.Lock()
+				gv, err := cs.cramersVIncremental(tb, cols[i], cols[j], tb.NumRows())
+				cs.mu.Unlock()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wv, err := CramersV(tb, cols[i], cols[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(gv) != math.Float64bits(wv) {
+					t.Fatalf("V(%s,%s) differs: %v vs %v", cols[i], cols[j], gv, wv)
+				}
+			}
+		}
+	}
+}

@@ -92,62 +92,97 @@ func valueKey(v engine.Value) string {
 }
 
 // Collect computes statistics for every column of the table in one
-// pass per column.
+// pass per column, under the table's read lock (appends may race).
 func Collect(t *engine.Table) *TableStats {
-	ts := &TableStats{Table: t.Name(), Rows: t.NumRows(), Columns: map[string]*ColumnStats{}}
-	for i := 0; i < t.NumCols(); i++ {
-		col := t.ColumnAt(i)
-		ts.Columns[col.Name()] = collectColumn(col)
-	}
+	rows := t.NumRows()
+	ts := &TableStats{Table: t.Name(), Rows: rows, Columns: map[string]*ColumnStats{}}
+	t.View(func() {
+		for i := 0; i < t.NumCols(); i++ {
+			col := t.ColumnAt(i)
+			st := newColState()
+			st.extend(col, 0, rows)
+			ts.Columns[col.Name()] = st.finalize(col, rows)
+		}
+	})
 	return ts
 }
 
-func collectColumn(col engine.Column) *ColumnStats {
-	cs := &ColumnStats{Name: col.Name(), Type: col.Type(), Rows: col.Len()}
-	counts := map[string]int{} // value label -> count
-	var sum, sumsq float64
-	numericSeen := 0
-	for row := 0; row < col.Len(); row++ {
+// colState is the accumulable form of one column's statistics. The
+// table is append-only, so a state covering rows [0,n) is extended to
+// [0,m) by scanning only [n,m) — and because the running float sums
+// simply CONTINUE in row order, the finalized stats are byte-identical
+// to a fresh full pass, never merely close.
+type colState struct {
+	counts      map[string]int // value label -> count
+	nulls       int
+	sum, sumsq  float64
+	min, max    float64
+	numericSeen int
+}
+
+func newColState() *colState { return &colState{counts: map[string]int{}} }
+
+// extend folds rows [lo,hi) of the column into the state.
+func (s *colState) extend(col engine.Column, lo, hi int) {
+	for row := lo; row < hi; row++ {
 		if col.IsNull(row) {
-			cs.Nulls++
+			s.nulls++
 			continue
 		}
 		v := col.Value(row)
-		counts[valueKey(v)]++
+		s.counts[valueKey(v)]++
 		if f, ok := v.AsFloat(); ok {
-			if numericSeen == 0 || f < cs.Min {
-				cs.Min = f
+			if s.numericSeen == 0 || f < s.min {
+				s.min = f
 			}
-			if numericSeen == 0 || f > cs.Max {
-				cs.Max = f
+			if s.numericSeen == 0 || f > s.max {
+				s.max = f
 			}
-			sum += f
-			sumsq += f * f
-			numericSeen++
+			s.sum += f
+			s.sumsq += f * f
+			s.numericSeen++
 		} else if col.Type() == engine.TypeTime {
 			f := float64(v.I)
-			if numericSeen == 0 || f < cs.Min {
-				cs.Min = f
+			if s.numericSeen == 0 || f < s.min {
+				s.min = f
 			}
-			if numericSeen == 0 || f > cs.Max {
-				cs.Max = f
+			if s.numericSeen == 0 || f > s.max {
+				s.max = f
 			}
-			numericSeen++
+			s.numericSeen++
 		}
 	}
-	cs.Distinct = len(counts)
-	if numericSeen > 0 && col.Type().Numeric() {
-		n := float64(numericSeen)
-		cs.Mean = sum / n
-		cs.Variance = sumsq/n - cs.Mean*cs.Mean
+}
+
+// finalize materializes the state as ColumnStats for a table of rows
+// rows.
+func (s *colState) finalize(col engine.Column, rows int) *ColumnStats {
+	cs := &ColumnStats{Name: col.Name(), Type: col.Type(), Rows: rows, Nulls: s.nulls}
+	cs.Distinct = len(s.counts)
+	if s.numericSeen > 0 {
+		cs.Min, cs.Max = s.min, s.max
+	}
+	if s.numericSeen > 0 && col.Type().Numeric() {
+		n := float64(s.numericSeen)
+		cs.Mean = s.sum / n
+		cs.Variance = s.sumsq/n - cs.Mean*cs.Mean
 		if cs.Variance < 0 {
 			cs.Variance = 0
 		}
 	}
-	nonNull := cs.Rows - cs.Nulls
+	nonNull := rows - s.nulls
 	if nonNull > 0 {
+		// Entropy depends only on the multiset of counts; summing in
+		// sorted order makes the float accumulation deterministic (map
+		// iteration order is not), so two passes over equal data — cold
+		// or incrementally extended — always agree to the last bit.
+		freqs := make([]int, 0, len(s.counts))
+		for _, c := range s.counts {
+			freqs = append(freqs, c)
+		}
+		sort.Ints(freqs)
 		h := 0.0
-		for _, c := range counts {
+		for _, c := range freqs {
 			p := float64(c) / float64(nonNull)
 			h -= p * math.Log(p)
 		}
@@ -157,8 +192,8 @@ func collectColumn(col engine.Column) *ColumnStats {
 		}
 	}
 	// Top values, by count desc then label asc for determinism.
-	top := make([]ValueCount, 0, len(counts))
-	for v, c := range counts {
+	top := make([]ValueCount, 0, len(s.counts))
+	for v, c := range s.counts {
 		top = append(top, ValueCount{Value: v, Count: c})
 	}
 	sort.Slice(top, func(i, j int) bool {
@@ -216,8 +251,12 @@ func CramersV(t *engine.Table, a, b string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	codesA, cardA := categoryCodes(ca)
-	codesB, cardB := categoryCodes(cb)
+	var codesA, codesB []int32
+	var cardA, cardB int
+	t.View(func() {
+		codesA, cardA = categoryCodes(ca)
+		codesB, cardB = categoryCodes(cb)
+	})
 	if cardA == 0 || cardB == 0 {
 		return 0, nil
 	}
@@ -321,6 +360,12 @@ type Collector struct {
 	mu       sync.Mutex
 	cache    map[string]*TableStats
 	clusters map[string][][]string
+	// states/corr hold accumulable per-table-INSTANCE statistics and
+	// contingency state (see incremental.go): a version bump (append)
+	// extends them by the delta rows instead of re-scanning the table,
+	// with byte-identical results.
+	states map[string]*tableState
+	corr   map[string]*corrState
 	// flights de-duplicates concurrent cold computations per memo key
 	// (singleflight): N clients hitting an empty memo after a restart
 	// must not each run the full table scan / quadratic pair scan.
@@ -332,6 +377,8 @@ func NewCollector() *Collector {
 	return &Collector{
 		cache:    map[string]*TableStats{},
 		clusters: map[string][][]string{},
+		states:   map[string]*tableState{},
+		corr:     map[string]*corrState{},
 		flights:  map[string]chan struct{}{},
 	}
 }
@@ -386,12 +433,16 @@ const maxCollectorEntries = 256
 
 // Stats returns (computing and caching on first use) the statistics
 // for a table. Concurrent misses on the same key share one collection.
+// A miss caused by an append does NOT re-scan the table: the
+// collector's accumulated per-instance state is extended by the delta
+// rows only (byte-identical to a full recollection — see
+// incremental.go).
 func (c *Collector) Stats(t *engine.Table) *TableStats {
 	key := t.Fingerprint()
 	ts, _ := flightLoop(c, "stats|"+key,
 		func() (*TableStats, bool) { ts, ok := c.cache[key]; return ts, ok },
 		func() (*TableStats, error) {
-			ts := Collect(t)
+			ts := c.tableStateFor(t).extendTo(t, t.NumRows())
 			c.mu.Lock()
 			dropStaleVersions(c.cache, key, func(k string) bool { return k == key })
 			if len(c.cache) >= maxCollectorEntries {
@@ -435,7 +486,9 @@ func (c *Collector) CorrelationClusters(t *engine.Table, cols []string, threshol
 	return flightLoop(c, "clusters|"+key,
 		func() ([][]string, bool) { cl, ok := c.clusters[key]; return cl, ok },
 		func() ([][]string, error) {
-			cl, err := CorrelationClusters(t, cols, threshold)
+			// Delta-extend the per-pair contingency state instead of
+			// re-scanning the table per pair (see incremental.go).
+			cl, err := c.corrStateFor(t).clustersIncremental(t, cols, threshold)
 			if err != nil {
 				return nil, err
 			}
@@ -462,6 +515,8 @@ func (c *Collector) Invalidate(name string) {
 	if name == "" {
 		c.cache = map[string]*TableStats{}
 		c.clusters = map[string][][]string{}
+		c.states = map[string]*tableState{}
+		c.corr = map[string]*corrState{}
 		return
 	}
 	owns := func(key string) bool {
@@ -475,6 +530,16 @@ func (c *Collector) Invalidate(name string) {
 	for key := range c.clusters {
 		if owns(key) {
 			delete(c.clusters, key)
+		}
+	}
+	for key := range c.states {
+		if owns(key) {
+			delete(c.states, key)
+		}
+	}
+	for key := range c.corr {
+		if owns(key) {
+			delete(c.corr, key)
 		}
 	}
 }

@@ -185,6 +185,9 @@ type (
 	Session = service.Session
 	// CacheStats snapshots the view-result cache counters.
 	CacheStats = service.CacheStats
+	// PartialStoreStats snapshots the chunk-partial store (incremental
+	// execution) counters.
+	PartialStoreStats = engine.PartialStoreStats
 )
 
 // DB is a SeeDB instance: an embedded analytical database plus the
@@ -228,6 +231,51 @@ func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// Append appends a batch of rows (each in schema order) to a
+// registered table under one version bump — the live-table ingest
+// path. Results cached against the previous table version become
+// unreachable (fingerprint change), but with incremental execution
+// enabled (see Serve and EnableIncremental) recomputation reuses every
+// sealed chunk's partials and only scans the appended delta, so a
+// query after an append costs O(delta), not O(table). On a cluster
+// coordinator with remote workers the batch is automatically forwarded
+// to every replica (ClusterBackend.Ingest) — appending only locally
+// would leave the fleet permanently diverged. It returns the table's
+// new row count.
+func (db *DB) Append(name string, rows [][]Value) (int, error) {
+	if b, ok := db.core.Backend().(*cluster.ShardedBackend); ok && b.HasRemoteShards() {
+		sum, err := b.Ingest(context.Background(), name, engine.FormatRowsWire(rows))
+		if err != nil {
+			return 0, err
+		}
+		return sum.Rows, nil
+	}
+	t, err := db.cat.Table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Append(rows)
+}
+
+// EnableIncremental installs the engine's chunk-partial store (sized
+// by maxBytes; <= 0 selects the 256 MiB default) without starting the
+// full service layer. Serve does this automatically; this entry point
+// exists for embedded and benchmark use.
+func (db *DB) EnableIncremental(maxBytes int64) {
+	if db.ex.PartialStore() == nil {
+		db.ex.SetPartialStore(engine.NewPartialStore(maxBytes))
+	}
+}
+
+// IncrementalStats snapshots the chunk-partial store counters (zero
+// value when incremental execution is not enabled).
+func (db *DB) IncrementalStats() PartialStoreStats {
+	if st := db.ex.PartialStore(); st != nil {
+		return st.Stats()
+	}
+	return PartialStoreStats{}
 }
 
 // SaveTable writes a binary snapshot of a registered table to w
