@@ -10,11 +10,11 @@ import (
 	"seedb/internal/experiments"
 )
 
-// Experiment benchmarks: one per paper table/figure/claim (see
-// DESIGN.md §3 for the index). Each wraps the corresponding experiment
-// runner at benchmark-friendly scale; `go test -bench .` therefore
-// regenerates the full evaluation. cmd/seedb-bench prints the same
-// reports with their tables.
+// Experiment benchmarks: one per paper table/figure/claim (the E1–E14
+// index lives in internal/experiments). Each wraps the corresponding
+// experiment runner at benchmark-friendly scale; `go test -bench .`
+// therefore regenerates the full evaluation. cmd/seedb-bench prints
+// the same reports with their tables.
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()

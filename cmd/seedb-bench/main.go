@@ -1,6 +1,6 @@
 // Command seedb-bench regenerates the paper's tables, figures, and
-// quantitative claims as experiments E1–E14 (see DESIGN.md for the
-// index and EXPERIMENTS.md for recorded results).
+// quantitative claims as experiments E1–E14 (the index lives in
+// internal/experiments; committed results in BENCH_*.json).
 //
 // Usage:
 //

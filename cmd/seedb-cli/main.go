@@ -33,6 +33,8 @@ func main() {
 	normalized := flag.Bool("normalized", true, "plot normalized distributions instead of raw aggregates")
 	sample := flag.Float64("sample", 0, "sample fraction in (0,1); 0 = exact")
 	shards := flag.Int("shards", 0, "scatter-gather execution across N in-process table shards (0 = off)")
+	stream := flag.Bool("stream", false, "print live phase-by-phase ranking updates while the recommendation runs")
+	phases := flag.Int("phases", 0, "phased execution with confidence-interval pruning across N phases (0 = single pass; -stream defaults this to 8)")
 	timeout := flag.Duration("timeout", time.Minute, "recommendation timeout")
 	save := flag.String("save", "", "after loading, save the table to this snapshot file (name=path)")
 	load := flag.String("load", "", "load a table from a snapshot file written by -save")
@@ -109,11 +111,22 @@ func main() {
 		// only changes where the scans run.
 		db.ShardLocal(*shards, seedb.ClusterConfig{})
 	}
+	opts.Phases = *phases
+	if *stream && opts.Phases <= 1 {
+		opts.Phases = 8 // streaming needs phases to have anything to show
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	res, err := db.RecommendSQL(ctx, *query, opts)
+	var listener seedb.ProgressListener
+	if *stream {
+		listener = printProgress
+	}
+	res, err := db.RecommendSQLProgress(ctx, *query, opts, listener)
 	must(err)
+	if *stream {
+		fmt.Println()
+	}
 
 	fmt.Printf("query: %s\n", res.Query)
 	fmt.Printf("|D_Q| = %d rows · metric %s · %d candidate views, %d executed, %d queries, %.1f ms",
@@ -148,6 +161,33 @@ func main() {
 			fmt.Printf("  %-34s utility %.4f\n", rec.Data.View, rec.Data.Utility)
 		}
 	}
+}
+
+// printProgress renders one phase snapshot as a progress line: how far
+// along the run is, the confidence radius, the survivor/prune tally,
+// and the current leader. The final ranking follows in full below, so
+// the stream stays one line per phase.
+func printProgress(s *seedb.ProgressSnapshot) {
+	done := 0
+	if s.Phases > 0 {
+		done = 20 * s.Phase / s.Phases
+	}
+	bar := strings.Repeat("█", done) + strings.Repeat("░", 20-done)
+	line := fmt.Sprintf("[%s] phase %d/%d", bar, s.Phase, s.Phases)
+	if s.Final {
+		line += " · final"
+	} else {
+		line += fmt.Sprintf(" · ε=%.4f", s.Epsilon)
+	}
+	line += fmt.Sprintf(" · %d surviving", s.Survivors)
+	if s.PrunedTotal > 0 {
+		line += fmt.Sprintf(" · %d pruned early", s.PrunedTotal)
+	}
+	if len(s.Ranking) > 0 {
+		lead := s.Ranking[0]
+		line += fmt.Sprintf(" · leader %s (%.4f)", lead.View, lead.Utility)
+	}
+	fmt.Println(line)
 }
 
 func must(err error) {

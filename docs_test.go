@@ -1,0 +1,132 @@
+package seedb
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Documentation lint, run as ordinary tests so `go test ./...` (and
+// the CI docs job) keeps README.md, ARCHITECTURE.md, and docs/ honest:
+// every relative link must resolve to a real file, and every ```go
+// snippet must be gofmt-clean.
+
+// docFiles lists the markdown files under lint.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ARCHITECTURE.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("docs/ directory: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	return files
+}
+
+var mdLinkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve checks every relative markdown link target
+// exists on disk (anchors and external URLs are skipped).
+func TestDocsLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := 0
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop any anchor
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not resolve (%v)", file, m[1], err)
+			}
+			links++
+		}
+		t.Logf("%s: %d relative links checked", file, links)
+	}
+}
+
+var goFenceRe = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// gofmtClean reports whether a fenced snippet is gofmt-clean. Doc
+// snippets are rarely whole files, so three interpretations are
+// tried: a complete file, file-level declarations, and a statement
+// list (wrapped in a function, formatted, then unwrapped).
+func gofmtClean(snippet string) error {
+	tryFile := func(src, context string) (bool, error) {
+		formatted, err := format.Source([]byte(src))
+		if err != nil {
+			return false, nil // does not parse under this interpretation
+		}
+		if string(formatted) != src {
+			return true, fmt.Errorf("not gofmt-clean (as %s):\n--- have ---\n%s\n--- want ---\n%s", context, src, formatted)
+		}
+		return true, nil
+	}
+	if ok, err := tryFile(snippet, "file"); ok {
+		return err
+	}
+	if ok, err := tryFile("package docs\n\n"+snippet, "declarations"); ok {
+		return err
+	}
+	// Statement list: indent into a throwaway function, format, strip
+	// the wrapper and the one level of indentation it added.
+	var b strings.Builder
+	b.WriteString("package docs\n\nfunc _() {\n")
+	for line := range strings.Lines(snippet) {
+		if strings.TrimSpace(line) != "" {
+			b.WriteString("\t")
+		}
+		b.WriteString(line)
+	}
+	b.WriteString("}\n")
+	formatted, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return fmt.Errorf("snippet parses as neither a file, declarations, nor statements: %v", err)
+	}
+	body, ok := strings.CutPrefix(string(formatted), "package docs\n\nfunc _() {\n")
+	if !ok {
+		return fmt.Errorf("formatter restructured the statement wrapper:\n%s", formatted)
+	}
+	body, ok = strings.CutSuffix(body, "}\n")
+	if !ok {
+		return fmt.Errorf("formatter restructured the statement wrapper:\n%s", formatted)
+	}
+	var unwrapped strings.Builder
+	for line := range strings.Lines(body) {
+		unwrapped.WriteString(strings.TrimPrefix(line, "\t"))
+	}
+	if unwrapped.String() != snippet {
+		return fmt.Errorf("not gofmt-clean (as statements):\n--- have ---\n%s\n--- want ---\n%s", snippet, unwrapped.String())
+	}
+	return nil
+}
+
+// TestDocsGoSnippetsGofmt keeps every ```go fence in the docs
+// formatted exactly as gofmt would write it.
+func TestDocsGoSnippetsGofmt(t *testing.T) {
+	for _, file := range docFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range goFenceRe.FindAllStringSubmatch(string(body), -1) {
+			if err := gofmtClean(m[1]); err != nil {
+				t.Errorf("%s: go snippet %d: %v", file, i+1, err)
+			}
+		}
+	}
+}

@@ -88,6 +88,15 @@ func (e *Engine) Backend() Backend {
 // metadata collection, view enumeration, pruning, optimization,
 // execution, scoring, and top-k selection (Problem 2.1 of the paper).
 func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result, error) {
+	return e.RecommendProgress(ctx, q, opts, nil)
+}
+
+// RecommendProgress is Recommend with a progress seam: listener (when
+// non-nil) receives an immutable ranking snapshot after every phase of
+// phased execution and a final snapshot just before the call returns.
+// The listener observes — it cannot change the returned Result, which
+// is byte-identical to a plain Recommend with the same options.
+func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, listener ProgressListener) (*Result, error) {
 	opts, err := opts.normalize()
 	if err != nil {
 		return nil, err
@@ -149,8 +158,9 @@ func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result,
 
 	// Optimizer + DBMS + View Processor.
 	var data []*ViewData
+	phasesUsed := 1
 	if opts.Phases > 1 {
-		data, err = e.runPhased(ctx, outcome.views, ts, q, opts, metric, sample, &res.Stats)
+		data, phasesUsed, err = e.runPhased(ctx, outcome.views, ts, q, opts, metric, sample, &res.Stats, listener)
 	} else {
 		var p *plan
 		p, err = buildPlan(outcome.views, ts, q, opts)
@@ -170,6 +180,9 @@ func (e *Engine) Recommend(ctx context.Context, q Query, opts Options) (*Result,
 		}
 		return data[i].View.Key() < data[j].View.Key()
 	})
+	if listener != nil {
+		listener(finalSnapshot(phasesUsed, phasesUsed, res.Stats.PrunedViews[PrunedPhased], data))
+	}
 	for _, d := range data {
 		res.AllScores = append(res.AllScores, ViewScore{View: d.View, Utility: d.Utility})
 	}

@@ -34,8 +34,10 @@ import (
 // be partition-mergeable, so phased mode supports COUNT, SUM, MIN and
 // MAX views.
 //
-// This file is an extension beyond the demo paper and is flagged as
-// such in DESIGN.md; experiment E12 measures its effect.
+// This file is an extension beyond the demo paper (experiment E12
+// measures its effect). It is also the engine of progressive
+// streaming: each phase boundary emits a ProgressSnapshot through the
+// listener seam in progress.go.
 
 // phasedAcc merges per-phase raw view results across phases. COUNT and
 // SUM add, MIN/MAX take extrema, and AVG merges the sum+count pairs
@@ -166,18 +168,22 @@ func metricBound(name string, maxGroups int) float64 {
 
 // runPhased executes the surviving views in opts.Phases row-range
 // chunks with confidence-interval pruning between phases, returning
-// exact ViewData for every view that survived to the end.
-func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableStats, q Query, opts Options, metric distance.Metric, sample bool, st *RunStats) ([]*ViewData, error) {
+// exact ViewData for every view that survived to the end plus the
+// actual phase count used (opts.Phases clamped to the row count).
+// listener, when non-nil, receives a ProgressSnapshot after every
+// non-final phase; the final snapshot is emitted by RecommendProgress
+// once the ranking is sorted.
+func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableStats, q Query, opts Options, metric distance.Metric, sample bool, st *RunStats, listener ProgressListener) ([]*ViewData, int, error) {
 	for _, v := range views {
 		switch v.Func {
 		case engine.AggCount, engine.AggSum, engine.AggMin, engine.AggMax, engine.AggAvg:
 		default:
-			return nil, fmt.Errorf("core: phased execution supports COUNT/SUM/AVG/MIN/MAX views; %s is not partition-mergeable without auxiliary state", v)
+			return nil, 0, fmt.Errorf("core: phased execution supports COUNT/SUM/AVG/MIN/MAX views; %s is not partition-mergeable without auxiliary state", v)
 		}
 	}
 	tb, err := e.ex.Catalog().Table(q.Table)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	rows := tb.NumRows()
 	phases := opts.Phases
@@ -194,8 +200,12 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		order = append(order, v.Key())
 	}
 	surviving := views
+	prunedTotal := 0
 
 	for phase := 0; phase < phases; phase++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		lo := phase * rows / phases
 		hi := (phase + 1) * rows / phases
 		if hi <= lo {
@@ -203,11 +213,11 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		}
 		p, err := buildPlan(surviving, ts, q, opts)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		phaseData, err := executePlan(ctx, e, p, q, opts, metric, sample, lo, hi)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, d := range phaseData {
 			if acc, ok := accs[d.View.Key()]; ok && !acc.pruned {
@@ -226,8 +236,9 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		n := float64(phases)
 
 		type scored struct {
-			key string
-			u   float64
+			key  string
+			view View
+			u    float64
 		}
 		var interim []scored
 		maxU := 0.0
@@ -241,33 +252,56 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 			if d == nil {
 				continue
 			}
-			interim = append(interim, scored{key, d.Utility})
+			interim = append(interim, scored{key, acc.view, d.Utility})
 			if d.Utility > maxU {
 				maxU = d.Utility
 			}
-		}
-		if len(interim) <= opts.K {
-			continue // nothing can be pruned below the top-k
 		}
 		bound := maxU
 		if bound <= 0 {
 			bound = metricBound(metric.Name(), 2)
 		}
 		eps := bound * math.Sqrt((1-m/n)*math.Log(2/delta)/(2*m))
-		// k-th best lower bound.
-		kth := kthLargest(interim, opts.K, func(s scored) float64 { return s.u })
-		lower := kth - eps
-		for _, s := range interim {
-			if s.u+eps < lower {
-				accs[s.key].pruned = true
-				st.addPrune(PrunedPhased, "", 1)
+		var prunedNow []ProgressEntry
+		// Pruning only applies with more survivors than the top-k; the
+		// confidence radius is still reported on every snapshot.
+		if len(interim) > opts.K {
+			// k-th best lower bound.
+			kth := kthLargest(interim, opts.K, func(s scored) float64 { return s.u })
+			lower := kth - eps
+			for _, s := range interim {
+				if s.u+eps < lower {
+					accs[s.key].pruned = true
+					st.addPrune(PrunedPhased, "", 1)
+					prunedNow = append(prunedNow, progressEntry(s.view, s.u, eps))
+				}
+			}
+			surviving = surviving[:0]
+			for _, key := range order {
+				if !accs[key].pruned {
+					surviving = append(surviving, accs[key].view)
+				}
 			}
 		}
-		surviving = surviving[:0]
-		for _, key := range order {
-			if !accs[key].pruned {
-				surviving = append(surviving, accs[key].view)
+		prunedTotal += len(prunedNow)
+		if listener != nil {
+			ranking := make([]ProgressEntry, 0, len(interim)-len(prunedNow))
+			for _, s := range interim {
+				if !accs[s.key].pruned {
+					ranking = append(ranking, progressEntry(s.view, s.u, eps))
+				}
 			}
+			rankEntries(ranking)
+			rankEntries(prunedNow)
+			listener(&ProgressSnapshot{
+				Phase:       phase + 1,
+				Phases:      phases,
+				Epsilon:     eps,
+				Ranking:     ranking,
+				PrunedNow:   prunedNow,
+				PrunedTotal: prunedTotal,
+				Survivors:   len(ranking),
+			})
 		}
 	}
 
@@ -282,7 +316,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 			out = append(out, d)
 		}
 	}
-	return out, nil
+	return out, phases, nil
 }
 
 // kthLargest returns the k-th largest value (1-indexed) of the scored

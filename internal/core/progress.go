@@ -1,0 +1,104 @@
+package core
+
+import "sort"
+
+// Progressive execution: the ProgressListener seam.
+//
+// Phased execution (see phased.go) already processes the table in N
+// row-range phases and re-estimates every surviving view's utility
+// between them — but until this seam existed, that interim state was
+// invisible: callers paid the full latency and then saw only the final
+// ranking. A ProgressListener receives an immutable snapshot of the
+// interim ranking after every phase, which is what lets the service
+// layer stream a converging ranking to analysts while later phases are
+// still running (the interactive-latency payoff of phased execution).
+//
+// Observation only: a listener can never change what Recommend
+// returns. Snapshots are built from fresh slices, so retaining one is
+// safe; the listener is called synchronously between phases, so a slow
+// listener slows the pipeline — the service layer's Stream decouples
+// slow consumers with a conflating mailbox instead of blocking here.
+
+// ProgressListener receives execution-progress snapshots during a
+// RecommendProgress call. It is called from the goroutine running the
+// recommendation, once after every completed phase of phased execution
+// and once with the final ranking (Final=true) just before Recommend
+// returns. Implementations must not mutate the snapshot.
+type ProgressListener func(*ProgressSnapshot)
+
+// ProgressSnapshot is one immutable observation of a running
+// recommendation: the surviving views ranked by their current utility
+// estimates, the confidence radius those estimates carry, and any
+// views pruned at this phase boundary.
+type ProgressSnapshot struct {
+	// Phase is the 1-based index of the phase that just completed;
+	// Phases is the total the run was planned with. A single-pass run
+	// (Options.Phases <= 1) emits exactly one snapshot with
+	// Phase = Phases = 1 and Final = true.
+	Phase  int
+	Phases int
+	// Final marks the last snapshot of the run: its Ranking is the
+	// exact ranking the returned Result packages, and Epsilon is 0.
+	Final bool
+	// Epsilon is the Hoeffding-style confidence radius attached to the
+	// interim utility estimates (see phased.go); every surviving view's
+	// true utility lies within [Utility-Epsilon, Utility+Epsilon] with
+	// the configured per-decision confidence.
+	Epsilon float64
+	// Ranking lists every surviving view, best first (utility
+	// descending, view key ascending on ties — the same order the final
+	// Result uses).
+	Ranking []ProgressEntry
+	// PrunedNow lists the views discarded at this phase boundary by
+	// confidence-interval pruning, with the interim utilities they were
+	// discarded at. Empty on snapshots where nothing was pruned.
+	PrunedNow []ProgressEntry
+	// PrunedTotal counts views pruned by phased execution so far.
+	PrunedTotal int
+	// Survivors counts views still in the running (== len(Ranking)).
+	Survivors int
+}
+
+// ProgressEntry is one view's position in an interim ranking.
+type ProgressEntry struct {
+	View View
+	// Utility is the current estimate (exact once Final).
+	Utility float64
+	// Lower / Upper bound the true utility with the run's confidence:
+	// Utility ∓ Epsilon. Equal to Utility on the final snapshot.
+	Lower, Upper float64
+}
+
+// rankEntries sorts entries into ranking order: utility descending,
+// view key ascending on ties — mirroring Recommend's final sort so
+// interim and final rankings are directly comparable.
+func rankEntries(entries []ProgressEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Utility != entries[j].Utility {
+			return entries[i].Utility > entries[j].Utility
+		}
+		return entries[i].View.Key() < entries[j].View.Key()
+	})
+}
+
+// progressEntry builds one entry with bounds derived from eps.
+func progressEntry(v View, utility, eps float64) ProgressEntry {
+	return ProgressEntry{View: v, Utility: utility, Lower: utility - eps, Upper: utility + eps}
+}
+
+// finalSnapshot builds the terminal snapshot from the ranked view data
+// (already sorted by Recommend).
+func finalSnapshot(phase, phases, prunedTotal int, data []*ViewData) *ProgressSnapshot {
+	ranking := make([]ProgressEntry, len(data))
+	for i, d := range data {
+		ranking[i] = progressEntry(d.View, d.Utility, 0)
+	}
+	return &ProgressSnapshot{
+		Phase:       phase,
+		Phases:      phases,
+		Final:       true,
+		Ranking:     ranking,
+		PrunedTotal: prunedTotal,
+		Survivors:   len(ranking),
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+// collectSnapshots runs RecommendProgress and returns the result plus
+// every snapshot emitted, in order.
+func collectSnapshots(t *testing.T, e *Engine, q Query, opts Options) (*Result, []*ProgressSnapshot) {
+	t.Helper()
+	var snaps []*ProgressSnapshot
+	res, err := e.RecommendProgress(context.Background(), q, opts, func(s *ProgressSnapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, snaps
+}
+
+// TestProgressSnapshotsPerPhase: phased execution emits one snapshot
+// per phase, phase indices strictly increasing, exactly one final
+// snapshot (the last), and the final ranking matches the Result.
+func TestProgressSnapshotsPerPhase(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 8000, 3)
+	opts := DefaultOptions()
+	opts.K = 4
+	opts.Phases = 5
+	res, snaps := collectSnapshots(t, e, q, opts)
+
+	if len(snaps) != opts.Phases {
+		t.Fatalf("got %d snapshots, want %d (one per phase)", len(snaps), opts.Phases)
+	}
+	for i, s := range snaps {
+		if s.Phase != i+1 {
+			t.Errorf("snapshot %d has Phase=%d, want %d", i, s.Phase, i+1)
+		}
+		if s.Phases != opts.Phases {
+			t.Errorf("snapshot %d has Phases=%d, want %d", i, s.Phases, opts.Phases)
+		}
+		if got, want := s.Final, i == len(snaps)-1; got != want {
+			t.Errorf("snapshot %d Final=%v, want %v", i, got, want)
+		}
+		if s.Survivors != len(s.Ranking) {
+			t.Errorf("snapshot %d Survivors=%d but ranking has %d entries", i, s.Survivors, len(s.Ranking))
+		}
+		for j := 1; j < len(s.Ranking); j++ {
+			if s.Ranking[j].Utility > s.Ranking[j-1].Utility {
+				t.Errorf("snapshot %d ranking not sorted at %d", i, j)
+			}
+		}
+		if !s.Final {
+			if s.Epsilon <= 0 {
+				t.Errorf("interim snapshot %d has Epsilon=%v, want > 0", i, s.Epsilon)
+			}
+			for _, en := range s.Ranking {
+				if en.Upper-en.Lower <= 0 {
+					t.Errorf("interim entry %v has empty confidence interval", en.View)
+				}
+			}
+		}
+	}
+
+	final := snaps[len(snaps)-1]
+	if final.Epsilon != 0 {
+		t.Errorf("final snapshot Epsilon=%v, want 0", final.Epsilon)
+	}
+	if len(final.Ranking) != len(res.AllScores) {
+		t.Fatalf("final ranking has %d entries, result scored %d views", len(final.Ranking), len(res.AllScores))
+	}
+	for i, sc := range res.AllScores {
+		if final.Ranking[i].View != sc.View || final.Ranking[i].Utility != sc.Utility {
+			t.Errorf("final ranking[%d] = %v(%v), result AllScores[%d] = %v(%v)",
+				i, final.Ranking[i].View, final.Ranking[i].Utility, i, sc.View, sc.Utility)
+		}
+	}
+}
+
+// TestProgressPruneAccounting: across all snapshots, pruned + final
+// survivors must account for every executed view, and PrunedTotal must
+// be the running sum of PrunedNow.
+func TestProgressPruneAccounting(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 10000, 3)
+	opts := DefaultOptions()
+	opts.K = 2 // small k so confidence-interval pruning has room to fire
+	opts.Phases = 8
+	res, snaps := collectSnapshots(t, e, q, opts)
+
+	running := 0
+	for _, s := range snaps {
+		running += len(s.PrunedNow)
+		if s.PrunedTotal != running {
+			t.Errorf("phase %d: PrunedTotal=%d, running sum of PrunedNow=%d", s.Phase, s.PrunedTotal, running)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if got := res.Stats.PrunedViews[PrunedPhased]; got != final.PrunedTotal {
+		t.Errorf("result reports %d phased prunes, final snapshot %d", got, final.PrunedTotal)
+	}
+	// Views that scored in the final result plus views pruned mid-run
+	// must cover every view the run set out to execute. (Views whose
+	// comparison side is empty score nil and are dropped silently, so
+	// <= rather than ==.)
+	if total := len(res.AllScores) + final.PrunedTotal; total > res.Stats.ExecutedViews {
+		t.Errorf("scores(%d) + pruned(%d) exceed executed views (%d)",
+			len(res.AllScores), final.PrunedTotal, res.Stats.ExecutedViews)
+	}
+}
+
+// TestProgressListenerDoesNotChangeResult: a Recommend with a listener
+// must return exactly what a plain Recommend returns.
+func TestProgressListenerDoesNotChangeResult(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 6000, 5)
+	ctx := context.Background()
+	opts := DefaultOptions()
+	opts.K = 3
+	opts.Phases = 4
+
+	plain, err := e.Recommend(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := e.RecommendProgress(ctx, q, opts, func(*ProgressSnapshot) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.AllScores) != len(observed.AllScores) {
+		t.Fatalf("listener changed score count: %d vs %d", len(plain.AllScores), len(observed.AllScores))
+	}
+	for i := range plain.AllScores {
+		if plain.AllScores[i] != observed.AllScores[i] {
+			t.Errorf("score %d differs: %+v vs %+v", i, plain.AllScores[i], observed.AllScores[i])
+		}
+	}
+}
+
+// TestProgressSinglePass: without phased execution the listener still
+// gets exactly one snapshot — the final ranking.
+func TestProgressSinglePass(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 2000, 3)
+	opts := DefaultOptions()
+	opts.K = 3
+	res, snaps := collectSnapshots(t, e, q, opts)
+	if len(snaps) != 1 {
+		t.Fatalf("single-pass run emitted %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if !s.Final || s.Phase != 1 || s.Phases != 1 {
+		t.Errorf("single-pass snapshot = {Final:%v Phase:%d Phases:%d}, want final 1/1", s.Final, s.Phase, s.Phases)
+	}
+	if len(s.Ranking) != len(res.AllScores) {
+		t.Errorf("ranking %d entries, result %d", len(s.Ranking), len(res.AllScores))
+	}
+}
+
+// TestProgressCancellationBetweenPhases: a context cancelled by a
+// listener stops the run at the next phase boundary with the context's
+// error.
+func TestProgressCancellationBetweenPhases(t *testing.T) {
+	e, q, _ := syntheticEngine(t, 8000, 3)
+	opts := DefaultOptions()
+	opts.Phases = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err := e.RecommendProgress(ctx, q, opts, func(*ProgressSnapshot) {
+		seen++
+		cancel()
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if seen == 0 {
+		t.Fatal("listener never ran before cancellation took effect")
+	}
+	if seen >= opts.Phases {
+		t.Errorf("run completed all %d phases despite cancellation after the first", opts.Phases)
+	}
+}
+
+// TestProgressPhasesClampedToRows: a tiny table clamps the phase count
+// and the snapshots reflect the actual count used.
+func TestProgressPhasesClampedToRows(t *testing.T) {
+	tb := engine.MustNewTable("tiny", engine.Schema{
+		{Name: "d", Type: engine.TypeString},
+		{Name: "m", Type: engine.TypeInt},
+	})
+	rows := [][]engine.Value{
+		{engine.String("a"), engine.Int(1)},
+		{engine.String("b"), engine.Int(2)},
+		{engine.String("a"), engine.Int(3)},
+	}
+	if _, err := tb.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	cat := engine.NewCatalog()
+	if err := cat.Register(tb); err != nil {
+		t.Fatal(err)
+	}
+	e := New(engine.NewExecutor(cat))
+	opts := DefaultOptions()
+	opts.K = 1
+	opts.Phases = 100 // far more than 3 rows
+	opts.Dimensions = []string{"d"}
+	opts.Measures = []string{"m"}
+	opts.PruneLowVariance = false
+	_, snaps := collectSnapshots(t, e, Query{Table: "tiny", Predicate: engine.Eq("d", engine.String("a"))}, opts)
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots")
+	}
+	final := snaps[len(snaps)-1]
+	if final.Phases != 3 {
+		t.Errorf("final snapshot Phases=%d, want clamped 3", final.Phases)
+	}
+}

@@ -1,9 +1,9 @@
 // Package experiments regenerates every table and figure of the SeeDB
 // demo paper, plus the quantitative claims of §3.3, as reproducible
-// experiments E1–E14 (see DESIGN.md for the index). Each experiment
-// returns a Report that cmd/seedb-bench prints and EXPERIMENTS.md
-// records; bench_test.go at the module root wraps each one as a Go
-// benchmark.
+// experiments E1–E14 (each runner's doc comment states which paper
+// claim it reproduces). Each experiment returns a Report that
+// cmd/seedb-bench prints; bench_test.go at the module root wraps each
+// one as a Go benchmark.
 package experiments
 
 import (
@@ -76,8 +76,8 @@ func (r *Report) String() string {
 }
 
 // Config scales the experiments. Quick mode shrinks sweeps so the full
-// suite runs in seconds (used by tests); the default sizes match
-// EXPERIMENTS.md.
+// suite runs in seconds (used by tests); the default sizes match the
+// paper-scale runs cmd/seedb-bench performs.
 type Config struct {
 	Rows  int
 	Seed  int64

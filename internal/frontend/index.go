@@ -38,6 +38,19 @@ const indexHTML = `<!DOCTYPE html>
     white-space:pre-wrap; margin-top:3px; }
   #status { font-size:12px; color:#666; margin:8px 0; }
   #status.error { color:#b00; }
+  .phasebar { height:6px; background:#e0e0e0; border-radius:3px; margin-top:5px; }
+  .phasebar div { height:6px; background:var(--blue); border-radius:3px; transition:width .2s; }
+  .liverank { margin-top:8px; }
+  .rankrow { display:flex; align-items:center; gap:8px; font-size:12px; padding:2px 0; }
+  .rankno { width:28px; color:#888; text-align:right; }
+  .ranktitle { width:260px; overflow:hidden; text-overflow:ellipsis; white-space:nowrap; }
+  .rankbar { position:relative; flex:1; height:12px; background:#f0f0f0; border-radius:3px; }
+  .rankbar .bar { position:absolute; left:0; top:0; bottom:0; background:var(--blue);
+    border-radius:3px; transition:width .25s; }
+  .rankbar .ci { position:absolute; top:4px; bottom:4px; background:rgba(44,127,184,.25);
+    border-radius:2px; }
+  .rankval { width:64px; text-align:right; font-variant-numeric:tabular-nums; color:#444; }
+  .prunelog { font-size:11px; color:#996; margin-top:4px; }
   .badheader { margin-top:22px; color:#b04a4a; }
   table.preview { border-collapse:collapse; font-size:11px; margin-top:8px; }
   table.preview td, table.preview th { border:1px solid #ddd; padding:2px 6px; }
@@ -86,6 +99,9 @@ const indexHTML = `<!DOCTYPE html>
       <label><input type="checkbox" id="disableCombining"> disable query combining</label>
       <label for="sample">Sample fraction (0 = exact)</label>
       <input type="number" id="sample" value="0" min="0" max="0.99" step="0.05">
+      <label><input type="checkbox" id="stream" checked> stream progressive results (live ranking)</label>
+      <label for="phases">Execution phases for streaming (&ge;2 shows the ranking converge)</label>
+      <input type="number" id="phases" value="8" min="0" max="64">
     </fieldset>
   </div>
   <div id="right">
@@ -208,11 +224,96 @@ document.addEventListener('click', e => {
   if (idx !== null && idx !== undefined) drill(idx);
 });
 
+// Progressive streaming over SSE: phase events update a live ranking
+// while later phases still run; the done event carries the exact same
+// payload the blocking endpoint would have returned.
+let ES = null;
+
+function esc(s) {
+  return String(s).replaceAll('&','&amp;').replaceAll('<','&lt;').replaceAll('>','&gt;')
+    .replaceAll('"','&quot;').replaceAll("'",'&#39;');
+}
+
+function streamParams() {
+  const params = new URLSearchParams({
+    sql: el('sql').value,
+    metric: el('metric').value,
+    k: el('k').value || '6',
+    normalized: el('normalized').checked,
+    showWorst: el('showWorst').checked,
+    disablePruning: el('disablePruning').checked,
+    disableCombining: el('disableCombining').checked,
+    phases: el('phases').value || '0'
+  });
+  const sf = parseFloat(el('sample').value) || 0;
+  if (sf > 0) params.set('sampleFraction', sf);
+  return params;
+}
+
+function renderProgress(p, prunedLog) {
+  const pct = Math.round(100 * p.phase / p.phases);
+  let h = '<div class="stats">phase ' + p.phase + '/' + p.phases +
+    (p.final ? ' · final ranking' : ' · confidence radius ε = ' + p.epsilon.toFixed(4)) +
+    ' · ' + p.survivors + ' views surviving · ' + p.prunedTotal + ' pruned early' +
+    '<div class="phasebar"><div style="width:' + pct + '%"></div></div></div>';
+  const maxU = Math.max(1e-9, ...p.ranking.map(r => r.upper));
+  h += '<div class="liverank">' + p.ranking.map((r, i) => {
+    const lo = Math.max(r.lower, 0);
+    let bar = '<span class="bar" style="width:' + (100 * r.utility / maxU).toFixed(1) + '%"></span>';
+    if (!p.final) {
+      bar += '<span class="ci" style="left:' + (100 * lo / maxU).toFixed(1) +
+        '%;width:' + (100 * (r.upper - lo) / maxU).toFixed(1) + '%"></span>';
+    }
+    return '<div class="rankrow"><span class="rankno">#' + (i + 1) + '</span>' +
+      '<span class="ranktitle" title="' + esc(r.title) + '">' + esc(r.title) + '</span>' +
+      '<span class="rankbar">' + bar + '</span>' +
+      '<span class="rankval">' + r.utility.toFixed(4) + '</span></div>';
+  }).join('') + '</div>';
+  if (prunedLog.length) {
+    h += '<div class="prunelog">pruned early: ' + prunedLog.map(esc).join(' · ') + '</div>';
+  }
+  el('stats').innerHTML = h;
+}
+
+function streamRecommend() {
+  if (ES) { ES.close(); ES = null; }
+  const prunedLog = [];
+  const es = new EventSource('/api/recommend/stream?' + streamParams());
+  ES = es;
+  es.addEventListener('phase', e => {
+    renderProgress(JSON.parse(e.data), prunedLog);
+    el('status').textContent = 'Streaming — ranking converging…';
+  });
+  es.addEventListener('prune', e => {
+    for (const v of JSON.parse(e.data).views) prunedLog.push(v.title);
+  });
+  es.addEventListener('done', e => {
+    es.close(); ES = null;
+    renderRecommendation(JSON.parse(e.data));
+  });
+  es.addEventListener('error', e => {
+    if (e.data) { // terminal error frame from the server
+      es.close(); ES = null;
+      el('status').className = 'error';
+      el('status').textContent = 'Error: ' + JSON.parse(e.data).error;
+      return;
+    }
+    // Data-less events are connection errors: let EventSource
+    // auto-reconnect with Last-Event-ID, which the server resumes
+    // from cache (phase events already seen are not re-streamed).
+    el('status').textContent = 'Stream interrupted — reconnecting…';
+  });
+}
+
 async function recommend() {
   el('status').className = '';
   el('status').textContent = 'Computing recommendations…';
   el('views').innerHTML = ''; el('badViews').innerHTML = '';
   el('badTitle').style.display = 'none'; el('stats').innerHTML = '';
+  if (el('stream').checked && window.EventSource) {
+    streamRecommend();
+    return;
+  }
   try {
     const body = {
       sql: el('sql').value,
@@ -223,6 +324,9 @@ async function recommend() {
       disablePruning: el('disablePruning').checked,
       disableCombining: el('disableCombining').checked,
       sampleFraction: parseFloat(el('sample').value) || 0
+      // phases is deliberately NOT sent: the phases input drives the
+      // streaming path; unchecking "stream" restores exact single-pass
+      // execution on this blocking path.
     };
     const res = await getJSON('/api/recommend', {
       method: 'POST', headers: {'Content-Type': 'application/json'},

@@ -79,6 +79,7 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/api/meta", s.handleMeta)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
+	mux.HandleFunc("/api/recommend/stream", s.handleRecommendStream)
 	mux.HandleFunc("/api/drilldown", s.handleDrillDown)
 	mux.HandleFunc("/api/sql", s.handleSQL)
 	mux.HandleFunc("/api/session", s.handleSession)
@@ -213,6 +214,14 @@ type recommendRequest struct {
 	// Results are byte-identical either way; this knob trades fan-out
 	// against per-request overhead.
 	Shards *int `json:"shards"`
+	// Phases enables phased execution with confidence-interval pruning:
+	// absent keeps the session default, 0 restores single-pass
+	// execution, N>1 processes the table in N phases. The streaming
+	// endpoint emits one ranking snapshot per phase; the blocking
+	// endpoint accepts the same knob so both run the identical
+	// computation (the stream's done payload is byte-identical to the
+	// blocking response).
+	Phases *int `json:"phases"`
 }
 
 type viewJSON struct {
@@ -333,6 +342,9 @@ func (s *Server) optionsFrom(req recommendRequest, base seedb.Options) seedb.Opt
 	}
 	if req.Shards != nil && *req.Shards >= 0 {
 		opts.Shards = *req.Shards
+	}
+	if req.Phases != nil && *req.Phases >= 0 {
+		opts.Phases = *req.Phases
 	}
 	return opts
 }

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"seedb/internal/core"
+	"seedb/internal/sql"
+)
+
+// Progressive recommendation streams.
+//
+// A Stream is one running recommendation observed through the core
+// ProgressListener seam, multiplexed to any number of subscribers.
+// The design goals, in order:
+//
+//  1. The pipeline never blocks on a consumer. Snapshots are delivered
+//     through per-subscriber conflating mailboxes: when a subscriber's
+//     buffer is full, the OLDEST pending snapshot is dropped to make
+//     room for the newest — a slow consumer sees a sparser series of
+//     rankings, each one current when delivered.
+//  2. The terminal event is never dropped. It is published last, so
+//     conflation can only ever evict intermediate snapshots to make
+//     room for it, and subscribers that attach after completion get it
+//     replayed.
+//  3. Subscribers are independent: one unsubscribing (or being slow)
+//     never affects what the others see.
+
+// StreamEvent is one message on a recommendation stream. Exactly one
+// of the three fields describes the event: Snapshot for progress,
+// Result or Err for the terminal event that ends the stream.
+type StreamEvent struct {
+	// Snapshot is a progress observation (nil on the terminal event).
+	// The final snapshot (Snapshot.Final == true) precedes the terminal
+	// Result event and carries the same ranking.
+	Snapshot *core.ProgressSnapshot
+	// Result is the completed recommendation — byte-identical to what a
+	// blocking Recommend with the same query and options returns.
+	Result *core.Result
+	// Err terminates the stream on failure (including context
+	// cancellation of the run).
+	Err error
+}
+
+// Terminal reports whether this event ends the stream.
+func (ev StreamEvent) Terminal() bool { return ev.Result != nil || ev.Err != nil }
+
+// Stream is one running recommendation being observed. Create it with
+// Session.RecommendStream; attach any number of subscribers with
+// Subscribe. The stream completes exactly once, delivering a terminal
+// event (Result or Err) to every subscriber and closing their
+// channels.
+type Stream struct {
+	mu    sync.Mutex
+	subs  []*Subscriber
+	final *StreamEvent // set once, under mu
+	done  chan struct{}
+}
+
+func newStream() *Stream { return &Stream{done: make(chan struct{})} }
+
+// Subscriber is one consumer's view of a Stream: a buffered, conflated
+// event channel. Read Events until it closes (after the terminal
+// event), or call Close to detach early.
+type Subscriber struct {
+	stream *Stream
+	ch     chan StreamEvent
+	closed bool // guarded by stream.mu
+}
+
+// Events returns the subscriber's event channel. The channel closes
+// after the terminal event (or after Close).
+func (s *Subscriber) Events() <-chan StreamEvent { return s.ch }
+
+// Close detaches the subscriber and closes its channel. Safe to call
+// concurrently with a running stream and after completion; idempotent.
+// Other subscribers are unaffected.
+func (s *Subscriber) Close() {
+	st := s.stream
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, sub := range st.subs {
+		if sub == s {
+			st.subs = append(st.subs[:i], st.subs[i+1:]...)
+			break
+		}
+	}
+	// Publishes happen under st.mu, so no send can race this close.
+	close(s.ch)
+}
+
+// Subscribe attaches a consumer with the given mailbox capacity
+// (values < 1 select the default of 8). Subscribing to a completed
+// stream returns a subscriber whose channel replays the terminal event
+// and is already closed.
+func (st *Stream) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 8
+	}
+	sub := &Subscriber{stream: st, ch: make(chan StreamEvent, buf)}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.final != nil {
+		sub.ch <- *st.final
+		close(sub.ch)
+		sub.closed = true
+		return sub
+	}
+	st.subs = append(st.subs, sub)
+	return sub
+}
+
+// Done is closed when the stream completes.
+func (st *Stream) Done() <-chan struct{} { return st.done }
+
+// Final returns the terminal outcome, or (nil, nil) while the stream
+// is still running. Wait on Done first for a blocking read.
+func (st *Stream) Final() (*core.Result, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.final == nil {
+		return nil, nil
+	}
+	return st.final.Result, st.final.Err
+}
+
+// deliver places ev in sub's mailbox without ever blocking: when the
+// mailbox is full, the oldest pending event is dropped to make room.
+// Only the publisher sends (under st.mu), so the drop-retry loop
+// always terminates — a concurrent consumer can only drain.
+func deliver(sub *Subscriber, ev StreamEvent) {
+	for {
+		select {
+		case sub.ch <- ev:
+			return
+		default:
+		}
+		select {
+		case <-sub.ch: // conflate: evict the oldest pending event
+		default:
+		}
+	}
+}
+
+// publish fans a progress event out to every live subscriber.
+func (st *Stream) publish(ev StreamEvent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.final != nil {
+		return // stream already completed; late snapshots are dropped
+	}
+	for _, sub := range st.subs {
+		deliver(sub, ev)
+	}
+}
+
+// finish records the terminal event, delivers it to every subscriber
+// (conflation can evict pending snapshots but never the terminal event
+// itself, which is published last), closes their channels, and marks
+// the stream done.
+func (st *Stream) finish(res *core.Result, err error) {
+	ev := StreamEvent{Result: res, Err: err}
+	st.mu.Lock()
+	if st.final != nil {
+		st.mu.Unlock()
+		return
+	}
+	st.final = &ev
+	subs := st.subs
+	st.subs = nil
+	for _, sub := range subs {
+		deliver(sub, ev)
+		close(sub.ch)
+		sub.closed = true
+	}
+	st.mu.Unlock()
+	close(st.done)
+}
+
+// RecommendStream launches the SeeDB pipeline for q in the background
+// and returns a Stream of progress snapshots ending in a terminal
+// Result/Err event. opts overrides the session defaults for this call
+// when non-nil. With Options.Phases > 1 the ranking converges
+// phase by phase; otherwise the stream carries a single final snapshot
+// and the terminal event. Cancelling ctx aborts the run at the next
+// phase boundary and terminates the stream with the context error.
+func (s *Session) RecommendStream(ctx context.Context, q core.Query, opts *core.Options) *Stream {
+	s.touch()
+	st := newStream()
+	eff := s.effectiveOptions(opts)
+	go func() {
+		res, err := s.manager.eng.RecommendProgress(ctx, q, eff, func(snap *core.ProgressSnapshot) {
+			st.publish(StreamEvent{Snapshot: snap})
+		})
+		st.finish(res, err)
+	}()
+	return st
+}
+
+// RecommendSQLStream is RecommendStream with the analyst query given
+// as SQL text. Parse errors are returned synchronously; execution
+// errors arrive as the stream's terminal event.
+func (s *Session) RecommendSQLStream(ctx context.Context, sqlText string, opts *core.Options) (*Stream, error) {
+	table, where, err := sql.AnalystQuery(sqlText, s.manager.eng.Executor().Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return s.RecommendStream(ctx, core.Query{Table: table, Predicate: where}, opts), nil
+}

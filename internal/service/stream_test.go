@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"seedb/internal/core"
+	"seedb/internal/engine"
+)
+
+func phasedOptions(phases int) *core.Options {
+	o := testOptions()
+	o.Phases = phases
+	return &o
+}
+
+// drainAll reads every event until the channel closes.
+func drainAll(t *testing.T, sub *Subscriber) []StreamEvent {
+	t.Helper()
+	var evs []StreamEvent
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return evs
+			}
+			evs = append(evs, ev)
+		case <-timeout:
+			t.Fatal("stream did not complete in time")
+		}
+	}
+}
+
+// TestStreamOrderingAndTerminal: snapshots arrive in phase order, the
+// final snapshot precedes the terminal event, and the terminal result
+// matches a blocking Recommend with the same options.
+func TestStreamOrderingAndTerminal(t *testing.T) {
+	eng, _ := newTestBackend(t, 6000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	opts := phasedOptions(5)
+	st := sess.RecommendStream(context.Background(), furnitureQuery(), opts)
+	sub := st.Subscribe(64) // large mailbox: see every snapshot
+	evs := drainAll(t, sub)
+
+	if len(evs) < 2 {
+		t.Fatalf("got %d events, want snapshots + terminal", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if !last.Terminal() || last.Result == nil || last.Err != nil {
+		t.Fatalf("last event not a successful terminal: %+v", last)
+	}
+	prevPhase := 0
+	sawFinalSnap := false
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Terminal() {
+			t.Fatal("terminal event before the end of the stream")
+		}
+		if ev.Snapshot.Phase <= prevPhase {
+			t.Errorf("phase went from %d to %d", prevPhase, ev.Snapshot.Phase)
+		}
+		prevPhase = ev.Snapshot.Phase
+		if ev.Snapshot.Final {
+			sawFinalSnap = true
+		}
+	}
+	if !sawFinalSnap {
+		t.Error("no Final snapshot before the terminal event")
+	}
+
+	blocking, err := sess.Recommend(context.Background(), furnitureQuery(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderTopK(last.Result) != renderTopK(blocking) {
+		t.Errorf("stream terminal result differs from blocking Recommend:\n%s\nvs\n%s",
+			renderTopK(last.Result), renderTopK(blocking))
+	}
+
+	if res, err := st.Final(); err != nil || renderTopK(res) != renderTopK(blocking) {
+		t.Errorf("Final() = (%v, %v), want the terminal result", res, err)
+	}
+}
+
+// TestStreamSlowConsumerNeverLosesTerminal: a subscriber with a
+// 1-event mailbox who reads nothing until completion still receives
+// the terminal event — conflation drops intermediates only.
+func TestStreamSlowConsumerNeverLosesTerminal(t *testing.T) {
+	eng, _ := newTestBackend(t, 6000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(6))
+	sub := st.Subscribe(1)
+	<-st.Done() // consume nothing until the run is over
+
+	evs := drainAll(t, sub)
+	if len(evs) != 1 {
+		t.Fatalf("1-slot mailbox drained to %d events, want exactly the terminal one", len(evs))
+	}
+	if !evs[0].Terminal() || evs[0].Result == nil {
+		t.Fatalf("surviving event is not the terminal result: %+v", evs[0])
+	}
+}
+
+// TestStreamSubscriberCloseMidPhase: one subscriber detaching mid-run
+// doesn't disturb the other, and its channel closes promptly.
+func TestStreamSubscriberCloseMidPhase(t *testing.T) {
+	eng, _ := newTestBackend(t, 6000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(6))
+	quitter := st.Subscribe(64)
+	stayer := st.Subscribe(64)
+
+	// Detach the quitter as soon as it has seen one snapshot.
+	select {
+	case <-quitter.Events():
+	case <-time.After(30 * time.Second):
+		t.Fatal("no first snapshot")
+	}
+	quitter.Close()
+	if _, ok := <-quitter.Events(); ok {
+		// One buffered event may still be pending; the channel must
+		// close without a terminal event being required.
+		for range quitter.Events() {
+		}
+	}
+
+	evs := drainAll(t, stayer)
+	if len(evs) == 0 || !evs[len(evs)-1].Terminal() {
+		t.Fatalf("surviving subscriber did not get a terminal event (%d events)", len(evs))
+	}
+	quitter.Close() // idempotent
+}
+
+// gateBackend lets the first execution phase (row ranges starting at
+// 0) through and parks every later-phase query until the context is
+// cancelled — making "cancel while a phase is mid-flight" fully
+// deterministic instead of a race against a fast run.
+type gateBackend struct{ ex *engine.Executor }
+
+func (g gateBackend) Run(ctx context.Context, q *engine.Query) (*engine.Result, error) {
+	if q.RowLo > 0 {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return g.ex.Run(ctx, q)
+}
+
+func (g gateBackend) RunSharedScan(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet) ([]*engine.Result, error) {
+	if q.RowLo > 0 {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return g.ex.RunSharedScan(ctx, q, gsets)
+}
+
+func (g gateBackend) Signature() string { return "gate" }
+
+// TestStreamContextCancellation: cancelling the run's context mid-
+// phase terminates the stream with the context error.
+func TestStreamContextCancellation(t *testing.T) {
+	eng, _ := newTestBackend(t, 8000)
+	eng.SetBackend(gateBackend{ex: eng.Executor()})
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st := sess.RecommendStream(ctx, furnitureQuery(), phasedOptions(8))
+	sub := st.Subscribe(64)
+
+	select {
+	case <-sub.Events(): // first snapshot: phase 2 is now parked on the gate
+		cancel()
+	case <-time.After(30 * time.Second):
+		t.Fatal("no first snapshot")
+	}
+	evs := drainAll(t, sub)
+	if len(evs) == 0 {
+		t.Fatal("no events after cancellation")
+	}
+	last := evs[len(evs)-1]
+	if last.Err == nil || !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("terminal event error = %v, want context.Canceled", last.Err)
+	}
+	if _, err := st.Final(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Final() error = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamLateSubscribeReplaysFinal: subscribing after completion
+// yields exactly the terminal event on an already-closed channel.
+func TestStreamLateSubscribeReplaysFinal(t *testing.T) {
+	eng, _ := newTestBackend(t, 3000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(3))
+	<-st.Done()
+
+	sub := st.Subscribe(0)
+	evs := drainAll(t, sub)
+	if len(evs) != 1 || !evs[0].Terminal() || evs[0].Result == nil {
+		t.Fatalf("late subscriber got %d events (%+v), want the terminal result replayed", len(evs), evs)
+	}
+}
+
+// TestStreamSQLParseErrorIsSynchronous: bad SQL fails before a stream
+// is created.
+func TestStreamSQLParseErrorIsSynchronous(t *testing.T) {
+	eng, _ := newTestBackend(t, 1000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+	if _, err := sess.RecommendSQLStream(context.Background(), "SELEC nonsense", nil); err == nil {
+		t.Fatal("parse error should be synchronous")
+	}
+}
+
+// TestStreamConcurrentSubscribersStress: subscribers churning (attach,
+// read a little, close) while the stream runs — exercised under -race
+// in CI.
+func TestStreamConcurrentSubscribersStress(t *testing.T) {
+	eng, _ := newTestBackend(t, 8000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(8))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := st.Subscribe(1 + i%4)
+			n := 0
+			for ev := range sub.Events() {
+				n++
+				if i%3 == 0 && n == 1 && !ev.Terminal() {
+					sub.Close()
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if res, err := st.Final(); err != nil || res == nil {
+		t.Fatalf("stream did not complete cleanly: (%v, %v)", res, err)
+	}
+}

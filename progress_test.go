@@ -1,0 +1,72 @@
+package seedb
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRecommendSQLProgress exercises the public progress seam: the DB
+// entry point emits phase snapshots, the final snapshot matches the
+// returned ranking, and observation does not change the result versus
+// a plain RecommendSQL.
+func TestRecommendSQLProgress(t *testing.T) {
+	ctx := context.Background()
+	db := Open()
+	if err := db.RegisterTable(SuperstoreTable("orders", 4000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.K = 3
+	opts.Phases = 4
+	const q = "SELECT * FROM orders WHERE category = 'Furniture'"
+
+	var snaps []*ProgressSnapshot
+	res, err := db.RecommendSQLProgress(ctx, q, opts, func(s *ProgressSnapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != opts.Phases {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), opts.Phases)
+	}
+	final := snaps[len(snaps)-1]
+	if !final.Final {
+		t.Fatal("last snapshot not final")
+	}
+	if len(final.Ranking) == 0 || final.Ranking[0].View != res.Recommendations[0].Data.View {
+		t.Errorf("final snapshot leader %v != result leader %v",
+			final.Ranking[0].View, res.Recommendations[0].Data.View)
+	}
+
+	plain, err := db.RecommendSQL(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.AllScores) != len(res.AllScores) {
+		t.Fatalf("observed run scored %d views, plain %d", len(res.AllScores), len(plain.AllScores))
+	}
+	for i := range plain.AllScores {
+		if plain.AllScores[i] != res.AllScores[i] {
+			t.Errorf("score %d differs with listener attached: %+v vs %+v",
+				i, res.AllScores[i], plain.AllScores[i])
+		}
+	}
+
+	// Streaming through the service layer reaches the same terminal
+	// result.
+	svc := db.Serve(ServeConfig{})
+	sess := svc.NewSession(opts)
+	st := sess.RecommendStream(ctx, Query{Table: "orders", Predicate: Eq("category", String("Furniture"))}, nil)
+	sub := st.Subscribe(0)
+	var lastEv StreamEvent
+	for ev := range sub.Events() {
+		lastEv = ev
+	}
+	if lastEv.Err != nil || lastEv.Result == nil {
+		t.Fatalf("stream terminal = %+v", lastEv)
+	}
+	if lastEv.Result.Recommendations[0].Data.View != res.Recommendations[0].Data.View {
+		t.Error("service stream leader differs from direct run")
+	}
+}

@@ -103,6 +103,15 @@ type (
 	ViewScore = core.ViewScore
 	// RunStats reports pruning and execution effort for a run.
 	RunStats = core.RunStats
+	// ProgressListener observes a running recommendation (see
+	// RecommendProgress).
+	ProgressListener = core.ProgressListener
+	// ProgressSnapshot is one immutable observation of a running
+	// recommendation: the interim ranking, its confidence bounds, and
+	// any views pruned at this phase boundary.
+	ProgressSnapshot = core.ProgressSnapshot
+	// ProgressEntry is one view's position in an interim ranking.
+	ProgressEntry = core.ProgressEntry
 	// ChartSpec is a renderable chart (ASCII or SVG).
 	ChartSpec = viz.Spec
 	// TableStats summarizes a table's metadata.
@@ -183,6 +192,14 @@ type (
 	Service = service.Manager
 	// Session is one analyst's exploration context within a Service.
 	Session = service.Session
+	// Stream is one running recommendation multiplexed to subscribers
+	// (see Session.RecommendStream).
+	Stream = service.Stream
+	// StreamEvent is one message on a Stream: a progress snapshot or
+	// the terminal result/error.
+	StreamEvent = service.StreamEvent
+	// StreamSubscriber is one consumer's conflated view of a Stream.
+	StreamSubscriber = service.Subscriber
 	// CacheStats snapshots the view-result cache counters.
 	CacheStats = service.CacheStats
 	// PartialStoreStats snapshots the chunk-partial store (incremental
@@ -330,6 +347,27 @@ func (db *DB) RecommendSQL(ctx context.Context, sqlText string, opts Options) (*
 		return nil, err
 	}
 	return db.core.Recommend(ctx, core.Query{Table: table, Predicate: where}, opts)
+}
+
+// RecommendProgress is Recommend with a progress seam: listener (when
+// non-nil) receives an immutable ranking snapshot after every phase of
+// phased execution (Options.Phases > 1) and a final snapshot just
+// before the call returns. Observation only — the returned Result is
+// byte-identical to a plain Recommend with the same options. For a
+// non-blocking, multi-consumer stream use the service layer
+// (DB.Serve, then Session.RecommendStream).
+func (db *DB) RecommendProgress(ctx context.Context, table string, predicate Predicate, opts Options, listener ProgressListener) (*Result, error) {
+	return db.core.RecommendProgress(ctx, core.Query{Table: table, Predicate: predicate}, opts, listener)
+}
+
+// RecommendSQLProgress is RecommendProgress with the analyst query
+// given as SQL text.
+func (db *DB) RecommendSQLProgress(ctx context.Context, sqlText string, opts Options, listener ProgressListener) (*Result, error) {
+	table, where, err := sql.AnalystQuery(sqlText, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return db.core.RecommendProgress(ctx, core.Query{Table: table, Predicate: where}, opts, listener)
 }
 
 // DrillDown refines a previous analyst query by one group of a
