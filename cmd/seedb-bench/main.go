@@ -35,6 +35,8 @@ func main() {
 	shardBenchShards := flag.String("shardbench-shards", "2,4,8", "comma-separated shard counts for -shardbench")
 	appendBench := flag.String("append", "", "measure query-after-append latency vs delta size (incremental chunk-partial reuse) and write BENCH_append.json to this path, then exit")
 	appendDeltas := flag.String("append-deltas", "1000,10000,50000", "comma-separated append batch sizes for -append")
+	schedBench := flag.String("sched", "", "measure the workload scheduler (request coalescing + admission) under concurrent bursts and write BENCH_sched.json to this path, then exit")
+	schedRequests := flag.Int("sched-requests", 8, "concurrent requests per burst for -sched")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +64,21 @@ func main() {
 			}
 		}
 		fmt.Printf("-> %s (hostCores=%d)\n", *shardBench, b.HostCores)
+		return
+	}
+
+	if *schedBench != "" {
+		n := *rows
+		if n == 0 {
+			n = 100_000
+		}
+		b, err := experiments.RunSchedBench(n, *schedRequests, *seed, *baselineIters)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*schedBench, append(data, '\n'), 0o644))
+		fmt.Print(b.String())
+		fmt.Printf("-> %s\n", *schedBench)
 		return
 	}
 

@@ -49,6 +49,10 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker base URLs; makes this node a cluster coordinator")
 	coordinator := flag.String("coordinator", "", "coordinator base URL to register with at startup (worker mode)")
 	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<hostname><addr>)")
+	maxRuns := flag.Int("max-concurrent", 0, "max recommendation pipelines executing at once (0 = one per core, min 2)")
+	maxQueue := flag.Int("max-queue", 0, "max runs waiting for a worker slot before requests are shed with 503 (0 = 64)")
+	requestTimeout := flag.Duration("request-timeout", 0, "deadline for blocking API requests (0 = 60s)")
+	streamTimeout := flag.Duration("stream-timeout", 0, "deadline for SSE streaming requests (0 = 10m)")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a CSV file as name=path (repeatable)")
 	flag.Parse()
@@ -116,7 +120,11 @@ func main() {
 		log.Printf("seedb: in-process scatter-gather across %d shards", *shards)
 	}
 
-	srv := frontend.New(db, templates, log.Default())
+	srv := frontend.NewWithConfig(db, seedb.ServeConfig{
+		MaxConcurrentRuns: *maxRuns,
+		MaxQueueDepth:     *maxQueue,
+	}, templates, log.Default())
+	srv.SetTimeouts(*requestTimeout, *streamTimeout)
 
 	if *coordinator != "" {
 		// Worker mode: announce this node to the coordinator once it is

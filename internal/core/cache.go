@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,6 +101,42 @@ func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.Gr
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
+}
+
+// RunSignature digests a whole Recommend request — table version,
+// analyst query, and the full effective option set — into the
+// request-coalescing key the service layer's scheduler uses: two
+// requests with the same signature are guaranteed to produce
+// byte-identical Results (modulo the wall-clock and executor-counter
+// stats), so concurrent duplicates can safely share one pipeline run.
+// It lives next to execCacheKey deliberately: execCacheKey
+// de-duplicates work at the exec-unit level within a run, RunSignature
+// de-duplicates entire runs. Options are normalized first so requests
+// that spell the defaults differently (metric "" vs "emd", Parallelism
+// 0 vs GOMAXPROCS) still coalesce; options that fail validation keep
+// their raw spelling and fail identically inside the shared run.
+func RunSignature(fingerprint string, q Query, opts Options) string {
+	if n, err := opts.normalize(); err == nil {
+		opts = n
+	}
+	var b strings.Builder
+	b.Grow(512)
+	b.WriteString("run\n")
+	b.WriteString(fingerprint)
+	b.WriteByte('\n')
+	b.WriteString(q.Table)
+	b.WriteByte('\n')
+	writePredicate(&b, q.Predicate)
+	b.WriteByte('\n')
+	// Options is a flat struct of scalars and ordered slices, so the
+	// %+v rendering is deterministic and covers every knob. This only
+	// stays true while Options contains value kinds exclusively — a
+	// pointer or func field would render as a per-request address and
+	// silently disable coalescing. TestRunSignatureOptionsAreValueOnly
+	// guards that property against future fields.
+	fmt.Fprintf(&b, "%+v", opts)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
 }
 
 func writePredicate(b *strings.Builder, p engine.Predicate) {

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+// TestRunSignatureOptionsAreValueOnly guards the property RunSignature
+// depends on: Options must contain only deterministic value kinds
+// (scalars, strings, and slices/arrays/structs of those). A pointer,
+// func, map, channel, or interface field would make the %+v rendering
+// carry per-request addresses (or nondeterministic ordering), silently
+// disabling request coalescing while every value-only test keeps
+// passing. If this test fails for a new field, extend RunSignature
+// with an explicit, deterministic serialization of that field instead.
+func TestRunSignatureOptionsAreValueOnly(t *testing.T) {
+	var check func(path string, ty reflect.Type)
+	check = func(path string, ty reflect.Type) {
+		switch ty.Kind() {
+		case reflect.Bool,
+			reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.String:
+			// deterministic value kinds
+		case reflect.Slice, reflect.Array:
+			check(path+"[]", ty.Elem())
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				check(path+"."+f.Name, f.Type)
+			}
+		default:
+			t.Errorf("Options field %s has kind %v — %%+v would render it "+
+				"nondeterministically (addresses / map order) and break RunSignature coalescing", path, ty.Kind())
+		}
+	}
+	check("Options", reflect.TypeOf(Options{}))
+}
+
+// TestRunSignatureDeterminismAndSensitivity: equal requests share a
+// signature (including default-spelling differences erased by
+// normalization); any result-affecting difference separates them.
+func TestRunSignatureDeterminismAndSensitivity(t *testing.T) {
+	q := Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Furniture"))}
+	opts := DefaultOptions()
+
+	if got, want := RunSignature("fp1", q, opts), RunSignature("fp1", q, opts); got != want {
+		t.Fatal("identical requests must share a signature")
+	}
+	// Normalization erases default spellings: Metric "" means "emd".
+	blank := opts
+	blank.Metric = ""
+	if RunSignature("fp1", q, blank) != RunSignature("fp1", q, opts) {
+		t.Error("normalized-equal options must coalesce")
+	}
+
+	distinct := map[string]string{
+		"base": RunSignature("fp1", q, opts),
+	}
+	other := opts
+	other.K = opts.K + 1
+	distinct["K"] = RunSignature("fp1", q, other)
+	distinct["fingerprint"] = RunSignature("fp2", q, opts)
+	q2 := Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Technology"))}
+	distinct["predicate"] = RunSignature("fp1", q2, opts)
+	phased := opts
+	phased.Phases = 4
+	distinct["phases"] = RunSignature("fp1", q, phased)
+
+	seen := map[string]string{}
+	for name, sig := range distinct {
+		if prev, dup := seen[sig]; dup {
+			t.Errorf("signatures for %q and %q collide", name, prev)
+		}
+		seen[sig] = name
+	}
+}

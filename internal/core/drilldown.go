@@ -98,24 +98,37 @@ func parseLabel(t engine.Type, label string) (engine.Value, error) {
 	}
 }
 
-// DrillDown re-runs Recommend on the subset refined by one group of a
-// previously recommended view. The original query's predicate is
-// conjoined with the group predicate; the drilled dimension joins the
-// excluded set automatically (it is now part of the selection).
-func (e *Engine) DrillDown(ctx context.Context, q Query, v View, label string, opts Options) (*Result, error) {
+// RefineQuery builds the drilled-down analyst query: the original
+// predicate conjoined with the group predicate for one group of a
+// recommended view. Exposed so callers that schedule work by query
+// signature (the service layer) can refine first and then treat the
+// drill-down as an ordinary Recommend on the refined query.
+func (e *Engine) RefineQuery(q Query, v View, label string) (Query, error) {
 	tb, err := e.ex.Catalog().Table(q.Table)
 	if err != nil {
-		return nil, err
+		return Query{}, err
 	}
 	group, err := GroupPredicate(v, tb, label)
 	if err != nil {
-		return nil, err
+		return Query{}, err
 	}
 	refined := Query{Table: q.Table}
 	if q.Predicate != nil {
 		refined.Predicate = engine.And(q.Predicate, group)
 	} else {
 		refined.Predicate = group
+	}
+	return refined, nil
+}
+
+// DrillDown re-runs Recommend on the subset refined by one group of a
+// previously recommended view. The original query's predicate is
+// conjoined with the group predicate; the drilled dimension joins the
+// excluded set automatically (it is now part of the selection).
+func (e *Engine) DrillDown(ctx context.Context, q Query, v View, label string, opts Options) (*Result, error) {
+	refined, err := e.RefineQuery(q, v, label)
+	if err != nil {
+		return nil, err
 	}
 	return e.Recommend(ctx, refined, opts)
 }

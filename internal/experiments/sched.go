@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"seedb/internal/core"
+	"seedb/internal/datagen"
+	"seedb/internal/engine"
+	"seedb/internal/service"
+)
+
+// SchedBench is the committed scheduler benchmark (BENCH_sched.json):
+// K concurrent requests fired at the service layer, identical vs
+// distinct, cold vs warm cache. The headline claim it records: K
+// identical concurrent requests cost ~1 pipeline run — the scheduler
+// coalesces the duplicates onto one run instead of executing K
+// pipelines — while K distinct requests spread across the worker
+// pool.
+type SchedBench struct {
+	Rows              int    `json:"rows"`
+	Seed              int64  `json:"seed"`
+	Requests          int    `json:"requests"`
+	Iterations        int    `json:"iterations"`
+	MaxConcurrentRuns int    `json:"maxConcurrentRuns"`
+	Query             string `json:"query"`
+
+	// SoloColdMillis is one request alone on a cold cache — the cost
+	// of a pipeline run, and the yardstick for the identical burst.
+	SoloColdMillis float64 `json:"soloColdMillis"`
+
+	// Bursts holds one entry per (mode, cache temperature) cell.
+	Bursts []SchedBurst `json:"bursts"`
+
+	// SpeedupIdenticalCold = Requests * SoloColdMillis /
+	// identical-cold wall: how close the coalesced burst gets to the
+	// ideal "K requests for the price of one run".
+	SpeedupIdenticalCold float64 `json:"speedupIdenticalCold"`
+}
+
+// SchedBurst is one measured burst of concurrent requests.
+type SchedBurst struct {
+	// Mode is "identical" (every request the same signature) or
+	// "distinct" (every request a different analyst query).
+	Mode string `json:"mode"`
+	// Warm reports whether the view cache was primed first.
+	Warm bool `json:"warm"`
+	// WallMillis is the median wall time for the whole burst (all
+	// Requests completed).
+	WallMillis float64 `json:"wallMillis"`
+	// PerRequestMillis = WallMillis / Requests.
+	PerRequestMillis float64 `json:"perRequestMillis"`
+	// RunsStarted and Coalesced are the scheduler counters the burst
+	// produced (medians across iterations are not meaningful for
+	// counters, so the last iteration's delta is recorded; it is
+	// deterministic for the identical burst).
+	RunsStarted int64 `json:"runsStarted"`
+	Coalesced   int64 `json:"coalesced"`
+	// CoalesceRatio = Coalesced / Requests.
+	CoalesceRatio float64 `json:"coalesceRatio"`
+}
+
+// JSON renders the benchmark as indented JSON.
+func (b *SchedBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// String renders a human-readable summary.
+func (b *SchedBench) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "sched (rows=%d seed=%d requests=%d workers=%d): solo cold %.1fms\n",
+		b.Rows, b.Seed, b.Requests, b.MaxConcurrentRuns, b.SoloColdMillis)
+	for _, p := range b.Bursts {
+		temp := "cold"
+		if p.Warm {
+			temp = "warm"
+		}
+		fmt.Fprintf(&s, "  %-9s %s: wall=%.1fms (%.1fms/req) runs=%d coalesced=%d (ratio %.2f)\n",
+			p.Mode, temp, p.WallMillis, p.PerRequestMillis, p.RunsStarted, p.Coalesced, p.CoalesceRatio)
+	}
+	fmt.Fprintf(&s, "  K identical cold vs K solo cold runs: %.1fx\n", b.SpeedupIdenticalCold)
+	return s.String()
+}
+
+// schedQueries builds n distinct analyst queries over the superstore
+// schema (categories, regions, segments — all low-cardinality columns
+// with every value populated).
+func schedQueries(n int) []core.Query {
+	var qs []core.Query
+	add := func(col, val string) {
+		qs = append(qs, core.Query{Table: "orders", Predicate: engine.Eq(col, engine.String(val))})
+	}
+	for _, v := range []string{"Furniture", "Technology", "Office Supplies"} {
+		add("category", v)
+	}
+	for _, v := range []string{"East", "West", "Central", "South"} {
+		add("region", v)
+	}
+	for _, v := range []string{"Consumer", "Corporate", "Home Office"} {
+		add("segment", v)
+	}
+	for len(qs) < n { // wrap with ship modes if a caller asks for more
+		add("ship_mode", []string{"Standard Class", "Second Class", "First Class", "Same Day"}[len(qs)%4])
+	}
+	return qs[:n]
+}
+
+// RunSchedBench measures the scheduler under concurrent load at the
+// given scale. requests is the burst width K; iterations bursts are
+// run per cell and the median wall time recorded.
+func RunSchedBench(rows, requests int, seed int64, iterations int) (*SchedBench, error) {
+	if iterations < 3 {
+		iterations = 3
+	}
+	if requests < 2 {
+		requests = 2
+	}
+	b := &SchedBench{
+		Rows:       rows,
+		Seed:       seed,
+		Requests:   requests,
+		Iterations: iterations,
+		Query:      "SELECT * FROM orders WHERE category = 'Furniture'",
+	}
+	opts := core.DefaultOptions()
+	ctx := context.Background()
+	identical := core.Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Furniture"))}
+	distinct := schedQueries(requests)
+
+	newManager := func() (*service.Manager, error) {
+		cat := engine.NewCatalog()
+		if err := cat.Register(datagen.Superstore("orders", rows, seed)); err != nil {
+			return nil, err
+		}
+		m := service.NewManager(core.New(engine.NewExecutor(cat)), service.Config{})
+		b.MaxConcurrentRuns = m.SchedulerStats().MaxConcurrentRuns
+		return m, nil
+	}
+
+	// Solo cold reference: one request, fresh manager each time.
+	soloTimes := make([]float64, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		m, err := newManager()
+		if err != nil {
+			return nil, err
+		}
+		sess := m.NewSession(opts)
+		start := time.Now()
+		if _, err := sess.Recommend(ctx, identical, nil); err != nil {
+			return nil, err
+		}
+		soloTimes = append(soloTimes, float64(time.Since(start).Microseconds())/1000)
+	}
+	b.SoloColdMillis = median(soloTimes)
+
+	// burst fires `requests` concurrent session requests and returns
+	// the wall time plus the scheduler-counter deltas.
+	burst := func(m *service.Manager, queries func(i int) core.Query) (float64, int64, int64, error) {
+		sess := m.NewSession(opts)
+		before := m.SchedulerStats()
+		var wg sync.WaitGroup
+		errs := make([]error, requests)
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = sess.Recommend(ctx, queries(i), nil)
+			}(i)
+		}
+		wg.Wait()
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		for _, err := range errs {
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		after := m.SchedulerStats()
+		return wall, after.RunsStarted - before.RunsStarted, after.Coalesced - before.Coalesced, nil
+	}
+
+	cell := func(mode string, warm bool, queries func(i int) core.Query) error {
+		times := make([]float64, 0, iterations)
+		var runs, coalesced int64
+		var warmMgr *service.Manager
+		if warm {
+			m, err := newManager()
+			if err != nil {
+				return err
+			}
+			// Prime: one pass over every query in the burst.
+			sess := m.NewSession(opts)
+			for j := 0; j < requests; j++ {
+				if _, err := sess.Recommend(ctx, queries(j), nil); err != nil {
+					return err
+				}
+			}
+			warmMgr = m
+		}
+		for i := 0; i < iterations; i++ {
+			m := warmMgr
+			if !warm {
+				fresh, err := newManager()
+				if err != nil {
+					return err
+				}
+				m = fresh
+			}
+			wall, r, c, err := burst(m, queries)
+			if err != nil {
+				return err
+			}
+			times = append(times, wall)
+			runs, coalesced = r, c
+		}
+		b.Bursts = append(b.Bursts, SchedBurst{
+			Mode:             mode,
+			Warm:             warm,
+			WallMillis:       median(times),
+			PerRequestMillis: median(times) / float64(requests),
+			RunsStarted:      runs,
+			Coalesced:        coalesced,
+			CoalesceRatio:    float64(coalesced) / float64(requests),
+		})
+		return nil
+	}
+
+	identicalQ := func(int) core.Query { return identical }
+	distinctQ := func(i int) core.Query { return distinct[i%len(distinct)] }
+	for _, c := range []struct {
+		mode string
+		warm bool
+		q    func(int) core.Query
+	}{
+		{"identical", false, identicalQ},
+		{"identical", true, identicalQ},
+		{"distinct", false, distinctQ},
+		{"distinct", true, distinctQ},
+	} {
+		if err := cell(c.mode, c.warm, c.q); err != nil {
+			return nil, err
+		}
+	}
+	if w := b.Bursts[0].WallMillis; w > 0 {
+		b.SpeedupIdenticalCold = float64(requests) * b.SoloColdMillis / w
+	}
+	return b, nil
+}

@@ -111,6 +111,7 @@ const indexHTML = `<!DOCTYPE html>
     <h3 class="badheader" id="badTitle" style="display:none">Low-utility views (not recommended)</h3>
     <div class="views" id="badViews"></div>
     <div id="previewBox"></div>
+    <div id="svcstats" class="stats" style="margin-top:10px"></div>
   </div>
 </main>
 <script>
@@ -339,6 +340,24 @@ async function recommend() {
   }
 }
 
+// Service-layer telemetry footer: cache effectiveness plus the
+// workload scheduler (coalesced / queued / shed), refreshed after
+// every recommendation so operators see load behavior live.
+async function refreshSvcStats() {
+  try {
+    const st = await getJSON('/api/stats');
+    const c = st.cache, sch = st.scheduler;
+    const lookups = c.hits + c.misses + c.shared;
+    const hitPct = lookups ? Math.round(100 * (c.hits + c.shared) / lookups) : 0;
+    el('svcstats').innerHTML = 'service: ' + st.sessions + ' sessions · cache ' +
+      c.entries + ' entries / ' + hitPct + '% hit' +
+      ' · scheduler ' + sch.runsCompleted + ' runs, ' + sch.coalesced + ' coalesced, ' +
+      sch.shed + ' shed' +
+      (sch.queued ? ', ' + sch.queued + ' queued' : '') +
+      (sch.avgRunMillis ? ' · avg run ' + sch.avgRunMillis.toFixed(1) + ' ms' : '');
+  } catch (e) { /* telemetry is best-effort */ }
+}
+
 function renderRecommendation(res) {
   el('status').textContent = '';
   el('views').innerHTML = ''; el('badViews').innerHTML = '';
@@ -355,6 +374,7 @@ function renderRecommendation(res) {
     el('badTitle').style.display = 'block';
     el('badViews').innerHTML = res.worstViews.map((v, i) => cardHTML(v, 'b' + i)).join('');
   }
+  refreshSvcStats();
 }
 
 async function preview() {
@@ -391,7 +411,7 @@ el('templates').addEventListener('change', e => {
 });
 el('recommend').addEventListener('click', recommend);
 el('preview').addEventListener('click', preview);
-loadMeta().catch(e => {
+loadMeta().then(refreshSvcStats).catch(e => {
   el('status').className = 'error';
   el('status').textContent = 'Error loading metadata: ' + e.message;
 });

@@ -9,11 +9,13 @@ package frontend
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"seedb"
@@ -43,8 +45,12 @@ type Server struct {
 	templates []QueryTemplate
 	logger    *log.Logger
 	mux       *http.ServeMux
-	// timeout bounds each recommendation request.
-	timeout time.Duration
+	// timeout bounds each blocking API request. streamTimeout bounds
+	// SSE streaming requests separately — a multi-phase stream is
+	// expected to outlive a blocking request's budget, and wrapping it
+	// in the same deadline used to kill legitimate high-`phases` runs.
+	timeout       time.Duration
+	streamTimeout time.Duration
 }
 
 // New builds a frontend server over a SeeDB instance, enabling its
@@ -70,10 +76,11 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 		// The shared pinned anonymous session backs every session-less
 		// request; client churn cannot evict it, and servers over the
 		// same DB reuse one instead of each registering their own.
-		anonymous: svc.AnonymousSession(),
-		templates: templates,
-		logger:    logger,
-		timeout:   60 * time.Second,
+		anonymous:     svc.AnonymousSession(),
+		templates:     templates,
+		logger:        logger,
+		timeout:       60 * time.Second,
+		streamTimeout: 10 * time.Minute,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -93,6 +100,18 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/shard/register", s.handleShardRegister)
 	s.mux = mux
 	return s
+}
+
+// SetTimeouts overrides the per-request deadlines: request bounds
+// blocking API calls, stream bounds SSE streaming calls. Zero values
+// keep the current setting (60s and 10m by default).
+func (s *Server) SetTimeouts(request, stream time.Duration) {
+	if request > 0 {
+		s.timeout = request
+	}
+	if stream > 0 {
+		s.streamTimeout = stream
+	}
 }
 
 // session resolves the request's session ID to a live session; the
@@ -117,6 +136,29 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeRecommendError maps a recommendation failure onto an HTTP
+// status: an admission-control shed answers 503 Service Unavailable
+// with a Retry-After header (the scheduler's capacity estimate, in
+// whole seconds), a panicked run is the server's fault (500), and
+// everything else stays a 400 like before.
+func (s *Server) writeRecommendError(w http.ResponseWriter, err error) {
+	var ov *seedb.ErrOverloaded
+	if errors.As(err, &ov) {
+		secs := int(ov.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ov.Error()})
+		return
+	}
+	if errors.Is(err, seedb.ErrRunPanicked) {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err)
 }
 
 // ---------------------------------------------------------------------
@@ -280,7 +322,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := sess.RecommendSQL(ctx, req.SQL, &opts)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeRecommendError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.recommendResponseFrom(res, req.Normalized))
@@ -458,7 +500,7 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := sess.DrillDown(ctx, seedb.Query{Table: table, Predicate: predicate}, view, req.Label, &opts)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeRecommendError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.recommendResponseFrom(res, req.Normalized))
@@ -576,6 +618,9 @@ type incrementalStats struct {
 
 type statsResponse struct {
 	Cache seedb.CacheStats `json:"cache"`
+	// Scheduler reports the workload scheduler: request coalescing,
+	// admission-queue occupancy, and shed counts.
+	Scheduler seedb.SchedulerStats `json:"scheduler"`
 	// Sessions is a count, not an ID list: IDs are capabilities.
 	Sessions int `json:"sessions"`
 	// Incremental reports chunk-partial reuse when the store is
@@ -591,8 +636,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := statsResponse{
-		Cache:    s.svc.CacheStats(),
-		Sessions: s.svc.SessionCount(),
+		Cache:     s.svc.CacheStats(),
+		Scheduler: s.svc.SchedulerStats(),
+		Sessions:  s.svc.SessionCount(),
 	}
 	if s.db.Engine().Executor().PartialStore() != nil {
 		st := s.db.IncrementalStats()

@@ -400,8 +400,12 @@ func TestConcurrentRecommendSharesCache(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Cache.Hits+st.Cache.Shared == 0 {
-		t.Fatalf("10 clients over 2 distinct queries must share work: %+v", st.Cache)
+	// Duplicate work is absorbed at one of two levels: identical
+	// concurrent requests coalesce onto one run (scheduler), and
+	// identical exec units hit or share the view cache.
+	if st.Cache.Hits+st.Cache.Shared+st.Scheduler.Coalesced == 0 {
+		t.Fatalf("10 clients over 2 distinct queries must share work: cache %+v scheduler %+v",
+			st.Cache, st.Scheduler)
 	}
 	if st.Cache.Misses == 0 || st.Cache.Entries == 0 {
 		t.Fatalf("cache should have computed and stored entries: %+v", st.Cache)

@@ -37,6 +37,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -235,7 +236,12 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 	}
 	digest := s.streamDigest(table, req.SQL, opts)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	// Streams get their own, longer deadline: a multi-phase run is
+	// SUPPOSED to outlive the blocking-request budget — that is the
+	// point of streaming it. On expiry the client still gets a
+	// terminal error event (the select below fires even while the
+	// subscriber channel is quiet).
+	ctx, cancel := context.WithTimeout(r.Context(), s.streamTimeout)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -254,6 +260,13 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 	if d, _, ok := strings.Cut(lastID, ":"); ok && d == digest {
 		res, err := sess.RecommendSQL(ctx, req.SQL, &opts)
 		if err != nil {
+			// Nothing has been flushed yet, so a shed can still answer
+			// 503 + Retry-After; other failures stay stream errors.
+			var ov *seedb.ErrOverloaded
+			if errors.As(err, &ov) {
+				s.writeRecommendError(w, err)
+				return
+			}
 			sse.error(err)
 			return
 		}
@@ -263,13 +276,31 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 
 	st, err := sess.RecommendSQLStream(ctx, req.SQL, &opts)
 	if err != nil {
-		sse.error(err)
+		// Admission and parse failures are synchronous and nothing has
+		// been written yet, so they can still use plain HTTP statuses
+		// (503 + Retry-After for a shed, 400 otherwise).
+		s.writeRecommendError(w, err)
 		return
 	}
 	sub := st.Subscribe(0)
 	defer sub.Close()
 	seq := 0
-	for ev := range sub.Events() {
+	for {
+		var ev seedb.StreamEvent
+		var ok bool
+		select {
+		case ev, ok = <-sub.Events():
+			if !ok {
+				return
+			}
+		case <-ctx.Done():
+			// The stream deadline (or the client) expired while the run
+			// was still working; terminate this subscriber with an error
+			// event. The run itself keeps going if other requests are
+			// attached to it.
+			sse.error(ctx.Err())
+			return
+		}
 		switch {
 		case ev.Err != nil:
 			sse.error(ev.Err)

@@ -128,7 +128,14 @@ func (c *ViewCache) GetOrCompute(ctx context.Context, key string, compute func()
 			select {
 			case <-fl.done:
 				if fl.err != nil && ctx.Err() == nil && isContextErr(fl.err) {
-					continue // the leader died of its own cancellation; take over
+					// The leader died of its own cancellation and this
+					// waiter takes over: the lookup was not a piggyback
+					// after all. Undo the Shared count so the retry's
+					// Miss (or Hit) is the lookup's one recorded outcome
+					// — otherwise a single logical lookup counts as both
+					// Shared and Miss and the /api/stats hit rate skews.
+					c.shared.Add(-1)
+					continue
 				}
 				return fl.results, fl.err
 			case <-ctx.Done():
@@ -180,7 +187,7 @@ func (c *ViewCache) store(key string, results []*engine.Result) {
 	if _, ok := c.entries[key]; ok {
 		return // a racing singleflight already stored it
 	}
-	e := &cacheEntry{key: key, results: results, size: resultsSize(results)}
+	e := &cacheEntry{key: key, results: results, size: entrySize(key, results)}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.bytes += e.size
@@ -216,6 +223,20 @@ func (c *ViewCache) Stats() CacheStats {
 		Entries:   entries,
 		Bytes:     bytes,
 	}
+}
+
+// cacheEntryOverhead approximates the per-entry bookkeeping heap that
+// is not part of the result payload: the cacheEntry struct itself, its
+// list.Element, and the entries-map bucket share. Without it (and the
+// key bytes) a cache full of small results held far more real heap
+// than CacheMaxBytes admitted to.
+const cacheEntryOverhead = 160
+
+// entrySize is the budget charge for one stored entry: the key string
+// (exec-cache keys are long content-address digests), the per-entry
+// bookkeeping constant, and the estimated result payload.
+func entrySize(key string, results []*engine.Result) int64 {
+	return int64(len(key)) + cacheEntryOverhead + resultsSize(results)
 }
 
 // resultsSize estimates the heap footprint of a result set. Group-by

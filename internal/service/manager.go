@@ -34,6 +34,14 @@ type Config struct {
 	// DisableIncremental leaves the engine on the direct scan path (no
 	// chunk-partial reuse).
 	DisableIncremental bool
+	// MaxConcurrentRuns bounds how many recommendation pipelines
+	// execute simultaneously; further runs queue for a worker slot.
+	// <= 0 selects one per core (minimum 2).
+	MaxConcurrentRuns int
+	// MaxQueueDepth bounds how many admitted runs may wait for a
+	// worker slot before new work is shed with ErrOverloaded (HTTP
+	// 503 + Retry-After). <= 0 selects 64.
+	MaxQueueDepth int
 }
 
 // Manager is the concurrent entry point of the service layer: it owns
@@ -44,6 +52,7 @@ type Config struct {
 type Manager struct {
 	eng         *core.Engine
 	cache       *ViewCache
+	sched       *scheduler
 	maxSessions int
 
 	mu       sync.RWMutex
@@ -64,6 +73,7 @@ func NewManager(eng *core.Engine, cfg Config) *Manager {
 		maxSessions: cfg.MaxSessions,
 		sessions:    make(map[string]*Session),
 	}
+	m.sched = newScheduler(m, cfg.MaxConcurrentRuns, cfg.MaxQueueDepth)
 	eng.SetCache(m.cache)
 	// Incremental execution: the chunk-partial store sits below the
 	// view cache. The view cache answers "this exact query against this
@@ -96,6 +106,10 @@ func (m *Manager) Cache() *ViewCache { return m.cache }
 // CacheStats snapshots the shared cache counters.
 func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
 
+// SchedulerStats snapshots the workload scheduler counters
+// (coalescing, queueing, shedding).
+func (m *Manager) SchedulerStats() SchedulerStats { return m.sched.Stats() }
+
 // NewSession registers a session with the given default options.
 // Session IDs are random (not sequential), so holding an ID is the
 // capability to use — and close — that session and no other. At the
@@ -116,7 +130,12 @@ func (m *Manager) NewSession(opts core.Options) *Session {
 	for len(m.sessions) >= m.maxSessions {
 		var victim *Session
 		for _, cand := range m.sessions {
-			if cand.pinned.Load() {
+			if cand.pinned.Load() || cand.inflight.Load() > 0 {
+				// Never evict a session with a run or stream in flight:
+				// lastUsed is stamped at request *start*, so a session
+				// holding a long SSE stream looks idle exactly while it
+				// is busiest, and evicting it would 404 its later
+				// requests and resumes mid-exploration.
 				continue
 			}
 			if victim == nil || cand.lastUsed.Load() < victim.lastUsed.Load() {
@@ -124,7 +143,7 @@ func (m *Manager) NewSession(opts core.Options) *Session {
 			}
 		}
 		if victim == nil {
-			break // only pinned sessions left; exceed the cap rather than break them
+			break // only pinned/busy sessions left; exceed the cap rather than break them
 		}
 		delete(m.sessions, victim.id)
 	}
@@ -228,6 +247,7 @@ type Session struct {
 	requests atomic.Int64
 	lastUsed atomic.Int64 // unix nanos of the latest request (eviction order)
 	pinned   atomic.Bool  // exempt from at-cap eviction
+	inflight atomic.Int64 // runs/streams currently using the session (eviction pin)
 }
 
 // Pin exempts the session from at-cap idle eviction. Servers pin the
@@ -267,10 +287,21 @@ func (s *Session) effectiveOptions(opts *core.Options) core.Options {
 }
 
 // Recommend runs the SeeDB pipeline for the analyst query q. opts
-// overrides the session defaults for this call when non-nil.
+// overrides the session defaults for this call when non-nil. The call
+// goes through the workload scheduler: a concurrent identical request
+// (same table version, query, and effective options) shares one
+// pipeline run, and under overload the request may be shed with
+// ErrOverloaded instead of queueing past its deadline.
+//
+// The returned Result must be treated as read-only: coalesced callers
+// receive the same instance (that is what makes their responses
+// byte-identical), so mutating it would corrupt — or race — another
+// caller's response. Copy before modifying.
 func (s *Session) Recommend(ctx context.Context, q core.Query, opts *core.Options) (*core.Result, error) {
 	s.touch()
-	return s.manager.eng.Recommend(ctx, q, s.effectiveOptions(opts))
+	s.beginWork()
+	defer s.endWork()
+	return s.manager.sched.do(ctx, q, s.effectiveOptions(opts))
 }
 
 // RecommendSQL is Recommend with the analyst query given as SQL text.
@@ -286,13 +317,42 @@ func (s *Session) RecommendSQL(ctx context.Context, sqlText string, opts *core.O
 
 // DrillDown refines a previous analyst query by one group of a
 // recommended view and re-runs the recommendation (paper §1 step 4).
+// The refined query is scheduled like any other request, so identical
+// concurrent drill-downs coalesce too.
 func (s *Session) DrillDown(ctx context.Context, q core.Query, view core.View, label string, opts *core.Options) (*core.Result, error) {
 	s.touch()
-	return s.manager.eng.DrillDown(ctx, q, view, label, s.effectiveOptions(opts))
+	s.beginWork()
+	defer s.endWork()
+	refined, err := s.manager.eng.RefineQuery(q, view, label)
+	if err != nil {
+		return nil, err
+	}
+	return s.manager.sched.do(ctx, refined, s.effectiveOptions(opts))
 }
 
 // touch records a request for accounting and idle-eviction ordering.
 func (s *Session) touch() {
 	s.requests.Add(1)
 	s.lastUsed.Store(time.Now().UnixNano())
+}
+
+// beginWork pins the session against at-cap eviction while a run or
+// stream is using it; endWork drops the pin and refreshes lastUsed so
+// a just-finished session is the freshest, not the stalest. The pin is
+// taken under the manager's read lock so it serializes with the
+// eviction scan (which holds the write lock): the scan can never
+// observe a stale lastUsed with inflight still 0 while a request is
+// in the middle of starting — the TOCTOU that would evict a session
+// exactly as its stream begins.
+func (s *Session) beginWork() {
+	m := s.manager
+	m.mu.RLock()
+	s.lastUsed.Store(time.Now().UnixNano())
+	s.inflight.Add(1)
+	m.mu.RUnlock()
+}
+
+func (s *Session) endWork() {
+	s.lastUsed.Store(time.Now().UnixNano())
+	s.inflight.Add(-1)
 }

@@ -1,0 +1,367 @@
+package service
+
+// Workload scheduler: the admission-control and request-coalescing
+// layer between the HTTP/session front doors and the recommendation
+// pipeline (the paper's middleware tier of Figure 4, hardened for
+// many concurrent analysts). Every session request is scheduled as a
+// "run" — one full pipeline execution — with two properties:
+//
+//  1. Request-level coalescing. Runs are keyed by core.RunSignature
+//     (table fingerprint, analyst query, effective options): a request
+//     whose signature matches an in-flight run joins it instead of
+//     re-running the pipeline. The run's Stream multiplexer is the
+//     join point, so blocking callers and SSE subscribers attach to
+//     the very same run and share its Result — coalesced responses
+//     are byte-identical to a solo run by construction. The exec
+//     cache below de-duplicates identical *units*; the scheduler
+//     de-duplicates identical *requests*, which matters because N
+//     identical concurrent requests would otherwise still pay N times
+//     for enumeration, pruning, scoring, and ranking.
+//
+//  2. Admission control. At most MaxConcurrentRuns pipelines execute
+//     at once; further runs wait in a bounded queue (MaxQueueDepth).
+//     A run that cannot be queued — or whose deadline would expire
+//     before its estimated turn — is shed immediately with
+//     ErrOverloaded, which the HTTP layer maps to 503 + Retry-After.
+//     Shedding early is the point: a doomed request that queues
+//     anyway wastes a slot on work nobody will receive.
+//
+// Runs execute under their own context, detached from any single
+// caller: one impatient client cancelling must not kill the run for
+// the others. The run is aborted (at the next context check in the
+// engine) only when the last attached caller releases it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seedb/internal/core"
+)
+
+// defaultMaxConcurrentRuns sizes the worker pool when the operator
+// does not: one pipeline per core (each run is internally parallel,
+// but admission is about bounding memory and tail latency, not about
+// keeping cores busy), floored at 2 so a single-core host still
+// overlaps a slow run with a fast one.
+func defaultMaxConcurrentRuns() int {
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		return n
+	}
+	return 2
+}
+
+// ErrOverloaded reports that admission control shed the request
+// instead of running it. The HTTP layer maps it to 503 Service
+// Unavailable with a Retry-After header.
+type ErrOverloaded struct {
+	// RetryAfter estimates when capacity frees up (≥ 1s).
+	RetryAfter time.Duration
+	// Reason says which limit was hit.
+	Reason string
+}
+
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("service: overloaded (%s); retry in %s", e.Reason, e.RetryAfter)
+}
+
+// ErrRunPanicked marks a pipeline run that died of a panic — a
+// server-side fault, not a bad request. The HTTP layer maps errors
+// wrapping it to 500 (a plain engine error stays a 400).
+var ErrRunPanicked = errors.New("service: recommendation run panicked")
+
+// SchedulerStats is a point-in-time snapshot of the workload
+// scheduler's counters (surfaced at /api/stats).
+type SchedulerStats struct {
+	// RunsStarted / RunsCompleted count pipelines that actually began
+	// executing (a run abandoned while still queued counts in neither —
+	// no pipeline ever ran).
+	RunsStarted   int64 `json:"runsStarted"`
+	RunsCompleted int64 `json:"runsCompleted"`
+	// Coalesced counts requests that joined an in-flight identical run
+	// instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// QueuedTotal counts runs that entered the admission queue;
+	// Shed counts requests rejected with ErrOverloaded.
+	QueuedTotal int64 `json:"queuedTotal"`
+	Shed        int64 `json:"shed"`
+	// Running / Queued / InFlightRuns describe the current instant:
+	// pipelines executing, runs waiting for a slot, and distinct
+	// signatures registered (running + queued).
+	Running      int `json:"running"`
+	Queued       int `json:"queued"`
+	InFlightRuns int `json:"inFlightRuns"`
+	// Configured limits, for operator context.
+	MaxConcurrentRuns int `json:"maxConcurrentRuns"`
+	MaxQueueDepth     int `json:"maxQueueDepth"`
+	// AvgRunMillis is the exponentially weighted average pipeline wall
+	// time — the basis of the deadline-aware shed estimate.
+	AvgRunMillis float64 `json:"avgRunMillis"`
+}
+
+// run is one in-flight pipeline execution, shared by every request
+// that coalesced onto it.
+type run struct {
+	sig    string
+	stream *Stream
+	cancel context.CancelFunc
+	refs   int // attached requests; guarded by scheduler.mu
+}
+
+// scheduler owns the run registry, the worker pool, and the counters.
+type scheduler struct {
+	m        *Manager
+	maxRuns  int
+	maxQueue int
+	slots    chan struct{} // worker-pool semaphore (len == running runs)
+
+	mu   sync.Mutex
+	runs map[string]*run // in-flight runs by signature
+
+	uniq        atomic.Int64 // unique ids for uncoalescable runs
+	queued      atomic.Int64 // runs waiting for a slot right now
+	running     atomic.Int64 // runs holding a slot right now
+	started     atomic.Int64
+	completed   atomic.Int64
+	coalesced   atomic.Int64
+	queuedTotal atomic.Int64
+	shed        atomic.Int64
+	avgRunNanos atomic.Int64 // EWMA of pipeline wall time
+}
+
+func newScheduler(m *Manager, maxRuns, maxQueue int) *scheduler {
+	if maxRuns <= 0 {
+		maxRuns = defaultMaxConcurrentRuns()
+	}
+	if maxQueue <= 0 {
+		maxQueue = 64
+	}
+	return &scheduler{
+		m:        m,
+		maxRuns:  maxRuns,
+		maxQueue: maxQueue,
+		slots:    make(chan struct{}, maxRuns),
+		runs:     make(map[string]*run),
+	}
+}
+
+// signature keys the request for coalescing. An unresolvable table
+// gets a unique key: the run will fail fast in the engine with the
+// proper error, and error paths must never coalesce (a later request
+// may race a table registration and succeed).
+func (s *scheduler) signature(q core.Query, eff core.Options) string {
+	tb, err := s.m.eng.Executor().Catalog().Table(q.Table)
+	if err != nil {
+		return fmt.Sprintf("!uncoalesced-%d", s.uniq.Add(1))
+	}
+	return core.RunSignature(tb.Fingerprint(), q, eff)
+}
+
+// attach joins the request to the in-flight run with its signature, or
+// admits and starts a new run. The returned release func MUST be
+// called exactly once when the caller stops caring about the run
+// (result delivered, or the caller's context ended): when the last
+// attached caller releases, an unfinished run is cancelled.
+func (s *scheduler) attach(ctx context.Context, q core.Query, eff core.Options) (*Stream, func(), error) {
+	sig := s.signature(q, eff)
+	s.mu.Lock()
+	if r, ok := s.runs[sig]; ok {
+		r.refs++
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		return r.stream, func() { s.release(r) }, nil
+	}
+
+	// New run: admission control. The queued counter includes runs
+	// that merely have not claimed a free worker slot yet (an
+	// instantaneous burst can register faster than its goroutines get
+	// scheduled), so only the runs that will actually have to WAIT —
+	// queued minus free slots — count against the queue bound. Queue
+	// depth is checked before the deadline estimate so "queue full" —
+	// the harder failure — wins.
+	waiting := int(s.queued.Load()) - (s.maxRuns - len(s.slots))
+	if waiting < 0 {
+		waiting = 0
+	}
+	if waiting >= s.maxQueue {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		return nil, nil, &ErrOverloaded{RetryAfter: s.retryAfter(waiting), Reason: "queue full"}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if wait := s.estimateWait(waiting); wait > 0 && time.Until(dl) < wait {
+			s.mu.Unlock()
+			s.shed.Add(1)
+			return nil, nil, &ErrOverloaded{
+				RetryAfter: s.retryAfter(waiting),
+				Reason:     "deadline would expire before the request's turn",
+			}
+		}
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	r := &run{sig: sig, stream: newStream(), cancel: cancel, refs: 1}
+	s.runs[sig] = r
+	s.queued.Add(1)
+	s.mu.Unlock()
+	s.queuedTotal.Add(1)
+	go s.execute(runCtx, r, q, eff)
+	return r.stream, func() { s.release(r) }, nil
+}
+
+// release detaches one caller. The last one out cancels a run that is
+// still executing — nobody is left to receive its result.
+func (s *scheduler) release(r *run) {
+	s.mu.Lock()
+	r.refs--
+	abandoned := r.refs <= 0 && s.runs[r.sig] == r
+	if abandoned {
+		delete(s.runs, r.sig)
+	}
+	s.mu.Unlock()
+	if abandoned {
+		r.cancel()
+	}
+}
+
+// execute waits for a worker slot, runs the pipeline, and finishes the
+// run's stream with the outcome. Progress snapshots are published to
+// the stream as they arrive, so SSE subscribers that coalesced onto
+// this run observe it live.
+func (s *scheduler) execute(ctx context.Context, r *run, q core.Query, eff core.Options) {
+	select {
+	case s.slots <- struct{}{}:
+		s.queued.Add(-1)
+	case <-ctx.Done():
+		// Every attached caller gave up while the run was queued: no
+		// pipeline ever executed, so the run counters stay untouched.
+		s.queued.Add(-1)
+		s.finish(r, nil, ctx.Err())
+		return
+	}
+	s.started.Add(1)
+	s.running.Add(1)
+	start := time.Now()
+	res, err := s.runPipeline(ctx, r, q, eff)
+	if err == nil {
+		// Only completed pipelines inform the wait estimate: folding in
+		// cancelled or instantly-failing runs (an impatient client, an
+		// unknown table) would deflate the EWMA and let doomed requests
+		// past the deadline check exactly when the server is saturated.
+		s.observe(time.Since(start))
+	}
+	s.running.Add(-1)
+	<-s.slots
+	s.completed.Add(1)
+	s.finish(r, res, err)
+}
+
+// runPipeline executes the recommendation with a panic guard. Runs
+// execute on scheduler goroutines, not HTTP handler goroutines, so
+// without the guard a panicking compute (which ViewCache deliberately
+// re-panics on the leader's stack) would crash the whole process
+// instead of failing one request.
+func (s *scheduler) runPipeline(ctx context.Context, r *run, q core.Query, eff core.Options) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrRunPanicked, p)
+		}
+	}()
+	return s.m.eng.RecommendProgress(ctx, q, eff, func(snap *core.ProgressSnapshot) {
+		r.stream.publish(StreamEvent{Snapshot: snap})
+	})
+}
+
+// finish unregisters the run (so post-completion arrivals start a
+// fresh run against the warmed cache, never a replayed one) and
+// delivers the terminal event.
+func (s *scheduler) finish(r *run, res *core.Result, err error) {
+	s.mu.Lock()
+	if s.runs[r.sig] == r {
+		delete(s.runs, r.sig)
+	}
+	s.mu.Unlock()
+	r.stream.finish(res, err)
+	r.cancel() // release the context even when no caller abandoned it
+}
+
+// do is the blocking entry point: attach, wait for the run's terminal
+// event or the caller's own context, detach.
+func (s *scheduler) do(ctx context.Context, q core.Query, eff core.Options) (*core.Result, error) {
+	st, release, err := s.attach(ctx, q, eff)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	select {
+	case <-st.Done():
+		return st.Final()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// observe folds one run's wall time into the EWMA (α = 1/5).
+func (s *scheduler) observe(d time.Duration) {
+	for {
+		old := s.avgRunNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/5
+		}
+		if s.avgRunNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// estimateWait predicts how long a run entering the queue at the given
+// depth waits for a worker slot. Zero when a slot is free or no run
+// has completed yet (nothing to estimate from) — the estimate only
+// ever sheds requests that provably cannot be served in time under
+// the observed run rate.
+func (s *scheduler) estimateWait(depth int) time.Duration {
+	if int(s.running.Load()) < s.maxRuns {
+		return 0
+	}
+	avg := time.Duration(s.avgRunNanos.Load())
+	if avg <= 0 {
+		return 0
+	}
+	// Every maxRuns queue positions cost one average run of waiting.
+	turns := depth/s.maxRuns + 1
+	return time.Duration(turns) * avg
+}
+
+// retryAfter suggests a client backoff: the estimated wait, floored to
+// one second so Retry-After is always meaningful.
+func (s *scheduler) retryAfter(depth int) time.Duration {
+	wait := s.estimateWait(depth)
+	if wait < time.Second {
+		return time.Second
+	}
+	return wait.Round(time.Second)
+}
+
+// Stats snapshots the scheduler counters.
+func (s *scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	inFlight := len(s.runs)
+	s.mu.Unlock()
+	return SchedulerStats{
+		RunsStarted:       s.started.Load(),
+		RunsCompleted:     s.completed.Load(),
+		Coalesced:         s.coalesced.Load(),
+		QueuedTotal:       s.queuedTotal.Load(),
+		Shed:              s.shed.Load(),
+		Running:           int(s.running.Load()),
+		Queued:            int(s.queued.Load()),
+		InFlightRuns:      inFlight,
+		MaxConcurrentRuns: s.maxRuns,
+		MaxQueueDepth:     s.maxQueue,
+		AvgRunMillis:      float64(s.avgRunNanos.Load()) / 1e6,
+	}
+}

@@ -1,0 +1,473 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seedb/internal/core"
+	"seedb/internal/engine"
+)
+
+// holdBackend parks every engine query until the gate channel is
+// closed (or the query's context ends), so tests can build a precise
+// in-flight picture — run occupying a slot, run queued, request shed —
+// before letting anything finish.
+type holdBackend struct {
+	ex   *engine.Executor
+	gate chan struct{}
+}
+
+func (h holdBackend) Run(ctx context.Context, q *engine.Query) (*engine.Result, error) {
+	select {
+	case <-h.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return h.ex.Run(ctx, q)
+}
+
+func (h holdBackend) RunSharedScan(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet) ([]*engine.Result, error) {
+	select {
+	case <-h.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return h.ex.RunSharedScan(ctx, q, gsets)
+}
+
+func (h holdBackend) Signature() string { return "hold" }
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func technologyQuery() core.Query {
+	return core.Query{Table: "orders", Predicate: engine.Eq("category", engine.String("Technology"))}
+}
+
+func eastQuery() core.Query {
+	return core.Query{Table: "orders", Predicate: engine.Eq("region", engine.String("East"))}
+}
+
+// TestSchedulerCoalescesIdenticalRequests: N concurrent identical
+// requests share ONE pipeline run — proven by pointer identity of the
+// returned Result, which also makes the coalesced responses trivially
+// byte-identical — and the counters record 1 run + N-1 coalesced.
+func TestSchedulerCoalescesIdenticalRequests(t *testing.T) {
+	eng, _ := newTestBackend(t, 3000)
+	gate := make(chan struct{})
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	const n = 6
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sess.Recommend(context.Background(), furnitureQuery(), nil)
+		}(i)
+	}
+	// The gate holds the run's first query, so every request must have
+	// attached (1 run + n-1 joins) before anything can complete.
+	waitUntil(t, "all requests attached", func() bool {
+		st := m.SchedulerStats()
+		return st.RunsStarted == 1 && st.Coalesced == n-1
+	})
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("request %d got a different Result instance — it did not share the run", i)
+		}
+	}
+	st := m.SchedulerStats()
+	if st.RunsStarted != 1 || st.RunsCompleted != 1 || st.Coalesced != n-1 {
+		t.Fatalf("stats = %+v, want 1 run and %d coalesced", st, n-1)
+	}
+	if sess.Requests() != n {
+		t.Errorf("session served %d requests, want %d (coalescing must not eat accounting)", sess.Requests(), n)
+	}
+}
+
+// TestSchedulerDistinctRequestsDoNotCoalesce: different queries (and
+// different options on the same query) each get their own run.
+func TestSchedulerDistinctRequestsDoNotCoalesce(t *testing.T) {
+	eng, _ := newTestBackend(t, 2000)
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+	ctx := context.Background()
+
+	if _, err := sess.Recommend(ctx, furnitureQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Recommend(ctx, technologyQuery(), nil); err != nil {
+		t.Fatal(err)
+	}
+	otherK := testOptions()
+	otherK.K = 5
+	if _, err := sess.Recommend(ctx, furnitureQuery(), &otherK); err != nil {
+		t.Fatal(err)
+	}
+	st := m.SchedulerStats()
+	if st.RunsStarted != 3 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want 3 distinct runs and 0 coalesced", st)
+	}
+}
+
+// TestSchedulerStreamJoinsBlockingRun: an SSE-style stream attaches to
+// the same run a blocking request started — both see the identical
+// terminal Result.
+func TestSchedulerStreamJoinsBlockingRun(t *testing.T) {
+	eng, _ := newTestBackend(t, 3000)
+	gate := make(chan struct{})
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	var blockRes *core.Result
+	var blockErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		blockRes, blockErr = sess.Recommend(context.Background(), furnitureQuery(), nil)
+	}()
+	waitUntil(t, "blocking run to register", func() bool { return m.SchedulerStats().RunsStarted == 1 })
+
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), nil)
+	waitUntil(t, "stream to coalesce", func() bool { return m.SchedulerStats().Coalesced == 1 })
+	sub := st.Subscribe(8)
+	close(gate)
+	evs := drainAll(t, sub)
+	<-done
+
+	if blockErr != nil {
+		t.Fatal(blockErr)
+	}
+	last := evs[len(evs)-1]
+	if !last.Terminal() || last.Result == nil {
+		t.Fatalf("stream terminal = %+v", last)
+	}
+	if last.Result != blockRes {
+		t.Fatal("stream and blocking caller did not share the run's Result")
+	}
+	if st := m.SchedulerStats(); st.RunsStarted != 1 {
+		t.Fatalf("stats = %+v, want exactly one run", st)
+	}
+}
+
+// TestSchedulerShedsWhenQueueFull: with one worker slot and a
+// one-deep queue, the third distinct request is shed deterministically
+// with ErrOverloaded carrying a Retry-After estimate.
+func TestSchedulerShedsWhenQueueFull(t *testing.T) {
+	eng, _ := newTestBackend(t, 2000)
+	gate := make(chan struct{})
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{MaxConcurrentRuns: 1, MaxQueueDepth: 1})
+	sess := m.NewSession(testOptions())
+
+	errA := make(chan error, 1)
+	errB := make(chan error, 1)
+	go func() {
+		_, err := sess.Recommend(context.Background(), furnitureQuery(), nil)
+		errA <- err
+	}()
+	waitUntil(t, "first run to occupy the slot", func() bool { return m.SchedulerStats().Running == 1 })
+	go func() {
+		_, err := sess.Recommend(context.Background(), technologyQuery(), nil)
+		errB <- err
+	}()
+	waitUntil(t, "second run to queue", func() bool { return m.SchedulerStats().Queued == 1 })
+
+	_, err := sess.Recommend(context.Background(), eastQuery(), nil)
+	var ov *ErrOverloaded
+	if !errors.As(err, &ov) {
+		t.Fatalf("third request error = %v, want ErrOverloaded", err)
+	}
+	if ov.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", ov.RetryAfter)
+	}
+
+	close(gate)
+	if err := <-errA; err != nil {
+		t.Fatalf("held run failed: %v", err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatalf("queued run failed: %v", err)
+	}
+	st := m.SchedulerStats()
+	if st.Shed != 1 || st.RunsStarted != 2 || st.RunsCompleted != 2 {
+		t.Fatalf("stats = %+v, want 2 completed runs and 1 shed", st)
+	}
+	if st.Queued != 0 || st.Running != 0 || st.InFlightRuns != 0 {
+		t.Fatalf("scheduler not drained: %+v", st)
+	}
+}
+
+// TestSchedulerShedsDoomedDeadline: a request whose context would
+// expire before its estimated turn is shed immediately instead of
+// queueing to certain failure.
+func TestSchedulerShedsDoomedDeadline(t *testing.T) {
+	eng, _ := newTestBackend(t, 2000)
+	gate := make(chan struct{})
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{MaxConcurrentRuns: 1, MaxQueueDepth: 8})
+	// Prime the run-time estimate: the scheduler believes a run takes
+	// one second.
+	m.sched.avgRunNanos.Store(int64(time.Second))
+	sess := m.NewSession(testOptions())
+
+	errA := make(chan error, 1)
+	go func() {
+		_, err := sess.Recommend(context.Background(), furnitureQuery(), nil)
+		errA <- err
+	}()
+	waitUntil(t, "first run to occupy the slot", func() bool { return m.SchedulerStats().Running == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := sess.Recommend(ctx, technologyQuery(), nil)
+	var ov *ErrOverloaded
+	if !errors.As(err, &ov) {
+		t.Fatalf("doomed request error = %v, want ErrOverloaded", err)
+	}
+	if st := m.SchedulerStats(); st.Shed != 1 || st.QueuedTotal != 1 {
+		t.Fatalf("stats = %+v, want the doomed request shed without queueing", st)
+	}
+
+	// A request with room in its deadline still queues normally.
+	okCtx, cancelOK := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelOK()
+	errB := make(chan error, 1)
+	go func() {
+		_, err := sess.Recommend(okCtx, technologyQuery(), nil)
+		errB <- err
+	}()
+	waitUntil(t, "patient run to queue", func() bool { return m.SchedulerStats().Queued == 1 })
+	close(gate)
+	if err := <-errA; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerAbandonedRunIsCancelled: when every caller gives up on
+// a run, the run itself is aborted instead of burning a worker slot
+// for a result nobody will read.
+func TestSchedulerAbandonedRunIsCancelled(t *testing.T) {
+	eng, _ := newTestBackend(t, 2000)
+	gate := make(chan struct{}) // never closed: the run can only end by cancellation
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{})
+	sess := m.NewSession(testOptions())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sess.Recommend(ctx, furnitureQuery(), nil)
+		errCh <- err
+	}()
+	waitUntil(t, "run to occupy a slot", func() bool { return m.SchedulerStats().Running == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error = %v, want context.Canceled", err)
+	}
+	// The abandoned run must finish (cancelled) and free its slot.
+	waitUntil(t, "abandoned run to drain", func() bool {
+		st := m.SchedulerStats()
+		return st.Running == 0 && st.InFlightRuns == 0 && st.RunsCompleted == 1
+	})
+	// A cancelled run must not inform the wait estimate: its near-zero
+	// wall time would deflate the EWMA that deadline shedding and
+	// Retry-After are computed from.
+	if avg := m.SchedulerStats().AvgRunMillis; avg != 0 {
+		t.Fatalf("AvgRunMillis = %v after only a cancelled run, want 0", avg)
+	}
+}
+
+// panicBackend panics on the first query — standing in for any
+// engine-side panic path (ViewCache deliberately re-panics compute
+// panics on the leader's stack).
+type panicBackend struct{ ex *engine.Executor }
+
+func (p panicBackend) Run(ctx context.Context, q *engine.Query) (*engine.Result, error) {
+	panic("backend exploded")
+}
+
+func (p panicBackend) RunSharedScan(ctx context.Context, q *engine.Query, gsets []engine.GroupingSet) ([]*engine.Result, error) {
+	panic("backend exploded")
+}
+
+func (p panicBackend) Signature() string { return "panic" }
+
+// TestSchedulerSurvivesPanickingRun: pipeline runs execute on
+// scheduler goroutines, where an unrecovered panic would kill the
+// whole process (not just one connection, as on an HTTP handler
+// goroutine). The run guard must convert the panic into a terminal
+// error, free the worker slot, and leave the scheduler serving.
+func TestSchedulerSurvivesPanickingRun(t *testing.T) {
+	eng, _ := newTestBackend(t, 1000)
+	eng.SetBackend(panicBackend{ex: eng.Executor()})
+	m := NewManager(eng, Config{MaxConcurrentRuns: 1})
+	sess := m.NewSession(testOptions())
+
+	_, err := sess.Recommend(context.Background(), furnitureQuery(), nil)
+	if !errors.Is(err, ErrRunPanicked) || !strings.Contains(err.Error(), "backend exploded") {
+		t.Fatalf("err = %v, want ErrRunPanicked carrying the panic value", err)
+	}
+	waitUntil(t, "panicked run to drain", func() bool {
+		st := m.SchedulerStats()
+		return st.Running == 0 && st.InFlightRuns == 0 && st.RunsCompleted == 1
+	})
+
+	// The slot was released and the scheduler still serves.
+	eng.SetBackend(nil)
+	if _, err := sess.Recommend(context.Background(), furnitureQuery(), nil); err != nil {
+		t.Fatalf("request after panicked run: %v", err)
+	}
+}
+
+// TestInFlightSessionSurvivesCapEviction is the regression test for
+// the live-stream eviction bug: lastUsed is stamped at request start,
+// so a session holding a long-running stream looked idle and could be
+// cap-evicted mid-exploration, 404ing its later requests and resumes.
+// An in-flight run or stream now pins the session.
+func TestInFlightSessionSurvivesCapEviction(t *testing.T) {
+	eng, _ := newTestBackend(t, 2000)
+	gate := make(chan struct{})
+	eng.SetBackend(holdBackend{ex: eng.Executor(), gate: gate})
+	m := NewManager(eng, Config{MaxSessions: 2})
+
+	a := m.NewSession(testOptions())
+	st := mustStream(t, a, context.Background(), furnitureQuery(), nil)
+	waitUntil(t, "stream's run to start", func() bool { return m.SchedulerStats().Running == 1 })
+
+	// Churn well past the cap while a's stream is live. Before the fix
+	// a — whose lastUsed is the oldest — was the first eviction victim.
+	for i := 0; i < 5; i++ {
+		m.NewSession(testOptions())
+	}
+	if _, err := m.Session(a.ID()); err != nil {
+		t.Fatalf("session with a live stream was evicted: %v", err)
+	}
+
+	close(gate)
+	<-st.Done()
+	if _, err := st.Final(); err != nil {
+		t.Fatalf("stream failed: %v", err)
+	}
+	// The pin is released after completion and the session resolves for
+	// follow-up requests (the exploration continues).
+	if _, err := m.Session(a.ID()); err != nil {
+		t.Fatalf("session lookup after stream completion: %v", err)
+	}
+	if _, err := a.Recommend(context.Background(), furnitureQuery(), nil); err != nil {
+		t.Fatalf("follow-up request on the streamed session: %v", err)
+	}
+}
+
+// TestSchedulerStressRace mixes coalesced blocking requests, streaming
+// subscribers, and at-cap session churn — run under -race in CI. Every
+// answer must match the sequential reference, and the scheduler must
+// drain to zero.
+func TestSchedulerStressRace(t *testing.T) {
+	eng, _ := newTestBackend(t, 3000)
+	m := NewManager(eng, Config{MaxConcurrentRuns: 2, MaxQueueDepth: 256, MaxSessions: 4})
+	ctx := context.Background()
+
+	queries := []core.Query{furnitureQuery(), technologyQuery(), eastQuery()}
+	ref := m.NewSession(testOptions())
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := ref.Recommend(ctx, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = renderTopK(res)
+	}
+
+	const workers = 12
+	const perWorker = 5
+	errCh := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := m.NewSession(testOptions())
+			for i := 0; i < perWorker; i++ {
+				qi := (w + i) % len(queries)
+				switch (w + i) % 3 {
+				case 0: // blocking (identical concurrent calls coalesce)
+					res, err := sess.Recommend(ctx, queries[qi], nil)
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d blocking: %w", w, err)
+						return
+					}
+					if got := renderTopK(res); got != want[qi] {
+						errCh <- fmt.Errorf("worker %d query %d diverged:\n%s\nvs\n%s", w, qi, got, want[qi])
+						return
+					}
+				case 1: // streaming subscriber
+					st, err := sess.RecommendStream(ctx, queries[qi], phasedOptions(3))
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d stream: %w", w, err)
+						return
+					}
+					sub := st.Subscribe(2)
+					var last StreamEvent
+					for ev := range sub.Events() {
+						last = ev
+					}
+					if last.Err != nil || last.Result == nil {
+						errCh <- fmt.Errorf("worker %d stream terminal = %+v", w, last)
+						return
+					}
+				default: // cap-eviction churn
+					tmp := m.NewSession(testOptions())
+					m.CloseSession(tmp.ID())
+					if _, err := sess.Recommend(ctx, queries[qi], nil); err != nil {
+						errCh <- fmt.Errorf("worker %d churn request: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, "scheduler to drain", func() bool {
+		st := m.SchedulerStats()
+		return st.Running == 0 && st.Queued == 0 && st.InFlightRuns == 0 &&
+			st.RunsStarted == st.RunsCompleted
+	})
+	if st := m.SchedulerStats(); st.Shed != 0 {
+		t.Fatalf("nothing should be shed under a 256-deep queue: %+v", st)
+	}
+}

@@ -441,6 +441,109 @@ func TestWaiterTakesOverCancelledLeader(t *testing.T) {
 	}
 }
 
+// TestTakeoverCountsOneLookupOnce is the regression test for the
+// stats double-count: a waiter that took over after the leader died of
+// its own cancellation used to record Shared at join time and then
+// Misses for the retry — two counts for one logical lookup, skewing
+// the /api/stats hit rate. The takeover now retracts the Shared count,
+// so the ledger reads exactly: leader miss + takeover miss.
+func TestTakeoverCountsOneLookupOnce(t *testing.T) {
+	c := NewViewCache(0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderStarted := make(chan struct{})
+	leaderRelease := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader, cancelled mid-compute
+		defer wg.Done()
+		_, _ = c.GetOrCompute(leaderCtx, "k", func() ([]*engine.Result, bool, error) {
+			close(leaderStarted)
+			<-leaderRelease
+			return nil, false, fmt.Errorf("engine: scan cancelled: %w", leaderCtx.Err())
+		})
+	}()
+	<-leaderStarted
+
+	waiterDone := make(chan error, 1)
+	go func() { // waiter joins, then takes over
+		_, err := c.GetOrCompute(context.Background(), "k", func() ([]*engine.Result, bool, error) {
+			return []*engine.Result{{Columns: []string{"ok"}}}, true, nil
+		})
+		waiterDone <- err
+	}()
+	for c.Stats().Shared == 0 {
+		runtime.Gosched()
+	}
+	cancelLeader()
+	close(leaderRelease)
+	wg.Wait()
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Misses != 2 || st.Shared != 0 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want exactly 2 misses (leader + takeover), 0 shared, 0 hits", st)
+	}
+}
+
+// TestCacheAccountingIncludesKeyAndOverhead pins the budget charge per
+// entry: key bytes and the per-entry bookkeeping constant must be
+// included, not just the result payload — exec-cache keys are 64-byte
+// digests and a cache full of tiny results used to hold far more real
+// heap than CacheMaxBytes admitted to.
+func TestCacheAccountingIncludesKeyAndOverhead(t *testing.T) {
+	c := NewViewCache(1 << 30)
+	const entries = 10
+	keyLen := 0
+	for i := 0; i < entries; i++ {
+		key := fmt.Sprintf("%s-%d", strings.Repeat("k", 1024), i)
+		keyLen += len(key)
+		if _, err := c.GetOrCompute(context.Background(), key, func() ([]*engine.Result, bool, error) {
+			return []*engine.Result{{Columns: []string{"x"}}}, true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if min := int64(keyLen + entries*cacheEntryOverhead); st.Bytes < min {
+		t.Fatalf("accounted %d bytes for %d entries, want at least %d (keys + per-entry overhead)", st.Bytes, entries, min)
+	}
+}
+
+// TestCacheAccountingTracksMeasuredHeapGrowth pins the accounting
+// against reality: storing many long-keyed entries must be accounted
+// at a sane fraction of the measured heap growth. Before the fix the
+// accounted bytes for this workload were ~10% of the real footprint;
+// the generous 1/3 bound keeps the check robust to allocator slack
+// while still failing the un-fixed accounting outright.
+func TestCacheAccountingTracksMeasuredHeapGrowth(t *testing.T) {
+	c := NewViewCache(1 << 30)
+	const entries = 2000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < entries; i++ {
+		key := fmt.Sprintf("%s-%06d", strings.Repeat("x", 512), i) // allocated inside the window
+		if _, err := c.GetOrCompute(context.Background(), key, func() ([]*engine.Result, bool, error) {
+			return []*engine.Result{{Columns: []string{"g", "v"}}}, true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		t.Skip("no measurable heap growth (GC interference); nothing to pin")
+	}
+	measured := int64(after.HeapAlloc - before.HeapAlloc)
+	accounted := c.Stats().Bytes
+	if accounted < measured/3 {
+		t.Fatalf("accounted %d bytes but the heap grew %d — accounting misses most of the real footprint", accounted, measured)
+	}
+}
+
 // TestSessionCapEvictsIdle: at MaxSessions the longest-idle session is
 // evicted instead of growing the registry without bound.
 func TestSessionCapEvictsIdle(t *testing.T) {

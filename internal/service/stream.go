@@ -36,6 +36,7 @@ type StreamEvent struct {
 	Snapshot *core.ProgressSnapshot
 	// Result is the completed recommendation — byte-identical to what a
 	// blocking Recommend with the same query and options returns.
+	// Read-only: coalesced requests share the instance.
 	Result *core.Result
 	// Err terminates the stream on failure (including context
 	// cancellation of the run).
@@ -181,33 +182,47 @@ func (st *Stream) finish(res *core.Result, err error) {
 	close(st.done)
 }
 
-// RecommendStream launches the SeeDB pipeline for q in the background
-// and returns a Stream of progress snapshots ending in a terminal
+// RecommendStream launches (or joins) the SeeDB pipeline for q and
+// returns a Stream of progress snapshots ending in a terminal
 // Result/Err event. opts overrides the session defaults for this call
 // when non-nil. With Options.Phases > 1 the ranking converges
 // phase by phase; otherwise the stream carries a single final snapshot
-// and the terminal event. Cancelling ctx aborts the run at the next
-// phase boundary and terminates the stream with the context error.
-func (s *Session) RecommendStream(ctx context.Context, q core.Query, opts *core.Options) *Stream {
+// and the terminal event.
+//
+// The call goes through the workload scheduler: a concurrent request
+// with the same signature shares the run (a late joiner sees only the
+// remaining snapshots, but always the terminal event), and under
+// overload the stream may be refused synchronously with
+// ErrOverloaded. The run executes under its own context — cancelling
+// ctx detaches this caller, and the run itself is aborted (at the
+// next phase boundary, terminating the stream with the context error)
+// only when its last attached caller is gone.
+func (s *Session) RecommendStream(ctx context.Context, q core.Query, opts *core.Options) (*Stream, error) {
 	s.touch()
-	st := newStream()
-	eff := s.effectiveOptions(opts)
+	s.beginWork()
+	st, release, err := s.manager.sched.attach(ctx, q, s.effectiveOptions(opts))
+	if err != nil {
+		s.endWork()
+		return nil, err
+	}
 	go func() {
-		res, err := s.manager.eng.RecommendProgress(ctx, q, eff, func(snap *core.ProgressSnapshot) {
-			st.publish(StreamEvent{Snapshot: snap})
-		})
-		st.finish(res, err)
+		select {
+		case <-ctx.Done():
+		case <-st.Done():
+		}
+		release()
+		s.endWork()
 	}()
-	return st
+	return st, nil
 }
 
 // RecommendSQLStream is RecommendStream with the analyst query given
-// as SQL text. Parse errors are returned synchronously; execution
-// errors arrive as the stream's terminal event.
+// as SQL text. Parse and admission errors are returned synchronously;
+// execution errors arrive as the stream's terminal event.
 func (s *Session) RecommendSQLStream(ctx context.Context, sqlText string, opts *core.Options) (*Stream, error) {
 	table, where, err := sql.AnalystQuery(sqlText, s.manager.eng.Executor().Catalog())
 	if err != nil {
 		return nil, err
 	}
-	return s.RecommendStream(ctx, core.Query{Table: table, Predicate: where}, opts), nil
+	return s.RecommendStream(ctx, core.Query{Table: table, Predicate: where}, opts)
 }

@@ -17,6 +17,16 @@ func phasedOptions(phases int) *core.Options {
 	return &o
 }
 
+// mustStream starts a recommendation stream or fails the test.
+func mustStream(t *testing.T, sess *Session, ctx context.Context, q core.Query, opts *core.Options) *Stream {
+	t.Helper()
+	st, err := sess.RecommendStream(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 // drainAll reads every event until the channel closes.
 func drainAll(t *testing.T, sub *Subscriber) []StreamEvent {
 	t.Helper()
@@ -44,7 +54,7 @@ func TestStreamOrderingAndTerminal(t *testing.T) {
 	sess := m.NewSession(testOptions())
 
 	opts := phasedOptions(5)
-	st := sess.RecommendStream(context.Background(), furnitureQuery(), opts)
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), opts)
 	sub := st.Subscribe(64) // large mailbox: see every snapshot
 	evs := drainAll(t, sub)
 
@@ -95,7 +105,7 @@ func TestStreamSlowConsumerNeverLosesTerminal(t *testing.T) {
 	m := NewManager(eng, Config{})
 	sess := m.NewSession(testOptions())
 
-	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(6))
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), phasedOptions(6))
 	sub := st.Subscribe(1)
 	<-st.Done() // consume nothing until the run is over
 
@@ -115,7 +125,7 @@ func TestStreamSubscriberCloseMidPhase(t *testing.T) {
 	m := NewManager(eng, Config{})
 	sess := m.NewSession(testOptions())
 
-	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(6))
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), phasedOptions(6))
 	quitter := st.Subscribe(64)
 	stayer := st.Subscribe(64)
 
@@ -173,7 +183,7 @@ func TestStreamContextCancellation(t *testing.T) {
 	sess := m.NewSession(testOptions())
 
 	ctx, cancel := context.WithCancel(context.Background())
-	st := sess.RecommendStream(ctx, furnitureQuery(), phasedOptions(8))
+	st := mustStream(t, sess, ctx, furnitureQuery(), phasedOptions(8))
 	sub := st.Subscribe(64)
 
 	select {
@@ -202,7 +212,7 @@ func TestStreamLateSubscribeReplaysFinal(t *testing.T) {
 	m := NewManager(eng, Config{})
 	sess := m.NewSession(testOptions())
 
-	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(3))
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), phasedOptions(3))
 	<-st.Done()
 
 	sub := st.Subscribe(0)
@@ -231,7 +241,7 @@ func TestStreamConcurrentSubscribersStress(t *testing.T) {
 	m := NewManager(eng, Config{})
 	sess := m.NewSession(testOptions())
 
-	st := sess.RecommendStream(context.Background(), furnitureQuery(), phasedOptions(8))
+	st := mustStream(t, sess, context.Background(), furnitureQuery(), phasedOptions(8))
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)

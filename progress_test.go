@@ -57,7 +57,10 @@ func TestRecommendSQLProgress(t *testing.T) {
 	// result.
 	svc := db.Serve(ServeConfig{})
 	sess := svc.NewSession(opts)
-	st := sess.RecommendStream(ctx, Query{Table: "orders", Predicate: Eq("category", String("Furniture"))}, nil)
+	st, err := sess.RecommendStream(ctx, Query{Table: "orders", Predicate: Eq("category", String("Furniture"))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sub := st.Subscribe(0)
 	var lastEv StreamEvent
 	for ev := range sub.Events() {

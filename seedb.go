@@ -202,6 +202,19 @@ type (
 	StreamSubscriber = service.Subscriber
 	// CacheStats snapshots the view-result cache counters.
 	CacheStats = service.CacheStats
+	// SchedulerStats snapshots the workload scheduler counters
+	// (request coalescing, admission queue, shedding).
+	SchedulerStats = service.SchedulerStats
+	// ErrOverloaded is returned when admission control sheds a request;
+	// the HTTP layer maps it to 503 + Retry-After.
+	ErrOverloaded = service.ErrOverloaded
+)
+
+// ErrRunPanicked marks a recommendation run that died of a panic (a
+// server-side fault; the HTTP layer answers 500, not 400).
+var ErrRunPanicked = service.ErrRunPanicked
+
+type (
 	// PartialStoreStats snapshots the chunk-partial store (incremental
 	// execution) counters.
 	PartialStoreStats = engine.PartialStoreStats
@@ -404,10 +417,14 @@ func (db *DB) Engine() *core.Engine { return db.core }
 // Serve turns the instance into a shared recommendation service: it
 // installs a content-addressed view-result cache (so the comparison
 // side of every request, repeated target queries, and concurrent
-// identical queries all share scans) and returns the session manager.
+// identical queries all share scans), starts the workload scheduler
+// (concurrent identical session requests coalesce onto one pipeline
+// run; MaxConcurrentRuns / MaxQueueDepth bound concurrency and shed
+// overload with ErrOverloaded), and returns the session manager.
 // Call it before serving traffic; subsequent calls return the same
 // Service and ignore cfg. After Serve, direct Recommend /
-// RecommendSQL calls on the DB also benefit from the cache.
+// RecommendSQL calls on the DB also benefit from the cache (session
+// requests additionally go through the scheduler).
 func (db *DB) Serve(cfg ServeConfig) *Service {
 	db.serveOnce.Do(func() {
 		db.svc.Store(service.NewManager(db.core, cfg))
