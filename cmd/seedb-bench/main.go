@@ -37,6 +37,8 @@ func main() {
 	appendDeltas := flag.String("append-deltas", "1000,10000,50000", "comma-separated append batch sizes for -append")
 	schedBench := flag.String("sched", "", "measure the workload scheduler (request coalescing + admission) under concurrent bursts and write BENCH_sched.json to this path, then exit")
 	schedRequests := flag.Int("sched-requests", 8, "concurrent requests per burst for -sched")
+	walBench := flag.String("wal", "", "measure ingest throughput per durability mode and WAL replay time, write BENCH_wal.json to this path, then exit")
+	walBatchRows := flag.Int("wal-batch-rows", 2000, "rows per ingest batch for -wal")
 	flag.Parse()
 
 	if *list {
@@ -79,6 +81,21 @@ func main() {
 		must(os.WriteFile(*schedBench, append(data, '\n'), 0o644))
 		fmt.Print(b.String())
 		fmt.Printf("-> %s\n", *schedBench)
+		return
+	}
+
+	if *walBench != "" {
+		n := *rows
+		if n == 0 {
+			n = 200_000
+		}
+		b, err := experiments.RunWALBench(n, *walBatchRows, *seed, *baselineIters)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*walBench, append(data, '\n'), 0o644))
+		fmt.Print(b.String())
+		fmt.Printf("-> %s\n", *walBench)
 		return
 	}
 

@@ -7,6 +7,11 @@
 //
 //	seedb [-addr :8080] [-rows 50000] [-seed 42] [-csv name=path ...]
 //
+// Durable mode — ingest is write-ahead-logged and checkpointed; a
+// restart recovers every acked batch:
+//
+//	seedb -data-dir /var/lib/seedb [-wal-sync-every 1] [-snapshot-every 256]
+//
 // Cluster mode — every node loads the same data (same flags); work is
 // partitioned per query by row range:
 //
@@ -53,6 +58,9 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max runs waiting for a worker slot before requests are shed with 503 (0 = 64)")
 	requestTimeout := flag.Duration("request-timeout", 0, "deadline for blocking API requests (0 = 60s)")
 	streamTimeout := flag.Duration("stream-timeout", 0, "deadline for SSE streaming requests (0 = 10m)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + snapshot checkpoints); empty = memory-only")
+	walSyncEvery := flag.Int("wal-sync-every", 1, "fsync the WAL once per N ingest batches (1 = before every ack)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "checkpoint (snapshot + WAL compaction) once per N ingest batches (0 = 256)")
 	var csvs csvFlags
 	flag.Var(&csvs, "csv", "load a CSV file as name=path (repeatable)")
 	flag.Parse()
@@ -96,6 +104,21 @@ func main() {
 			Description: "ground-truth planted deviations on d1/m0 and d2/m1"},
 	}
 
+	// Durability last in the data-loading sequence: base tables (demo
+	// regen + CSV) must exist before recovery so snapshots replace them
+	// and WAL records replay on top. Fail-fast here — a server that
+	// silently ran memory-only after being asked for a data dir would
+	// lose data on its next restart.
+	if *dataDir != "" {
+		info, err := db.EnableDurability(*dataDir, *walSyncEvery, *snapshotEvery)
+		must(err)
+		log.Printf("seedb: durable storage at %s (snapshots: %d tables, replayed: %d batches / %d rows, skipped: %d)",
+			*dataDir, info.SnapshotsLoaded, info.ReplayedBatches, info.ReplayedRows, info.SkippedBatches)
+		for _, name := range info.CorruptSnapshots {
+			log.Printf("seedb: WARNING: sidelined corrupt snapshot %s (kept as .corrupt)", name)
+		}
+	}
+
 	// Execution layout: plain local (default), in-process sharded, or
 	// cluster coordinator over remote workers. Workers need no special
 	// mode — every server exposes the shard API — but may self-register
@@ -121,8 +144,11 @@ func main() {
 	}
 
 	srv := frontend.NewWithConfig(db, seedb.ServeConfig{
-		MaxConcurrentRuns: *maxRuns,
-		MaxQueueDepth:     *maxQueue,
+		MaxConcurrentRuns:    *maxRuns,
+		MaxQueueDepth:        *maxQueue,
+		DataDir:              *dataDir,
+		WALSyncEvery:         *walSyncEvery,
+		SnapshotEveryBatches: *snapshotEvery,
 	}, templates, log.Default())
 	srv.SetTimeouts(*requestTimeout, *streamTimeout)
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -500,7 +501,11 @@ func (b *ShardedBackend) Ingest(ctx context.Context, table string, rows [][]any)
 	if err != nil {
 		return nil, err
 	}
-	total, err := t.Append(typed)
+	// Catalog.Append is the durability seam: on a coordinator running
+	// with a data dir, the batch is write-ahead-logged before any
+	// replica forwarding — the ack below then covers both properties
+	// (durable locally, applied fleet-wide).
+	total, err := b.ex.Catalog().Append(t, typed)
 	if err != nil {
 		return nil, err
 	}
@@ -563,6 +568,72 @@ func (b *ShardedBackend) Ingest(ctx context.Context, table string, rows [][]any)
 	wg.Wait()
 	sum.Shards = statuses
 	return sum, nil
+}
+
+// ---------------------------------------------------------------------
+// Replica bootstrap: catching up a joining worker
+
+// BootstrapReport describes how a joining worker was brought in line
+// with the coordinator's replica set.
+type BootstrapReport struct {
+	// Synced lists tables pushed to the worker (its copy was missing
+	// or diverged); Matched lists tables whose content hash already
+	// agreed.
+	Synced  []string `json:"synced,omitempty"`
+	Matched []string `json:"matched,omitempty"`
+}
+
+// BootstrapShard brings a joining worker's replica in line with the
+// coordinator before it serves traffic: every coordinator table whose
+// content hash the worker cannot match is serialized (snapshot + WAL
+// tail, materialized — the live table IS that state) and pushed via
+// the worker's sync endpoint, then re-verified by the same ContentHash
+// handshake scatter requests use. Ingest is held for the duration
+// (ingestMu), so no batch can land between the hash comparison and the
+// push — the worker joins exactly caught up.
+//
+// Shards without the TableSyncer capability (in-process shards, which
+// read the coordinator's own tables) trivially succeed.
+func (b *ShardedBackend) BootstrapShard(ctx context.Context, s Shard) (*BootstrapReport, error) {
+	rep := &BootstrapReport{}
+	syncer, ok := s.(TableSyncer)
+	if !ok {
+		return rep, nil
+	}
+	b.ingestMu.Lock()
+	defer b.ingestMu.Unlock()
+
+	theirs, err := syncer.TableHashes(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bootstrapping %s: %w", s.ID(), err)
+	}
+	for _, name := range b.ex.Catalog().TableNames() {
+		t, err := b.ex.Catalog().Table(name)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		chash, err := t.ContentHash()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bootstrapping %s: hashing %q: %w", s.ID(), name, err)
+		}
+		if theirs[name] == chash {
+			rep.Matched = append(rep.Matched, name)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := engine.WriteTableSnapshot(&buf, t); err != nil {
+			return nil, fmt.Errorf("cluster: bootstrapping %s: serializing %q: %w", s.ID(), name, err)
+		}
+		resp, err := syncer.SyncTable(ctx, name, buf.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bootstrapping %s: %w", s.ID(), err)
+		}
+		if resp.ContentHash != chash {
+			return nil, &FingerprintMismatchError{Shard: s.ID(), Table: name, Want: chash, Got: resp.ContentHash}
+		}
+		rep.Synced = append(rep.Synced, name)
+	}
+	return rep, nil
 }
 
 // ---------------------------------------------------------------------

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"seedb/internal/engine"
@@ -238,6 +239,81 @@ func (s *RemoteShard) Ingest(ctx context.Context, req *IngestRequest) (*IngestRe
 	var resp IngestResponse
 	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("cluster: shard %s ingest: decoding response: %w", s.id, err)
+	}
+	return &resp, nil
+}
+
+// TableSyncer is the optional shard capability behind replica
+// bootstrap: report the replica's table content hashes, and accept a
+// wholesale table replacement from the coordinator's serialized
+// snapshot. RemoteShard implements it; LocalShard does not need to
+// (in-process shards read the coordinator's own tables).
+type TableSyncer interface {
+	TableHashes(ctx context.Context) (map[string]string, error)
+	SyncTable(ctx context.Context, table string, snapshot []byte) (*SyncResponse, error)
+}
+
+// SyncResponse is the worker's post-replacement table state, which the
+// coordinator verifies against its own ContentHash — the same
+// handshake every scatter request uses.
+type SyncResponse struct {
+	Table       string `json:"table"`
+	Rows        int    `json:"rows"`
+	ContentHash string `json:"contentHash"`
+}
+
+// TableHashes implements TableSyncer over GET /api/shard/health, which
+// already reports every replica table's content hash.
+func (s *RemoteShard) TableHashes(ctx context.Context) (map[string]string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, s.baseURL+"/api/shard/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s hashes: %w", s.id, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: shard %s hashes: HTTP %d", s.id, hres.StatusCode)
+	}
+	var body struct {
+		Tables map[string]struct {
+			ContentHash string `json:"contentHash"`
+		} `json:"tables"`
+	}
+	if err := json.NewDecoder(hres.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s hashes: decoding response: %w", s.id, err)
+	}
+	hashes := make(map[string]string, len(body.Tables))
+	for name, t := range body.Tables {
+		hashes[name] = t.ContentHash
+	}
+	return hashes, nil
+}
+
+// SyncTable implements TableSyncer: it streams a serialized table
+// snapshot to the worker's /api/shard/sync endpoint, which replaces
+// its replica wholesale and reports the post-replacement hash.
+func (s *RemoteShard) SyncTable(ctx context.Context, table string, snapshot []byte) (*SyncResponse, error) {
+	u := s.baseURL + "/api/shard/sync?table=" + url.QueryEscape(table)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(snapshot))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %s sync: %w", s.id, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return nil, fmt.Errorf("cluster: shard %s sync %q: HTTP %d: %s", s.id, table, hres.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp SyncResponse
+	if err := json.NewDecoder(hres.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: shard %s sync: decoding response: %w", s.id, err)
 	}
 	return &resp, nil
 }

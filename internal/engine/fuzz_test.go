@@ -39,7 +39,8 @@ func FuzzPersistRoundTrip(f *testing.F) {
 	seed := fuzzSnapshotSeed(f)
 	f.Add(seed)
 	f.Add(seed[:len(seed)-5])                  // truncated payload
-	f.Add(append([]byte("SDB2"), seed[4:]...)) // wrong magic
+	f.Add(append([]byte("SDB2"), seed[4:]...)) // v2 magic over a v1 body (field shear)
+	f.Add(append([]byte("XXXX"), seed[4:]...)) // wrong magic
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))      // varint garbage
 	f.Add([]byte("SDB1"))                      // header only
 	mut := append([]byte(nil), seed...)        // bit flip mid-payload

@@ -17,6 +17,7 @@ import (
 //	magic   "SDB1" (4 bytes)
 //	name    string
 //	rows    uvarint
+//	version uvarint ("SDB2" only: the table's mutation version)
 //	ncols   uvarint
 //	per column:
 //	    name     string
@@ -27,22 +28,61 @@ import (
 //
 // Strings are uvarint length + bytes. All integers are uvarints or
 // fixed little-endian 8-byte values inside payloads.
+//
+// Two magics share the format. "SDB1" is the version-free layout; it
+// is what ContentHash digests, so table bytes with equal contents hash
+// equal regardless of how many mutations produced them. "SDB2" adds
+// the mutation version, which durable snapshots need: a restored table
+// must resume the version sequence so WAL replay (keyed by pre-append
+// version) and fingerprint continuity both work across restarts.
+// ReadTable accepts either magic.
 
-const tableMagic = "SDB1"
+const (
+	tableMagic   = "SDB1"
+	tableMagicV2 = "SDB2"
+)
 
-// WriteTable serializes the table to w.
+// WriteTable serializes the table to w in the version-free "SDB1"
+// layout. This is the byte-stable form ContentHash digests; durable
+// snapshots use WriteTableSnapshot, which also records the mutation
+// version.
 func WriteTable(w io.Writer, t *Table) error {
+	return writeTable(w, t, false)
+}
+
+// WriteTableSnapshot serializes the table in the "SDB2" layout, which
+// additionally persists the table's mutation version so a restore
+// resumes the version sequence instead of restarting it at zero.
+func WriteTableSnapshot(w io.Writer, t *Table) error {
+	return writeTable(w, t, true)
+}
+
+func writeTable(w io.Writer, t *Table, withVersion bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+
+	// Write/read symmetry: ReadTable rejects ncols == 0 (a table that
+	// can hold no values is corruption, not data), so refusing to emit
+	// one here keeps every written snapshot readable.
+	if len(t.cols) == 0 {
+		return fmt.Errorf("engine: cannot snapshot zero-column table %q", t.name)
+	}
 
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
 
-	if _, err := bw.WriteString(tableMagic); err != nil {
+	magic := tableMagic
+	if withVersion {
+		magic = tableMagicV2
+	}
+	if _, err := bw.WriteString(magic); err != nil {
 		return fmt.Errorf("engine: writing snapshot: %w", err)
 	}
 	writeString(bw, t.name)
 	writeUvarint(bw, uint64(t.rows))
+	if withVersion {
+		writeUvarint(bw, t.version.Load())
+	}
 	writeUvarint(bw, uint64(len(t.cols)))
 	for _, col := range t.cols {
 		if err := writeColumn(bw, col); err != nil {
@@ -81,7 +121,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("engine: reading snapshot magic: %w", err)
 	}
-	if string(magic) != tableMagic {
+	if string(magic) != tableMagic && string(magic) != tableMagicV2 {
 		return nil, fmt.Errorf("engine: not a table snapshot (magic %q)", magic)
 	}
 	name, err := readString(br)
@@ -91,6 +131,14 @@ func ReadTable(r io.Reader) (*Table, error) {
 	rows, err := readUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	// SDB2 persists the mutation version; SDB1 predates it, so a legacy
+	// snapshot restores at version 0 (its pre-durability behavior).
+	var version uint64
+	if string(magic) == tableMagicV2 {
+		if version, err = readUvarint(br); err != nil {
+			return nil, err
+		}
 	}
 	ncols, err := readUvarint(br)
 	if err != nil {
@@ -111,6 +159,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("engine: snapshot declares %d columns in a %d-byte payload", ncols, len(payload))
 	}
 	t := &Table{name: name, id: tableIDs.Add(1), rows: int(rows), byName: make(map[string]int, ncols)}
+	t.version.Store(version)
 	for i := 0; i < int(ncols); i++ {
 		col, err := readColumn(br, int(rows))
 		if err != nil {

@@ -78,6 +78,12 @@ func (t *Table) Fingerprint() string {
 	return fmt.Sprintf("%s#%d.%d", t.name, t.id, t.version.Load())
 }
 
+// Version returns the table's mutation counter: the number of
+// append/load operations applied since creation. Durable snapshots
+// persist it (WriteTableSnapshot) and WAL records key on it, so a
+// recovered table resumes the sequence instead of restarting at zero.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
 // Identity returns the version-free half of Fingerprint: unique per
 // table instance, stable across mutations. Incremental consumers (the
 // stats collector) key accumulated per-table state on it — the table

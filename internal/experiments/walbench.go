@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"seedb/internal/datagen"
+	"seedb/internal/engine"
+	"seedb/internal/wal"
+)
+
+// WALBench is the committed evidence for the durability layer
+// (BENCH_wal.json): what write-ahead logging costs on the ingest path
+// under each sync policy, and what recovery costs when the log must be
+// replayed versus when a snapshot checkpoint covers it. The three
+// modes bracket the design space — no durability, WAL with deferred
+// fsync (bounded loss window), and fsync-per-batch (every ack
+// durable) — so the slowdown column is the measured price of each
+// guarantee.
+type WALBench struct {
+	Rows       int   `json:"rows"`
+	BatchRows  int   `json:"batchRows"`
+	Batches    int   `json:"batches"`
+	Seed       int64 `json:"seed"`
+	Iterations int   `json:"iterations"`
+	// Modes holds one ingest-throughput measurement per sync policy.
+	Modes []WALModePoint `json:"modes"`
+	// Replay measures cold-boot recovery of the same ingest volume.
+	Replay WALReplayPoint `json:"replay"`
+}
+
+// WALModePoint measures ingest throughput under one durability mode.
+type WALModePoint struct {
+	// Mode is "off" (no WAL), "buffered" (WAL, fsync deferred), or
+	// "fsync-per-batch" (WAL, fsync before every ack).
+	Mode      string `json:"mode"`
+	SyncEvery int    `json:"syncEvery,omitempty"`
+	// IngestMillis is the median wall time to append all batches;
+	// RowsPerSec the derived throughput; SlowdownVsOff the ratio
+	// against the no-durability mode.
+	IngestMillis  float64 `json:"ingestMillis"`
+	RowsPerSec    float64 `json:"rowsPerSec"`
+	SlowdownVsOff float64 `json:"slowdownVsOff"`
+	// WALBytes / Syncs / FsyncMillis come from the store's counters
+	// after one representative run (zero for mode "off").
+	WALBytes    int64   `json:"walBytes,omitempty"`
+	Syncs       int64   `json:"syncs,omitempty"`
+	FsyncMillis float64 `json:"fsyncMillis,omitempty"`
+}
+
+// WALReplayPoint measures boot-time recovery of a crashed store.
+type WALReplayPoint struct {
+	// WALBytes is the log size recovery had to scan when nothing was
+	// checkpointed; ReplayedBatches/ReplayedRows what it applied.
+	WALBytes        int64 `json:"walBytes"`
+	ReplayedBatches int   `json:"replayedBatches"`
+	ReplayedRows    int   `json:"replayedRows"`
+	// WALReplayMillis is the median cold-boot time with the whole
+	// ingest volume in the WAL (worst case: crash before any
+	// checkpoint); WALRowsPerSec the derived replay throughput.
+	WALReplayMillis float64 `json:"walReplayMillis"`
+	WALRowsPerSec   float64 `json:"walRowsPerSec"`
+	// SnapshotRecoveryMillis is the median cold-boot time after a
+	// checkpoint compacted the same volume into snapshots (best case:
+	// crash right after a checkpoint) — the payoff of compaction.
+	SnapshotRecoveryMillis float64 `json:"snapshotRecoveryMillis"`
+}
+
+// JSON renders the bench as indented JSON.
+func (b *WALBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// walBenchBase registers an empty orders table to ingest into.
+func walBenchBase(seed int64) (*engine.Catalog, *engine.Table, error) {
+	cat := engine.NewCatalog()
+	t := datagen.Superstore("orders", 0, seed)
+	if err := cat.Register(t); err != nil {
+		return nil, nil, err
+	}
+	return cat, t, nil
+}
+
+// RunWALBench measures ingest throughput under each durability mode
+// and recovery time for the resulting log, at rows total rows split
+// into batchRows-sized appends.
+func RunWALBench(rows, batchRows int, seed int64, iterations int) (*WALBench, error) {
+	if iterations < 3 {
+		iterations = 3
+	}
+	if batchRows <= 0 {
+		batchRows = 2000
+	}
+	batches := rows / batchRows
+	if batches < 1 {
+		batches = 1
+	}
+	b := &WALBench{Rows: batches * batchRows, BatchRows: batchRows, Batches: batches, Seed: seed, Iterations: iterations}
+
+	// Pre-build every batch once: the generator's cost must not be
+	// billed to the ingest path under test.
+	prebuilt := make([][][]engine.Value, batches)
+	for i := range prebuilt {
+		prebuilt[i] = appendBatch(batchRows, seed+int64(i)+1)
+	}
+
+	modes := []struct {
+		name      string
+		durable   bool
+		syncEvery int
+	}{
+		{"off", false, 0},
+		{"buffered", true, batches + 1}, // fsync only at close: pure logging cost
+		{"fsync-per-batch", true, 1},
+	}
+	var offMillis float64
+	for _, m := range modes {
+		pt := WALModePoint{Mode: m.name}
+		if m.durable {
+			pt.SyncEvery = m.syncEvery
+		}
+		times := make([]float64, 0, iterations)
+		for it := 0; it < iterations; it++ {
+			cat, t, err := walBenchBase(seed)
+			if err != nil {
+				return nil, err
+			}
+			var store *wal.Store
+			if m.durable {
+				dir, err := os.MkdirTemp("", "walbench")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(dir)
+				// SnapshotEvery past the batch count: measure logging,
+				// not checkpointing.
+				store, _, err = wal.Open(wal.Options{Dir: dir, SyncEvery: m.syncEvery, SnapshotEvery: batches + 1}, cat)
+				if err != nil {
+					return nil, err
+				}
+				cat.SetAppendSink(store)
+			}
+			t0 := time.Now()
+			for _, batch := range prebuilt {
+				if _, err := cat.Append(t, batch); err != nil {
+					return nil, err
+				}
+			}
+			times = append(times, float64(time.Since(t0).Microseconds())/1000)
+			if store != nil {
+				if it == 0 {
+					st := store.Stats()
+					pt.WALBytes = st.WALBytes
+					pt.Syncs = st.Syncs
+					pt.FsyncMillis = st.FsyncMillis
+				}
+				if err := store.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		pt.IngestMillis = median(times)
+		if pt.IngestMillis > 0 {
+			pt.RowsPerSec = float64(b.Rows) / (pt.IngestMillis / 1000)
+		}
+		if m.name == "off" {
+			offMillis = pt.IngestMillis
+		} else if offMillis > 0 {
+			pt.SlowdownVsOff = pt.IngestMillis / offMillis
+		}
+		b.Modes = append(b.Modes, pt)
+	}
+
+	// Recovery: ingest the full volume durably, "crash" (abandon the
+	// store un-checkpointed), and time a cold boot that must replay
+	// every batch from the WAL. Then checkpoint and time the boot that
+	// loads the snapshot instead.
+	dir, err := os.MkdirTemp("", "walbench-replay")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	{
+		cat, t, err := walBenchBase(seed)
+		if err != nil {
+			return nil, err
+		}
+		store, _, err := wal.Open(wal.Options{Dir: dir, SyncEvery: 1, SnapshotEvery: batches + 1}, cat)
+		if err != nil {
+			return nil, err
+		}
+		cat.SetAppendSink(store)
+		for _, batch := range prebuilt {
+			if _, err := cat.Append(t, batch); err != nil {
+				return nil, err
+			}
+		}
+		// Abandoned: no Close, no checkpoint — the WAL holds it all.
+	}
+	replayTimes := make([]float64, 0, iterations)
+	var lastStore *wal.Store
+	for it := 0; it < iterations; it++ {
+		if lastStore != nil {
+			if err := lastStore.Close(); err != nil {
+				return nil, err
+			}
+		}
+		cat, _, err := walBenchBase(seed)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		store, info, err := wal.Open(wal.Options{Dir: dir, SyncEvery: 1, SnapshotEvery: batches + 1}, cat)
+		if err != nil {
+			return nil, err
+		}
+		replayTimes = append(replayTimes, float64(time.Since(t0).Microseconds())/1000)
+		if it == 0 {
+			b.Replay.WALBytes = info.WALBytes
+			b.Replay.ReplayedBatches = info.ReplayedBatches
+			b.Replay.ReplayedRows = info.ReplayedRows
+		}
+		lastStore = store
+	}
+	b.Replay.WALReplayMillis = median(replayTimes)
+	if b.Replay.WALReplayMillis > 0 {
+		b.Replay.WALRowsPerSec = float64(b.Replay.ReplayedRows) / (b.Replay.WALReplayMillis / 1000)
+	}
+
+	// Compact, then measure snapshot-based recovery of the same state.
+	if err := lastStore.Checkpoint(); err != nil {
+		return nil, err
+	}
+	if err := lastStore.Close(); err != nil {
+		return nil, err
+	}
+	snapTimes := make([]float64, 0, iterations)
+	for it := 0; it < iterations; it++ {
+		cat, _, err := walBenchBase(seed)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		store, _, err := wal.Open(wal.Options{Dir: dir, SyncEvery: 1, SnapshotEvery: batches + 1}, cat)
+		if err != nil {
+			return nil, err
+		}
+		snapTimes = append(snapTimes, float64(time.Since(t0).Microseconds())/1000)
+		if err := store.Close(); err != nil {
+			return nil, err
+		}
+	}
+	b.Replay.SnapshotRecoveryMillis = median(snapTimes)
+	return b, nil
+}
+
+// String renders a one-line-per-mode summary for the CLI.
+func (b *WALBench) String() string {
+	s := fmt.Sprintf("wal bench (rows=%d batch=%d seed=%d iters=%d):\n", b.Rows, b.BatchRows, b.Seed, b.Iterations)
+	for _, pt := range b.Modes {
+		s += fmt.Sprintf("  mode=%-16s ingest=%.1fms (%.0f rows/s)", pt.Mode, pt.IngestMillis, pt.RowsPerSec)
+		if pt.Mode != "off" {
+			s += fmt.Sprintf(" slowdown=%.2fx walBytes=%d syncs=%d fsync=%.2fms", pt.SlowdownVsOff, pt.WALBytes, pt.Syncs, pt.FsyncMillis)
+		}
+		s += "\n"
+	}
+	s += fmt.Sprintf("  replay: %d batches / %d rows from %d WAL bytes in %.1fms (%.0f rows/s); snapshot recovery %.1fms\n",
+		b.Replay.ReplayedBatches, b.Replay.ReplayedRows, b.Replay.WALBytes,
+		b.Replay.WALReplayMillis, b.Replay.WALRowsPerSec, b.Replay.SnapshotRecoveryMillis)
+	return s
+}

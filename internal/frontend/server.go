@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"seedb"
@@ -98,6 +99,7 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/shard/exec", s.handleShardExec)
 	mux.HandleFunc("/api/shard/health", s.handleShardHealth)
 	mux.HandleFunc("/api/shard/register", s.handleShardRegister)
+	mux.HandleFunc("/api/shard/sync", s.handleShardSync)
 	s.mux = mux
 	return s
 }
@@ -628,6 +630,17 @@ type statsResponse struct {
 	Incremental *incrementalStats `json:"incremental,omitempty"`
 	// Cluster reports shard health when a sharded backend is active.
 	Cluster *clusterStats `json:"cluster,omitempty"`
+	// Durability reports the WAL'd store (log size, checkpoint times,
+	// fsync latency) when the server runs with a data dir.
+	Durability *durabilityStats `json:"durability,omitempty"`
+}
+
+// durabilityStats couples the store's live counters with the one-shot
+// recovery report from boot, so operators can confirm what a restart
+// actually restored.
+type durabilityStats struct {
+	seedb.DurabilityStats
+	Recovery *seedb.RecoveryInfo `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -650,6 +663,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Counters:  b.Counters(),
 			Shards:    b.Status(),
 		}
+	}
+	if st, ok := s.db.DurabilityStats(); ok {
+		resp.Durability = &durabilityStats{DurabilityStats: st, Recovery: s.db.RecoveryReport()}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -699,9 +715,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	total, err := t.Append(typed)
+	// DB.Append routes through the durability seam: with a data dir
+	// configured, the 200 below means the batch is in the write-ahead
+	// log, not just in memory. A logging failure is a server fault
+	// (the rows were valid), so it maps to 500, never 400.
+	total, err := s.db.Append(req.Table, typed)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		code := http.StatusBadRequest
+		if errors.Is(err, seedb.ErrNotDurable) {
+			code = http.StatusInternalServerError
+		}
+		s.writeError(w, code, err)
 		return
 	}
 	resp := cluster.IngestResponse{Table: req.Table, Appended: len(req.Rows), Rows: total}
@@ -819,11 +843,73 @@ func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadGateway, fmt.Errorf("frontend: worker %s failed its health probe: %w", req.URL, err))
 		return
 	}
+	// Bootstrap before admission: push every table the worker is
+	// missing (or holds a diverged copy of) from the coordinator's
+	// live replica — snapshot + WAL tail, materialized — and verify
+	// the ContentHash handshake. Workers no longer need identical
+	// pre-provisioned data; an empty node can join and catch up.
+	// Snapshot serialization runs with ingest held, so the worker
+	// joins exactly in step. The sync budget is larger than the health
+	// probe's: it moves whole tables.
+	syncCtx, cancelSync := context.WithTimeout(r.Context(), 2*time.Minute)
+	defer cancelSync()
+	boot, err := b.BootstrapShard(syncCtx, shard)
+	if err != nil {
+		s.writeError(w, http.StatusBadGateway, fmt.Errorf("frontend: worker %s failed bootstrap: %w", req.URL, err))
+		return
+	}
+	if len(boot.Synced) > 0 {
+		s.logger.Printf("frontend: worker %s caught up (synced: %s)", req.URL, strings.Join(boot.Synced, ", "))
+	}
 	added := b.AddShard(shard)
 	s.logger.Printf("frontend: worker %s %s (now %d shards)", req.URL,
 		map[bool]string{true: "registered", false: "already registered"}[added], b.NumShards())
-	s.writeJSON(w, http.StatusOK, map[string]any{"added": added, "shards": b.NumShards()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"added": added, "shards": b.NumShards(), "bootstrap": boot})
 }
+
+// handleShardSync is the worker half of replica bootstrap: it accepts
+// a serialized table snapshot from a coordinator, swaps it in as this
+// node's replica (dropping any previous copy), and reports the
+// post-replacement content hash for the coordinator's handshake. With
+// durability enabled the replacement is checkpointed immediately, so
+// the caught-up replica survives this worker's own crashes.
+func (s *Server) handleShardSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: sync needs a table query parameter"))
+		return
+	}
+	t, err := engine.ReadTable(http.MaxBytesReader(w, r.Body, maxSyncSnapshotBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: parsing sync snapshot: %w", err))
+		return
+	}
+	if t.Name() != name {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("frontend: sync snapshot is of table %q, not %q", t.Name(), name))
+		return
+	}
+	chash, err := t.ContentHash()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.db.ReplaceTable(t); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logger.Printf("frontend: replica %q replaced via sync (%d rows, %s)", name, t.NumRows(), chash)
+	s.writeJSON(w, http.StatusOK, cluster.SyncResponse{Table: name, Rows: t.NumRows(), ContentHash: chash})
+}
+
+// maxSyncSnapshotBytes bounds one sync upload (a whole serialized
+// table); 1 GiB is far above any demo dataset while still refusing
+// unbounded bodies.
+const maxSyncSnapshotBytes = 1 << 30
 
 // ---------------------------------------------------------------------
 // index page

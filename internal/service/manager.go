@@ -42,6 +42,25 @@ type Config struct {
 	// worker slot before new work is shed with ErrOverloaded (HTTP
 	// 503 + Retry-After). <= 0 selects 64.
 	MaxQueueDepth int
+
+	// Durability knobs. The service layer carries them; seedb.DB.Serve
+	// interprets them (the WAL store lives below this package, in
+	// internal/wal, and must be opened before traffic flows).
+
+	// DataDir roots the durable store (write-ahead log + snapshot
+	// checkpoints). Empty leaves the instance memory-only, exactly the
+	// pre-durability behavior.
+	DataDir string
+	// WALSyncEvery fsyncs the WAL once per N ingest batches; <= 0
+	// selects 1 (fsync before every ack — full durability).
+	WALSyncEvery int
+	// SnapshotEveryBatches checkpoints (snapshot + WAL compaction)
+	// once per N ingest batches; <= 0 selects 256.
+	SnapshotEveryBatches int
+	// DisableDurability ignores DataDir entirely — for benchmarks that
+	// want the in-memory ingest path while keeping a config file's
+	// DataDir set.
+	DisableDurability bool
 }
 
 // Manager is the concurrent entry point of the service layer: it owns

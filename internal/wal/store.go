@@ -1,0 +1,394 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seedb/internal/engine"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the durable-storage directory: one wal.log plus one
+	// <name>.snap per checkpointed table. Created if absent.
+	Dir string
+	// SyncEvery fsyncs the WAL once per N logged batches. 1 (the
+	// default for values <= 0) fsyncs before every ack — full
+	// durability; larger values trade a bounded window of acked-but-
+	// unsynced batches for ingest throughput.
+	SyncEvery int
+	// SnapshotEvery checkpoints (snapshot dirty tables, then truncate
+	// the WAL) once per N logged batches. Defaults to 256 for values
+	// <= 0.
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 256
+
+// RecoveryInfo reports what a Store restored during Open. It is
+// JSON-tagged because /api/stats republishes it under
+// durability.recovery.
+type RecoveryInfo struct {
+	// SnapshotsLoaded counts tables restored from .snap files.
+	SnapshotsLoaded int `json:"snapshotsLoaded"`
+	// Tables names the tables restored from snapshots.
+	Tables []string `json:"tables,omitempty"`
+	// CorruptSnapshots names snapshot files that failed checksum or
+	// parse and were sidelined (renamed to .corrupt) rather than
+	// aborting boot.
+	CorruptSnapshots []string `json:"corruptSnapshots,omitempty"`
+	// ReplayedBatches counts WAL records applied on top of the
+	// snapshot/base state; ReplayedRows is their row total.
+	ReplayedBatches int `json:"replayedBatches"`
+	ReplayedRows    int `json:"replayedRows"`
+	// SkippedBatches counts WAL records whose table was missing or
+	// whose pre-append version did not match the live table — records
+	// already covered by a snapshot, or orphaned by a dropped table.
+	SkippedBatches int `json:"skippedBatches"`
+	// WALBytes is the valid log length after torn-tail truncation.
+	WALBytes int64 `json:"walBytes"`
+}
+
+// Stats is a point-in-time durability report, shaped for /api/stats.
+type Stats struct {
+	// WALBytes is the current log length; it returns to zero at every
+	// checkpoint (compaction truncates the covered log).
+	WALBytes int64 `json:"walBytes"`
+	// BatchesLogged counts append batches logged since Open.
+	BatchesLogged int64 `json:"batchesLogged"`
+	// ReplayedBatches and SkippedBatches describe the recovery that
+	// produced this process's state (fixed after Open).
+	ReplayedBatches int `json:"replayedBatches"`
+	SkippedBatches  int `json:"skippedBatches"`
+	// Checkpoints counts snapshot+compaction cycles since Open;
+	// LastSnapshot is the wall-clock time of the latest one (zero if
+	// none yet).
+	Checkpoints  int64     `json:"checkpoints"`
+	LastSnapshot time.Time `json:"lastSnapshot,omitzero"`
+	// Syncs counts WAL fsyncs; FsyncMillis is an exponentially
+	// weighted moving average (alpha 0.2) of their latency.
+	Syncs       int64   `json:"syncs"`
+	FsyncMillis float64 `json:"fsyncMillis"`
+	// CheckpointErrors counts failed checkpoint attempts. Durability
+	// is not lost — the WAL still covers every batch — but the log
+	// cannot compact until one succeeds.
+	CheckpointErrors int64 `json:"checkpointErrors"`
+}
+
+// Store is the durability engine: it restores tables from snapshots +
+// WAL tail at Open, then logs every appended batch (implementing
+// engine.AppendSink) and periodically checkpoints. Safe for concurrent
+// use; the engine.Catalog serializes LogAppend calls in version order.
+type Store struct {
+	dir           string
+	syncEvery     int
+	snapshotEvery int
+
+	mu        sync.Mutex
+	wal       *log
+	dirty     map[string]*engine.Table // tables with records in the current WAL
+	unsynced  int                      // batches logged since the last fsync
+	sinceSnap int                      // batches logged since the last checkpoint
+	closed    bool
+
+	batches     int64
+	checkpoints int64
+	syncs       int64
+	checkpointE int64
+	lastSnap    time.Time
+	fsyncEWMA   float64
+	replayed    int
+	skipped     int
+}
+
+// Open recovers durable state from opts.Dir into cat and returns a
+// Store ready to log new appends. Callers must register base tables
+// (demo data, CSV loads) in cat BEFORE calling Open: snapshots replace
+// same-named base tables wholesale, and WAL records then replay on top
+// of whatever matches their pre-append version.
+//
+// Open truncates any torn WAL tail (a crash mid-append) and sidelines
+// unreadable snapshot files as .corrupt instead of refusing to boot.
+func Open(opts Options, cat *engine.Catalog) (*Store, *RecoveryInfo, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+	s := &Store{
+		dir:           opts.Dir,
+		syncEvery:     max(1, opts.SyncEvery),
+		snapshotEvery: opts.SnapshotEvery,
+		dirty:         make(map[string]*engine.Table),
+	}
+	if s.snapshotEvery <= 0 {
+		s.snapshotEvery = defaultSnapshotEvery
+	}
+	info := &RecoveryInfo{}
+	if err := s.recover(cat, info); err != nil {
+		return nil, nil, err
+	}
+	return s, info, nil
+}
+
+func (s *Store) recover(cat *engine.Catalog, info *RecoveryInfo) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("wal: reading data dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A crash mid-checkpoint leaves a half-written temp file;
+			// the rename never happened, so the previous snapshot (or
+			// none) is still authoritative.
+			_ = os.Remove(filepath.Join(s.dir, name))
+		case strings.HasSuffix(name, ".snap"):
+			path := filepath.Join(s.dir, name)
+			t, err := readSnapshot(path)
+			if err != nil {
+				info.CorruptSnapshots = append(info.CorruptSnapshots, name)
+				_ = os.Rename(path, path+".corrupt")
+				continue
+			}
+			cat.Drop(t.Name())
+			if err := cat.Register(t); err != nil {
+				return fmt.Errorf("wal: registering snapshot %s: %w", name, err)
+			}
+			info.SnapshotsLoaded++
+			info.Tables = append(info.Tables, t.Name())
+		}
+	}
+	sort.Strings(info.Tables)
+
+	wal, recs, err := openLog(filepath.Join(s.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	info.WALBytes = wal.size
+	for _, rec := range recs {
+		t, err := cat.Table(rec.Table)
+		if err != nil || t.Version() != rec.PrevVersion {
+			info.SkippedBatches++
+			continue
+		}
+		if _, err := t.Append(rec.Rows); err != nil {
+			info.SkippedBatches++
+			continue
+		}
+		info.ReplayedBatches++
+		info.ReplayedRows += len(rec.Rows)
+		// Replayed records live in the current WAL, so their tables
+		// must be in the next checkpoint's snapshot set.
+		s.dirty[rec.Table] = t
+		s.sinceSnap++
+	}
+	s.replayed = info.ReplayedBatches
+	s.skipped = info.SkippedBatches
+	return nil
+}
+
+func readSnapshot(path string) (*engine.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return engine.ReadTable(f)
+}
+
+// LogAppend implements engine.AppendSink: it frames the batch into the
+// WAL, fsyncs per the SyncEvery policy, and checkpoints per the
+// SnapshotEvery policy. The engine calls it after the in-memory append
+// succeeds and before the ingest ack, under the catalog's append lock.
+func (s *Store) LogAppend(t *engine.Table, prevVersion uint64, rows [][]engine.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	if err := s.wal.append(&Record{Table: t.Name(), PrevVersion: prevVersion, Rows: rows}); err != nil {
+		return err
+	}
+	s.batches++
+	s.dirty[t.Name()] = t
+	s.unsynced++
+	s.sinceSnap++
+	if s.unsynced >= s.syncEvery {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.sinceSnap >= s.snapshotEvery {
+		if err := s.checkpointLocked(); err != nil {
+			// The batch IS durable — it was WAL-logged (and synced)
+			// above — so the ack stands; the failure only delays
+			// compaction, which the next batch will retry.
+			s.checkpointE++
+		}
+	}
+	return nil
+}
+
+func (s *Store) syncLocked() error {
+	start := time.Now()
+	if err := s.wal.sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1e3
+	const alpha = 0.2
+	if s.syncs == 0 {
+		s.fsyncEWMA = ms
+	} else {
+		s.fsyncEWMA = alpha*ms + (1-alpha)*s.fsyncEWMA
+	}
+	s.syncs++
+	s.unsynced = 0
+	return nil
+}
+
+// Checkpoint snapshots every table with records in the current WAL,
+// then truncates the WAL (compaction: the snapshots now cover it).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	// The WAL must be durable before the snapshot claims coverage:
+	// if the snapshot writes fail mid-way, replay still has the tail.
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	for _, t := range s.dirty {
+		if err := s.writeSnapshotLocked(t); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.dirty = make(map[string]*engine.Table)
+	s.sinceSnap = 0
+	s.checkpoints++
+	s.lastSnap = time.Now()
+	return nil
+}
+
+// CheckpointTable snapshots one table immediately, without compacting
+// the WAL. The cluster layer uses it after wholesale table replacement
+// (replica rebuild), where waiting for the batch-count cadence would
+// leave the new contents covered by nothing.
+func (s *Store) CheckpointTable(t *engine.Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	return s.writeSnapshotLocked(t)
+}
+
+// writeSnapshotLocked writes <name>.snap atomically: temp file, fsync,
+// rename, fsync the directory so the rename itself is durable.
+func (s *Store) writeSnapshotLocked(t *engine.Table) error {
+	path := filepath.Join(s.dir, snapshotFileName(t.Name()))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot temp: %w", err)
+	}
+	if err := engine.WriteTableSnapshot(f, t); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: publishing snapshot: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening data dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+// snapshotFileName percent-encodes every byte outside [A-Za-z0-9_-],
+// so arbitrary table names (dots, slashes, spaces) map to exactly one
+// safe file name with no path traversal.
+func snapshotFileName(table string) string {
+	var b strings.Builder
+	for i := 0; i < len(table); i++ {
+		c := table[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	b.WriteString(".snap")
+	return b.String()
+}
+
+// Stats returns a point-in-time durability report.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		WALBytes:         s.wal.size,
+		BatchesLogged:    s.batches,
+		ReplayedBatches:  s.replayed,
+		SkippedBatches:   s.skipped,
+		Checkpoints:      s.checkpoints,
+		LastSnapshot:     s.lastSnap,
+		Syncs:            s.syncs,
+		FsyncMillis:      s.fsyncEWMA,
+		CheckpointErrors: s.checkpointE,
+	}
+}
+
+// Close fsyncs and closes the WAL. The store logs nothing afterwards;
+// a crash-simulating test simply abandons the store without calling
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.sync(); err != nil {
+		s.wal.close()
+		return err
+	}
+	return s.wal.close()
+}

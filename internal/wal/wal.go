@@ -1,0 +1,359 @@
+// Package wal implements SeeDB's durable-storage layer: a write-ahead
+// log of Table.Append batches plus periodic SDB2 snapshot checkpoints
+// (engine.WriteTableSnapshot), giving crash-consistent recovery for
+// the otherwise in-memory tables.
+//
+// The log is an append-only file of CRC-framed, length-prefixed
+// records, one per ingest batch. Each record carries the table name,
+// the table's PRE-append mutation version, and the typed rows. Replay
+// applies a record only when the live table sits at exactly that
+// version, so a snapshot that already covers the batch (or a replica
+// that diverged) skips it instead of double-applying.
+//
+// Frame layout, little-endian:
+//
+//	length  uint32  payload byte count
+//	crc32   uint32  IEEE checksum of the payload
+//	payload
+//
+// Payload layout (uvarints; strings are uvarint length + bytes):
+//
+//	table        string
+//	prevVersion  uvarint
+//	nrows        uvarint
+//	ncols        uvarint
+//	values       row-major; kind byte, null byte, then the payload
+//	             (8-byte LE for INT/FLOAT/TIMESTAMP, string otherwise)
+//
+// A torn tail — a partial frame from a crash mid-write — fails the
+// length or CRC check; the scanner stops at the last whole record and
+// Open truncates the file there, so the log never accumulates garbage
+// between valid records.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"seedb/internal/engine"
+)
+
+// Record is one durably logged append batch.
+type Record struct {
+	// Table names the target table.
+	Table string
+	// PrevVersion is the table's mutation version immediately before
+	// the batch was applied; replay applies the record only to a table
+	// sitting at exactly this version.
+	PrevVersion uint64
+	// Rows are the appended rows, in schema order.
+	Rows [][]engine.Value
+}
+
+// frameHeaderSize is the fixed prefix of every record: payload length
+// plus payload checksum.
+const frameHeaderSize = 8
+
+// maxRecordBytes rejects absurd declared lengths before allocation; a
+// single ingest batch far beyond this is operator error, and anything
+// larger in the length field of a frame is corruption.
+const maxRecordBytes = 1 << 30
+
+// encodeRecord renders a record's payload (frame header excluded).
+func encodeRecord(rec *Record) ([]byte, error) {
+	buf := make([]byte, 0, 64+16*len(rec.Rows))
+	buf = appendUvarint(buf, uint64(len(rec.Table)))
+	buf = append(buf, rec.Table...)
+	buf = appendUvarint(buf, rec.PrevVersion)
+	buf = appendUvarint(buf, uint64(len(rec.Rows)))
+	ncols := 0
+	if len(rec.Rows) > 0 {
+		ncols = len(rec.Rows[0])
+	}
+	buf = appendUvarint(buf, uint64(ncols))
+	for ri, row := range rec.Rows {
+		if len(row) != ncols {
+			return nil, fmt.Errorf("wal: record row %d has %d values, row 0 has %d", ri, len(row), ncols)
+		}
+		for _, v := range row {
+			var err error
+			if buf, err = appendValue(buf, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func appendValue(buf []byte, v engine.Value) ([]byte, error) {
+	switch v.Kind {
+	case engine.TypeInt, engine.TypeFloat, engine.TypeString, engine.TypeTime:
+	default:
+		return nil, fmt.Errorf("wal: cannot log value of kind %d", v.Kind)
+	}
+	buf = append(buf, byte(v.Kind))
+	if v.Null {
+		return append(buf, 1), nil
+	}
+	buf = append(buf, 0)
+	var tmp [8]byte
+	switch v.Kind {
+	case engine.TypeInt, engine.TypeTime:
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.I))
+		buf = append(buf, tmp[:]...)
+	case engine.TypeFloat:
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.F))
+		buf = append(buf, tmp[:]...)
+	case engine.TypeString:
+		buf = appendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	}
+	return buf, nil
+}
+
+// byteReader walks a payload with bounds checking; every decode error
+// is corruption, never a panic (the decoder fronts a fuzz target).
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("wal: %d bytes wanted at offset %d of %d", n, r.off, len(r.data))
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *byteReader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// decodeRecord parses one payload. It validates everything it
+// allocates against the remaining byte count, so a corrupt length can
+// never force an implausible allocation.
+func decodeRecord(payload []byte) (*Record, error) {
+	r := &byteReader{data: payload}
+	nameLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > uint64(len(payload)) {
+		return nil, fmt.Errorf("wal: record declares a %d-byte table name in a %d-byte payload", nameLen, len(payload))
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Table: string(name)}
+	if rec.PrevVersion, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every value costs at least two bytes (kind + null flag), so a
+	// row/column product the payload cannot back is corruption.
+	if nrows > 0 && ncols == 0 {
+		return nil, fmt.Errorf("wal: record declares %d rows of zero columns", nrows)
+	}
+	remaining := uint64(len(payload) - r.off)
+	if ncols != 0 && (nrows > remaining/2/ncols) {
+		return nil, fmt.Errorf("wal: record declares %d×%d values in %d bytes", nrows, ncols, remaining)
+	}
+	rec.Rows = make([][]engine.Value, int(nrows))
+	for ri := range rec.Rows {
+		row := make([]engine.Value, int(ncols))
+		for ci := range row {
+			if row[ci], err = r.readValue(); err != nil {
+				return nil, err
+			}
+		}
+		rec.Rows[ri] = row
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("wal: record has %d trailing bytes", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+func (r *byteReader) readValue() (engine.Value, error) {
+	kind, err := r.byte()
+	if err != nil {
+		return engine.Value{}, err
+	}
+	typ := engine.Type(kind)
+	switch typ {
+	case engine.TypeInt, engine.TypeFloat, engine.TypeString, engine.TypeTime:
+	default:
+		return engine.Value{}, fmt.Errorf("wal: unknown value kind %d", kind)
+	}
+	nullFlag, err := r.byte()
+	if err != nil {
+		return engine.Value{}, err
+	}
+	switch nullFlag {
+	case 1:
+		return engine.NullValue(typ), nil
+	case 0:
+	default:
+		return engine.Value{}, fmt.Errorf("wal: bad null flag %d", nullFlag)
+	}
+	switch typ {
+	case engine.TypeInt, engine.TypeTime:
+		b, err := r.bytes(8)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Value{Kind: typ, I: int64(binary.LittleEndian.Uint64(b))}, nil
+	case engine.TypeFloat:
+		b, err := r.bytes(8)
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	default: // TypeString
+		n, err := r.uvarint()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		if n > uint64(len(r.data)-r.off) {
+			return engine.Value{}, fmt.Errorf("wal: string of %d bytes exceeds payload", n)
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.String(string(b)), nil
+	}
+}
+
+// scanRecords walks a log image and returns every whole, checksummed
+// record plus the byte length of that valid prefix. A torn or corrupt
+// tail simply ends the scan — by WAL discipline everything after the
+// first bad frame is unreachable garbage.
+func scanRecords(data []byte) (recs []*Record, validLen int64) {
+	off := 0
+	for {
+		if off+frameHeaderSize > len(data) {
+			return recs, int64(off)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxRecordBytes || off+frameHeaderSize+int(length) > len(data) {
+			return recs, int64(off)
+		}
+		payload := data[off+frameHeaderSize : off+frameHeaderSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, int64(off)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return recs, int64(off)
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + int(length)
+	}
+}
+
+// writeFrameHeader stamps the length+checksum prefix into frame[0:8].
+func writeFrameHeader(frame, payload []byte) {
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// log is the on-disk append file. All methods are called under the
+// Store mutex.
+type log struct {
+	f    *os.File
+	size int64
+	path string
+}
+
+// openLog opens (creating if absent) the log at path, scans it, and
+// truncates any torn tail so appends resume cleanly after the last
+// whole record. It returns the records of the valid prefix.
+func openLog(path string) (*log, []*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("wal: reading log: %w", err)
+	}
+	recs, validLen := scanRecords(data)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	if int64(len(data)) != validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seeking log end: %w", err)
+	}
+	return &log{f: f, size: validLen, path: path}, recs, nil
+}
+
+// append frames and writes one record; durability requires a sync.
+func (l *log) append(rec *Record) error {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	writeFrameHeader(frame, payload)
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: appending record: %w", err)
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+func (l *log) sync() error { return l.f.Sync() }
+
+// reset empties the log (compaction: every record is covered by the
+// snapshots just written).
+func (l *log) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating log: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("wal: rewinding log: %w", err)
+	}
+	l.size = 0
+	return l.f.Sync()
+}
+
+func (l *log) close() error { return l.f.Close() }

@@ -39,6 +39,7 @@ import (
 	"seedb/internal/sql"
 	"seedb/internal/stats"
 	"seedb/internal/viz"
+	"seedb/internal/wal"
 )
 
 // Re-exported storage types. The aliases make the embedded engine's
@@ -214,6 +215,12 @@ type (
 // server-side fault; the HTTP layer answers 500, not 400).
 var ErrRunPanicked = service.ErrRunPanicked
 
+// ErrNotDurable marks an append that applied in memory but failed to
+// reach the write-ahead log (see DB.EnableDurability). The rows are
+// queryable but a crash could lose them; callers holding an ack
+// contract must retry or surface a server error.
+var ErrNotDurable = engine.ErrNotDurable
+
 type (
 	// PartialStoreStats snapshots the chunk-partial store (incremental
 	// execution) counters.
@@ -229,7 +236,21 @@ type DB struct {
 
 	serveOnce sync.Once
 	svc       atomic.Pointer[Service]
+
+	durMu    sync.Mutex
+	durStore *wal.Store
+	durInfo  *RecoveryInfo
+	durErr   error
 }
+
+// Durability types, re-exported from internal/wal.
+type (
+	// DurabilityStats is a point-in-time durability report (WAL size,
+	// checkpoint cadence, fsync latency EWMA); see DB.DurabilityStats.
+	DurabilityStats = wal.Stats
+	// RecoveryInfo reports what EnableDurability restored at boot.
+	RecoveryInfo = wal.RecoveryInfo
+)
 
 // Open creates an empty SeeDB instance.
 func Open() *DB {
@@ -286,7 +307,126 @@ func (db *DB) Append(name string, rows [][]Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return t.Append(rows)
+	// Catalog.Append is the durability seam: with EnableDurability
+	// active the batch is WAL-logged (and fsync'd per the sync policy)
+	// before this returns, so callers may ack it as durable.
+	return db.cat.Append(t, rows)
+}
+
+// EnableDurability opens (or creates) the durable store rooted at
+// dataDir, recovers any previous state — snapshot checkpoints plus the
+// WAL tail — into the catalog, and from then on write-ahead-logs every
+// batch appended through DB.Append before the call returns. Register
+// base tables (demo data, CSV loads) BEFORE calling it: snapshots
+// replace same-named tables wholesale and WAL records replay on top.
+// Recovered tables resume their mutation-version sequence, so
+// fingerprints, content hashes, the chunk grid, and partial-store keys
+// are all continuous across the restart — queries over a recovered
+// table return bytes identical to a never-restarted run.
+//
+// syncEvery fsyncs the WAL once per N batches (<= 0 means every
+// batch); snapshotEvery checkpoints once per N batches (<= 0 selects
+// 256). Calling it again is a no-op returning the original recovery
+// report.
+func (db *DB) EnableDurability(dataDir string, syncEvery, snapshotEvery int) (*RecoveryInfo, error) {
+	db.durMu.Lock()
+	defer db.durMu.Unlock()
+	if db.durStore != nil {
+		return db.durInfo, nil
+	}
+	s, info, err := wal.Open(wal.Options{Dir: dataDir, SyncEvery: syncEvery, SnapshotEvery: snapshotEvery}, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	db.cat.SetAppendSink(s)
+	db.durStore = s
+	db.durInfo = info
+	return info, nil
+}
+
+// Durable reports whether EnableDurability is active.
+func (db *DB) Durable() bool {
+	db.durMu.Lock()
+	defer db.durMu.Unlock()
+	return db.durStore != nil
+}
+
+// DurabilityStats snapshots the durable store's counters; ok is false
+// when durability is not enabled.
+func (db *DB) DurabilityStats() (st DurabilityStats, ok bool) {
+	db.durMu.Lock()
+	s := db.durStore
+	db.durMu.Unlock()
+	if s == nil {
+		return DurabilityStats{}, false
+	}
+	return s.Stats(), true
+}
+
+// RecoveryReport returns what EnableDurability restored at boot (nil
+// when durability is not enabled).
+func (db *DB) RecoveryReport() *RecoveryInfo {
+	db.durMu.Lock()
+	defer db.durMu.Unlock()
+	return db.durInfo
+}
+
+// DurabilityError returns the deferred error of a Serve-initiated
+// durability enablement (nil when enablement succeeded or was never
+// attempted). Serve cannot return an error, so an unopenable DataDir
+// surfaces here; cmd/seedb instead calls EnableDurability directly and
+// treats failure as fatal.
+func (db *DB) DurabilityError() error {
+	db.durMu.Lock()
+	defer db.durMu.Unlock()
+	return db.durErr
+}
+
+// Checkpoint forces an immediate snapshot of every table with batches
+// in the current WAL, then compacts the WAL. A no-op without
+// durability.
+func (db *DB) Checkpoint() error {
+	db.durMu.Lock()
+	s := db.durStore
+	db.durMu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// CloseDurability fsyncs and closes the durable store and detaches it
+// from the ingest path. Appends after it return to memory-only.
+func (db *DB) CloseDurability() error {
+	db.durMu.Lock()
+	defer db.durMu.Unlock()
+	if db.durStore == nil {
+		return nil
+	}
+	db.cat.SetAppendSink(nil)
+	err := db.durStore.Close()
+	db.durStore = nil
+	return err
+}
+
+// ReplaceTable swaps in t under its own name, dropping any previous
+// table, and — when durability is active — checkpoints it immediately
+// so the replacement survives a crash (its WAL records, keyed to the
+// old table's versions, would otherwise be skipped at replay). The
+// cluster layer uses this to rebuild a worker's replica from the
+// coordinator's snapshot + WAL tail.
+func (db *DB) ReplaceTable(t *Table) error {
+	db.cat.Drop(t.Name())
+	if err := db.cat.Register(t); err != nil {
+		return err
+	}
+	db.durMu.Lock()
+	s := db.durStore
+	db.durMu.Unlock()
+	if s != nil {
+		return s.CheckpointTable(t)
+	}
+	return nil
 }
 
 // EnableIncremental installs the engine's chunk-partial store (sized
@@ -310,13 +450,15 @@ func (db *DB) IncrementalStats() PartialStoreStats {
 
 // SaveTable writes a binary snapshot of a registered table to w
 // (columnar layout with a CRC32 checksum; see internal/engine for the
-// format).
+// format). The snapshot carries the table's mutation version, so a
+// LoadTable of it resumes the version sequence instead of restarting
+// at zero.
 func (db *DB) SaveTable(name string, w io.Writer) error {
 	t, err := db.cat.Table(name)
 	if err != nil {
 		return err
 	}
-	return engine.WriteTable(w, t)
+	return engine.WriteTableSnapshot(w, t)
 }
 
 // LoadTable reads a snapshot written by SaveTable and registers it
@@ -427,6 +569,19 @@ func (db *DB) Engine() *core.Engine { return db.core }
 // requests additionally go through the scheduler).
 func (db *DB) Serve(cfg ServeConfig) *Service {
 	db.serveOnce.Do(func() {
+		// Durability first: recovery must finish before the cache and
+		// scheduler see any table, and ingest must be WAL-backed before
+		// the first request can ack. Serve cannot return an error, so a
+		// failed enablement is recorded for DurabilityError; callers
+		// that need fail-fast semantics (cmd/seedb) call
+		// EnableDurability themselves beforehand.
+		if cfg.DataDir != "" && !cfg.DisableDurability {
+			if _, err := db.EnableDurability(cfg.DataDir, cfg.WALSyncEvery, cfg.SnapshotEveryBatches); err != nil {
+				db.durMu.Lock()
+				db.durErr = err
+				db.durMu.Unlock()
+			}
+		}
 		db.svc.Store(service.NewManager(db.core, cfg))
 	})
 	return db.svc.Load()
