@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"seedb/internal/experiments"
+	"seedb/internal/loadbench"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 	schedRequests := flag.Int("sched-requests", 8, "concurrent requests per burst for -sched")
 	walBench := flag.String("wal", "", "measure ingest throughput per durability mode and WAL replay time, write BENCH_wal.json to this path, then exit")
 	walBatchRows := flag.Int("wal-batch-rows", 2000, "rows per ingest batch for -wal")
+	loadBench := flag.String("load", "", "drive stepped concurrent HTTP load at a real frontend server and write BENCH_load.json to this path, then exit")
+	loadRequests := flag.Int("load-requests", 16, "requests per load step for -load (min 8)")
 	flag.Parse()
 
 	if *list {
@@ -81,6 +84,17 @@ func main() {
 		must(os.WriteFile(*schedBench, append(data, '\n'), 0o644))
 		fmt.Print(b.String())
 		fmt.Printf("-> %s\n", *schedBench)
+		return
+	}
+
+	if *loadBench != "" {
+		b, err := loadbench.Run(*rows, *loadRequests, *seed)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*loadBench, append(data, '\n'), 0o644))
+		fmt.Print(b.String())
+		fmt.Printf("-> %s\n", *loadBench)
 		return
 	}
 

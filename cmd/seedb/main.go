@@ -58,6 +58,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max runs waiting for a worker slot before requests are shed with 503 (0 = 64)")
 	requestTimeout := flag.Duration("request-timeout", 0, "deadline for blocking API requests (0 = 60s)")
 	streamTimeout := flag.Duration("stream-timeout", 0, "deadline for SSE streaming requests (0 = 10m)")
+	debug := flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/ (profiling; leave off on exposed ports)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + snapshot checkpoints); empty = memory-only")
 	walSyncEvery := flag.Int("wal-sync-every", 1, "fsync the WAL once per N ingest batches (1 = before every ack)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "checkpoint (snapshot + WAL compaction) once per N ingest batches (0 = 256)")
@@ -151,6 +152,10 @@ func main() {
 		SnapshotEveryBatches: *snapshotEvery,
 	}, templates, log.Default())
 	srv.SetTimeouts(*requestTimeout, *streamTimeout)
+	if *debug {
+		srv.EnableDebug()
+		log.Printf("seedb: pprof profiling exposed at /debug/pprof/")
+	}
 
 	if *coordinator != "" {
 		// Worker mode: announce this node to the coordinator once it is

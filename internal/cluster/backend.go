@@ -5,11 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 )
 
 // Config tunes a ShardedBackend.
@@ -118,6 +120,45 @@ type ShardedBackend struct {
 	// reports both.
 	scatterWall atomic.Int64
 	scatterProj atomic.Int64
+
+	// obsM carries the event-time metrics (nil = observability off);
+	// scrape-time collectors over the counters above are registered by
+	// EnableMetrics directly.
+	obsM atomic.Pointer[clusterObs]
+}
+
+// clusterObs is the backend's event-time observability state.
+type clusterObs struct {
+	rpcSeconds *obs.HistogramVec // per-shard range execution latency
+}
+
+// EnableMetrics registers the backend's counters with the metrics
+// registry and turns on the per-shard RPC latency histogram. Safe on a
+// live backend; observation-only either way.
+func (b *ShardedBackend) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		b.obsM.Store(nil)
+		return
+	}
+	reg.CounterFunc("seedb_cluster_scatters_total", "Queries scatter-gathered across shards.",
+		func() float64 { return float64(b.scatters.Load()) })
+	reg.CounterFunc("seedb_cluster_shard_calls_total", "Per-shard range executions attempted.",
+		func() float64 { return float64(b.shardCalls.Load()) })
+	reg.CounterFunc("seedb_cluster_retries_total", "Extra attempts after a shard failure.",
+		func() float64 { return float64(b.retriesN.Load()) })
+	reg.CounterFunc("seedb_cluster_failovers_total", "Ranges degraded to the coordinator's local replica.",
+		func() float64 { return float64(b.failovers.Load()) })
+	reg.CounterFunc("seedb_cluster_mismatches_total", "Replica fingerprint/content-hash mismatches observed.",
+		func() float64 { return float64(b.mismatches.Load()) })
+	reg.CounterFunc("seedb_cluster_ingest_rows_total", "Rows ingested through the coordinator.",
+		func() float64 { return float64(b.ingestRows.Load()) })
+	reg.GaugeFunc("seedb_cluster_shards", "Registered shards.",
+		func() float64 { return float64(b.NumShards()) })
+	b.obsM.Store(&clusterObs{
+		rpcSeconds: reg.HistogramVec("seedb_shard_rpc_seconds",
+			"Per-shard range execution latency, including retries and failover.",
+			obs.DefBuckets, "shard"),
+	})
 }
 
 // NewLocal builds an in-process scatter-gather backend: n logical
@@ -270,9 +311,21 @@ func (b *ShardedBackend) scatter(ctx context.Context, q *engine.Query, gsets []e
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			sl := slots[i%len(slots)]
+			// Span and histogram cover the whole range execution —
+			// retries and a failover to the coordinator included — which
+			// is the latency the gather actually waits on.
+			span := obs.TraceFrom(ctx).StartSpan("shard-exec").
+				SetAttr("shard", sl.shard.ID()).
+				SetAttr("rows", strconv.Itoa(rlo)+":"+strconv.Itoa(rhi))
 			t0 := time.Now()
-			ps, err := b.execRange(ctx, slots[i%len(slots)], q, gsets, rlo, rhi, len(ranges))
-			outs[i] = rangeOut{partials: ps, dur: time.Since(t0), err: err}
+			ps, err := b.execRange(ctx, sl, q, gsets, rlo, rhi, len(ranges))
+			d := time.Since(t0)
+			span.Finish()
+			if m := b.obsM.Load(); m != nil {
+				m.rpcSeconds.With(sl.shard.ID()).Observe(d.Seconds())
+			}
+			outs[i] = rangeOut{partials: ps, dur: d, err: err}
 		}(i, rg[0], rg[1])
 	}
 	wg.Wait()

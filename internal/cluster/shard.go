@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 )
 
 // Shard executes partial aggregation over an assigned row range of a
@@ -179,6 +180,11 @@ func (s *RemoteShard) ExecPartials(ctx context.Context, req *ShardRequest) (*Sha
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the run's trace ID so the worker records its spans under
+	// the coordinator's trace ID in its own ring.
+	if id := obs.TraceFrom(ctx).ID(); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
 	hres, err := s.client.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: shard %s: %w", s.id, err)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"seedb/internal/engine"
 )
@@ -137,6 +138,21 @@ func RunSignature(fingerprint string, q Query, opts Options) string {
 	fmt.Fprintf(&b, "%+v", opts)
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])
+}
+
+// traceSeq distinguishes repeat runs of the same signature; trace IDs
+// must be unique per run where signatures deliberately are not.
+var traceSeq atomic.Int64
+
+// RunTraceID derives the observability trace ID for one pipeline run
+// from its coalescing signature. It lives next to RunSignature
+// deliberately: the signature prefix makes re-runs of the same request
+// visually groupable in a trace ring, while the sequence suffix keeps
+// every run distinct. Requests coalesced onto a shared run share that
+// run's trace ID.
+func RunTraceID(sig string) string {
+	sum := sha256.Sum256([]byte(sig))
+	return fmt.Sprintf("t-%s-%d", hex.EncodeToString(sum[:6]), traceSeq.Add(1))
 }
 
 func writePredicate(b *strings.Builder, p engine.Predicate) {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"seedb/internal/distance"
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 	"seedb/internal/stats"
 )
 
@@ -211,12 +213,19 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		if hi <= lo {
 			continue
 		}
+		// Observation-only: span recording never alters execution or the
+		// accumulated results (a nil trace makes every call a no-op).
+		span := obs.TraceFrom(ctx).StartSpan("phase").
+			SetAttr("phase", strconv.Itoa(phase+1)).
+			SetAttr("rows", fmt.Sprintf("%d:%d", lo, hi))
 		p, err := buildPlan(surviving, ts, q, opts)
 		if err != nil {
+			span.Finish()
 			return nil, 0, err
 		}
 		phaseData, err := executePlan(ctx, e, p, q, opts, metric, sample, lo, hi)
 		if err != nil {
+			span.Finish()
 			return nil, 0, err
 		}
 		for _, d := range phaseData {
@@ -224,6 +233,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 				acc.merge(d)
 			}
 		}
+		span.Finish()
 
 		if phase == phases-1 {
 			break // final phase: no pruning decision needed

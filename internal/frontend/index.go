@@ -354,7 +354,9 @@ async function refreshSvcStats() {
       ' · scheduler ' + sch.runsCompleted + ' runs, ' + sch.coalesced + ' coalesced, ' +
       sch.shed + ' shed' +
       (sch.queued ? ', ' + sch.queued + ' queued' : '') +
-      (sch.avgRunMillis ? ' · avg run ' + sch.avgRunMillis.toFixed(1) + ' ms' : '');
+      (sch.avgRunMillis ? ' · avg run ' + sch.avgRunMillis.toFixed(1) + ' ms' : '') +
+      (st.observability ? ' · obs ' + st.observability.httpRequests + ' reqs, ' +
+        st.observability.traces + ' traces (<a href="/metrics">/metrics</a>)' : '');
   } catch (e) { /* telemetry is best-effort */ }
 }
 

@@ -23,6 +23,7 @@ import (
 	"seedb/internal/cluster"
 	"seedb/internal/distance"
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 	sqlparse "seedb/internal/sql"
 )
 
@@ -52,6 +53,13 @@ type Server struct {
 	// in the same deadline used to kill legitimate high-`phases` runs.
 	timeout       time.Duration
 	streamTimeout time.Duration
+
+	// hub is the DB's observability hub when the service layer installed
+	// it, nil with ServeConfig.DisableObservability set — then /metrics
+	// and /api/trace answer 404 and the HTTP middleware is skipped.
+	hub          *obs.Hub
+	httpRequests *obs.CounterVec
+	httpLatency  *obs.HistogramVec
 }
 
 // New builds a frontend server over a SeeDB instance, enabling its
@@ -93,6 +101,12 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/session", s.handleSession)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/ingest", s.handleIngest)
+	// Observability: Prometheus exposition + per-run trace dumps. Both
+	// answer 404 when the service was started with observability
+	// disabled (the routes stay mounted so the behavior is a status,
+	// not a routing difference).
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/trace", s.handleTrace)
 	// Cluster endpoints: every server can act as a worker shard
 	// (/api/shard/exec, /api/shard/health); a server whose DB runs a
 	// sharded backend additionally accepts worker registrations.
@@ -101,6 +115,7 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/shard/register", s.handleShardRegister)
 	mux.HandleFunc("/api/shard/sync", s.handleShardSync)
 	s.mux = mux
+	s.installObs(svc.Observability())
 	return s
 }
 
@@ -125,8 +140,16 @@ func (s *Server) session(id string) (*seedb.Session, error) {
 	return s.svc.Session(id)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. With the obs hub installed every
+// request is counted and timed (see observe); without it dispatch goes
+// straight to the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.httpRequests == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	s.observe(w, r)
+}
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -322,7 +345,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	opts := s.optionsFrom(req, sess.Options())
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	// The scheduler fills the capture cell with the run's trace ID —
+	// also for requests that coalesced onto an existing run — and it
+	// surfaces as a response header, never in the body: the JSON below
+	// stays byte-identical with observability on or off.
+	ctx, capt := obs.WithIDCapture(ctx)
 	res, err := sess.RecommendSQL(ctx, req.SQL, &opts)
+	if id := capt.Get(); id != "" {
+		w.Header().Set(obs.TraceHeader, id)
+	}
 	if err != nil {
 		s.writeRecommendError(w, err)
 		return
@@ -500,7 +531,11 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	ctx, capt := obs.WithIDCapture(ctx)
 	res, err := sess.DrillDown(ctx, seedb.Query{Table: table, Predicate: predicate}, view, req.Label, &opts)
+	if id := capt.Get(); id != "" {
+		w.Header().Set(obs.TraceHeader, id)
+	}
 	if err != nil {
 		s.writeRecommendError(w, err)
 		return
@@ -633,6 +668,18 @@ type statsResponse struct {
 	// Durability reports the WAL'd store (log size, checkpoint times,
 	// fsync latency) when the server runs with a data dir.
 	Durability *durabilityStats `json:"durability,omitempty"`
+	// Observability reports the obs hub's totals when it is installed:
+	// the full breakdown lives at /metrics, this is the footer summary.
+	Observability *obsStats `json:"observability,omitempty"`
+}
+
+// obsStats is the /api/stats summary of the observability hub.
+type obsStats struct {
+	// HTTPRequests is the total requests the middleware observed.
+	HTTPRequests int64 `json:"httpRequests"`
+	// Traces is the number of completed run traces retained in the
+	// ring (each dumpable via /api/trace?id=...).
+	Traces int `json:"traces"`
 }
 
 // durabilityStats couples the store's live counters with the one-shot
@@ -648,6 +695,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Stats are a live snapshot; a cached copy is misinformation.
+	w.Header().Set("Cache-Control", "no-store")
 	resp := statsResponse{
 		Cache:     s.svc.CacheStats(),
 		Scheduler: s.svc.SchedulerStats(),
@@ -666,6 +715,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if st, ok := s.db.DurabilityStats(); ok {
 		resp.Durability = &durabilityStats{DurabilityStats: st, Recovery: s.db.RecoveryReport()}
+	}
+	if s.hub != nil {
+		resp.Observability = &obsStats{
+			HTTPRequests: int64(s.httpRequests.Total()),
+			Traces:       s.hub.Traces.Len(),
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -770,6 +825,22 @@ func (s *Server) handleShardExec(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	// Trace join: a coordinator propagates its run's trace ID in the
+	// request header; this worker records its half of the work under
+	// the same ID in its own ring, so an operator can correlate
+	// coordinator and worker dumps of one sharded run.
+	if id := r.Header.Get(obs.TraceHeader); id != "" && s.hub != nil {
+		tr := s.hub.Traces.New(id)
+		span := tr.StartSpan("worker-exec").
+			SetAttr("table", req.Table).
+			SetAttr("rows", fmt.Sprintf("%d:%d", req.RowLo, req.RowHi))
+		ctx = obs.ContextWithTrace(ctx, tr)
+		defer func() {
+			span.Finish()
+			s.hub.Traces.Finish(tr)
+		}()
+		w.Header().Set(obs.TraceHeader, id)
+	}
 	resp, status, err := cluster.ExecShardRequest(ctx, s.db.Engine().Executor(), &req)
 	if err != nil {
 		if status == http.StatusConflict {

@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"seedb"
+	"seedb/internal/obs"
 )
 
 // streamEntryJSON is one ranked view inside a phase or prune event.
@@ -71,12 +72,18 @@ type streamPhaseJSON struct {
 	// Ranking holds the current top views (capped at the request's k),
 	// best first.
 	Ranking []streamEntryJSON `json:"ranking"`
+	// Trace is the run's trace ID (also in the X-Seedb-Trace response
+	// header), present only with observability on. It rides on the
+	// progress events, never on done — the done payload is pinned
+	// byte-identical to the blocking response.
+	Trace string `json:"trace,omitempty"`
 }
 
 // streamPruneJSON is the payload of a "prune" event.
 type streamPruneJSON struct {
 	Phase int               `json:"phase"`
 	Views []streamEntryJSON `json:"views"`
+	Trace string            `json:"trace,omitempty"`
 }
 
 func toStreamEntry(e seedb.ProgressEntry) streamEntryJSON {
@@ -258,7 +265,11 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 		lastID = r.URL.Query().Get("lastEventId")
 	}
 	if d, _, ok := strings.Cut(lastID, ":"); ok && d == digest {
-		res, err := sess.RecommendSQL(ctx, req.SQL, &opts)
+		capCtx, capt := obs.WithIDCapture(ctx)
+		res, err := sess.RecommendSQL(capCtx, req.SQL, &opts)
+		if id := capt.Get(); id != "" {
+			w.Header().Set(obs.TraceHeader, id)
+		}
 		if err != nil {
 			// Nothing has been flushed yet, so a shed can still answer
 			// 503 + Retry-After; other failures stay stream errors.
@@ -281,6 +292,12 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 		// (503 + Retry-After for a shed, 400 otherwise).
 		s.writeRecommendError(w, err)
 		return
+	}
+	// Nothing has been flushed yet, so the run's trace ID (shared by
+	// every request coalesced onto it) can still travel as a header.
+	traceID := st.TraceID()
+	if traceID != "" {
+		w.Header().Set(obs.TraceHeader, traceID)
 	}
 	sub := st.Subscribe(0)
 	defer sub.Close()
@@ -312,7 +329,7 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 			snap := ev.Snapshot
 			seq++
 			if len(snap.PrunedNow) > 0 {
-				prune := streamPruneJSON{Phase: snap.Phase, Views: make([]streamEntryJSON, len(snap.PrunedNow))}
+				prune := streamPruneJSON{Phase: snap.Phase, Trace: traceID, Views: make([]streamEntryJSON, len(snap.PrunedNow))}
 				for i, e := range snap.PrunedNow {
 					prune.Views[i] = toStreamEntry(e)
 				}
@@ -328,6 +345,7 @@ func (s *Server) handleRecommendStream(w http.ResponseWriter, r *http.Request) {
 				Survivors:   snap.Survivors,
 				PrunedTotal: snap.PrunedTotal,
 				Ranking:     []streamEntryJSON{},
+				Trace:       traceID,
 			}
 			top := snap.Ranking
 			if k := opts.K; k > 0 && len(top) > k {

@@ -1,0 +1,328 @@
+// Package loadbench is the full-stack HTTP load harness behind
+// seedb-bench -load. It lives outside internal/experiments because it
+// boots the real frontend (and therefore imports the root seedb
+// package), which the root package's own benchmarks would turn into
+// an import cycle.
+package loadbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seedb"
+	"seedb/internal/frontend"
+	"seedb/internal/service"
+)
+
+// LoadBench is the committed HTTP load benchmark (BENCH_load.json): a
+// Go driver firing stepped concurrent request mixes at a real frontend
+// server (full HTTP path: middleware, scheduler admission, cache), and
+// recording per-step latency percentiles, throughput, shed rate, and
+// coalesce ratio. The final step deliberately overloads an
+// under-provisioned server (maxConcurrentRuns=1, maxQueueDepth=1) so
+// the recorded shed behavior is real, not synthetic: steps below the
+// admission cap must show zero shed, the AboveCap step must not.
+type LoadBench struct {
+	Rows            int   `json:"rows"`
+	Seed            int64 `json:"seed"`
+	RequestsPerStep int   `json:"requestsPerStep"`
+	// MaxConcurrentRuns / MaxQueueDepth are the regular steps' admission
+	// limits (the AboveCap step uses 1/1 instead).
+	MaxConcurrentRuns int        `json:"maxConcurrentRuns"`
+	MaxQueueDepth     int        `json:"maxQueueDepth"`
+	Steps             []LoadStep `json:"steps"`
+}
+
+// LoadStep is one measured load step.
+type LoadStep struct {
+	// Concurrency is the driver's in-flight request bound for the step.
+	Concurrency int `json:"concurrency"`
+	// Mix is "identical" (every request the same analyst query),
+	// "distinct" (all different), or "mixed" (half/half).
+	Mix string `json:"mix"`
+	// Warm reports whether the view cache was primed with one pass over
+	// the step's queries before measuring.
+	Warm bool `json:"warm"`
+	// AboveCap marks the deliberate overload step: it runs against a
+	// server provisioned with maxConcurrentRuns=1 and maxQueueDepth=1,
+	// so admission control MUST shed. Steps without it are sized below
+	// the cap and must record zero shed; CI asserts both.
+	AboveCap bool `json:"aboveCap"`
+	Requests int  `json:"requests"`
+	// OK / Shed / Errors partition the responses: HTTP 200, HTTP 503
+	// (admission shed), anything else.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// Latency percentiles over served (200) requests; when everything
+	// was shed they fall back to all responses so they stay finite.
+	P50Millis  float64 `json:"p50Millis"`
+	P95Millis  float64 `json:"p95Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+	WallMillis float64 `json:"wallMillis"`
+	// ThroughputRPS is served requests per wall-clock second.
+	ThroughputRPS float64 `json:"throughputRPS"`
+	// ShedRate = Shed / Requests.
+	ShedRate float64 `json:"shedRate"`
+	// CoalesceRatio is the scheduler's coalesced-request delta across
+	// the step divided by Requests.
+	CoalesceRatio float64 `json:"coalesceRatio"`
+}
+
+// JSON renders the benchmark as indented JSON.
+func (b *LoadBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// String renders a human-readable summary.
+func (b *LoadBench) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "load (rows=%d seed=%d requests/step=%d workers=%d queue=%d):\n",
+		b.Rows, b.Seed, b.RequestsPerStep, b.MaxConcurrentRuns, b.MaxQueueDepth)
+	for _, st := range b.Steps {
+		temp := "cold"
+		if st.Warm {
+			temp = "warm"
+		}
+		cap := ""
+		if st.AboveCap {
+			cap = " ABOVE-CAP"
+		}
+		fmt.Fprintf(&s, "  c=%-2d %-9s %s%s: p50=%.1fms p95=%.1fms p99=%.1fms %.1f req/s shed=%d (%.0f%%) coalesce=%.2f\n",
+			st.Concurrency, st.Mix, temp, cap, st.P50Millis, st.P95Millis, st.P99Millis,
+			st.ThroughputRPS, st.Shed, 100*st.ShedRate, st.CoalesceRatio)
+	}
+	return s.String()
+}
+
+// loadQueries is the distinct-query pool (superstore columns where
+// every value is populated at any table size).
+func loadQueries() []string {
+	return []string{
+		"SELECT * FROM orders WHERE category = 'Furniture'",
+		"SELECT * FROM orders WHERE category = 'Technology'",
+		"SELECT * FROM orders WHERE category = 'Office Supplies'",
+		"SELECT * FROM orders WHERE region = 'East'",
+		"SELECT * FROM orders WHERE region = 'West'",
+		"SELECT * FROM orders WHERE region = 'Central'",
+		"SELECT * FROM orders WHERE region = 'South'",
+		"SELECT * FROM orders WHERE segment = 'Consumer'",
+		"SELECT * FROM orders WHERE segment = 'Corporate'",
+		"SELECT * FROM orders WHERE segment = 'Home Office'",
+		"SELECT * FROM orders WHERE ship_mode = 'Standard Class'",
+		"SELECT * FROM orders WHERE ship_mode = 'Second Class'",
+	}
+}
+
+// newLoadServer boots a fresh frontend over a fresh superstore table —
+// every cold step gets untouched caches and zeroed scheduler counters.
+func newLoadServer(rows int, seed int64, maxRuns, maxQueue int) (*httptest.Server, error) {
+	db := seedb.Open()
+	if err := db.RegisterTable(seedb.SuperstoreTable("orders", rows, seed)); err != nil {
+		return nil, err
+	}
+	srv := frontend.NewWithConfig(db, seedb.ServeConfig{
+		MaxConcurrentRuns: maxRuns,
+		MaxQueueDepth:     maxQueue,
+	}, nil, log.New(io.Discard, "", 0))
+	return httptest.NewServer(srv), nil
+}
+
+// schedulerCounters scrapes /api/stats for the scheduler deltas.
+func schedulerCounters(client *http.Client, base string) (service.SchedulerStats, error) {
+	resp, err := client.Get(base + "/api/stats")
+	if err != nil {
+		return service.SchedulerStats{}, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Scheduler service.SchedulerStats `json:"scheduler"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return service.SchedulerStats{}, err
+	}
+	return body.Scheduler, nil
+}
+
+// quantile returns the p-quantile (0..1) of xs by nearest-rank on the
+// sorted sample. Empty input returns 0.
+func quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runLoadStep drives one step: requests total POSTs to /api/recommend
+// with at most concurrency in flight, classifying responses and timing
+// each one.
+func runLoadStep(ts *httptest.Server, step *LoadStep, queries func(i int) string) error {
+	client := ts.Client()
+	before, err := schedulerCounters(client, ts.URL)
+	if err != nil {
+		return err
+	}
+	type outcome struct {
+		millis float64
+		status int
+		err    error
+	}
+	outcomes := make([]outcome, step.Requests)
+	sem := make(chan struct{}, step.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < step.Requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, _ := json.Marshal(map[string]any{"sql": queries(i)})
+			t0 := time.Now()
+			resp, err := client.Post(ts.URL+"/api/recommend", "application/json", bytes.NewReader(body))
+			lat := float64(time.Since(t0).Microseconds()) / 1000
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{millis: lat, status: resp.StatusCode}
+		}(i)
+	}
+	wg.Wait()
+	step.WallMillis = float64(time.Since(start).Microseconds()) / 1000
+
+	var served, all []float64
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			step.Errors++
+		case o.status == http.StatusOK:
+			step.OK++
+			served = append(served, o.millis)
+		case o.status == http.StatusServiceUnavailable:
+			step.Shed++
+			all = append(all, o.millis)
+		default:
+			step.Errors++
+		}
+	}
+	lats := served
+	if len(lats) == 0 {
+		lats = all // everything shed: report shed latency, not zeros
+	}
+	step.P50Millis = quantile(lats, 0.50)
+	step.P95Millis = quantile(lats, 0.95)
+	step.P99Millis = quantile(lats, 0.99)
+	if step.WallMillis > 0 {
+		step.ThroughputRPS = float64(step.OK) / (step.WallMillis / 1000)
+	}
+	step.ShedRate = float64(step.Shed) / float64(step.Requests)
+	after, err := schedulerCounters(client, ts.URL)
+	if err != nil {
+		return err
+	}
+	step.CoalesceRatio = float64(after.Coalesced-before.Coalesced) / float64(step.Requests)
+	return nil
+}
+
+// RunLoadBench measures the full-stack request path under stepped
+// concurrent load. requestsPerStep is the per-step request budget
+// (values < 8 select 8); each step runs on a freshly booted server so
+// cold really means cold.
+func Run(rows, requestsPerStep int, seed int64) (*LoadBench, error) {
+	if rows <= 0 {
+		rows = 20_000
+	}
+	if requestsPerStep < 8 {
+		requestsPerStep = 8
+	}
+	b := &LoadBench{Rows: rows, Seed: seed, RequestsPerStep: requestsPerStep}
+	pool := loadQueries()
+	identical := func(int) string { return pool[0] }
+	distinct := func(i int) string { return pool[i%len(pool)] }
+	mixed := func(i int) string {
+		if i%2 == 0 {
+			return pool[0]
+		}
+		return pool[i%len(pool)]
+	}
+
+	steps := []struct {
+		concurrency int
+		mix         string
+		warm        bool
+		aboveCap    bool
+		queries     func(int) string
+	}{
+		{1, "identical", false, false, identical},
+		{4, "identical", false, false, identical},
+		{4, "distinct", true, false, distinct},
+		{8, "mixed", true, false, mixed},
+		{requestsPerStep, "distinct", false, true, distinct},
+	}
+	for _, spec := range steps {
+		maxRuns, maxQueue := 0, 0
+		if spec.aboveCap {
+			// Deliberately under-provisioned: one worker slot, one queue
+			// slot. Firing the whole step at once guarantees admission
+			// control sheds — the honest overload measurement.
+			maxRuns, maxQueue = 1, 1
+		}
+		ts, err := newLoadServer(rows, seed, maxRuns, maxQueue)
+		if err != nil {
+			return nil, err
+		}
+		step := LoadStep{
+			Concurrency: spec.concurrency,
+			Mix:         spec.mix,
+			Warm:        spec.warm,
+			AboveCap:    spec.aboveCap,
+			Requests:    requestsPerStep,
+		}
+		if spec.warm {
+			client := ts.Client()
+			for i := 0; i < requestsPerStep; i++ {
+				body, _ := json.Marshal(map[string]any{"sql": spec.queries(i)})
+				resp, err := client.Post(ts.URL+"/api/recommend", "application/json", bytes.NewReader(body))
+				if err != nil {
+					ts.Close()
+					return nil, err
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		if !spec.aboveCap {
+			// Record the regular admission limits once.
+			st, err := schedulerCounters(ts.Client(), ts.URL)
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			b.MaxConcurrentRuns = st.MaxConcurrentRuns
+			b.MaxQueueDepth = st.MaxQueueDepth
+		}
+		err = runLoadStep(ts, &step, spec.queries)
+		ts.Close()
+		if err != nil {
+			return nil, err
+		}
+		b.Steps = append(b.Steps, step)
+	}
+	return b, nil
+}

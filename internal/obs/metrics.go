@@ -1,0 +1,421 @@
+// Package obs is the observability seam for the SeeDB server: a
+// dependency-free metrics registry exported in the Prometheus text
+// exposition format, and per-run request tracing with a ring buffer
+// of recently completed traces.
+//
+// Everything here is observation-only by contract: instrumented code
+// paths must produce byte-identical results whether a registry/tracer
+// is installed or not (the same invariant the core ProgressListener
+// seam pins). To make call sites unconditional, every method on every
+// type in this package is safe to call on a nil receiver and simply
+// does nothing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram upper bounds in seconds,
+// matching the classic Prometheus client defaults.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// FsyncBuckets suit the sub-millisecond-to-tens-of-ms range an fsync
+// lands in on local disks.
+var FsyncBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
+// collector is one metric family: it renders its samples (without the
+// HELP/TYPE header) into w.
+type collector interface {
+	samples(w io.Writer, name string)
+	typ() string
+}
+
+type familyEntry struct {
+	name string
+	help string
+	col  collector
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text exposition format 0.0.4. A nil *Registry is a valid no-op
+// registry: constructors return nil metrics, which are themselves
+// no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*familyEntry
+}
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*familyEntry)}
+}
+
+// register installs fam under name. Value-backed metrics are
+// get-or-create (re-registering returns the existing instance so two
+// components can't split a family); func-backed metrics replace the
+// prior registration (a swapped backend re-registers its collectors).
+func (r *Registry) register(name, help, typ string, col collector, replace bool) collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.families[name]; ok && !replace {
+		if prev.col.typ() == typ {
+			return prev.col
+		}
+	}
+	r.families[name] = &familyEntry{name: name, help: help, col: col}
+	return col
+}
+
+// Counter returns the registered counter, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	return r.register(name, help, "counter", c, false).(*Counter)
+}
+
+// CounterVec returns a counter family keyed by label values.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	v := &CounterVec{labels: labels, kids: make(map[string]*Counter)}
+	return r.register(name, help, "counter", v, false).(*CounterVec)
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+// Use it to expose an existing component's atomic counter without
+// double-counting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "counter", funcMetric{fn: fn, kind: "counter"}, true)
+}
+
+// GaugeFunc registers a gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", funcMetric{fn: fn, kind: "gauge"}, true)
+}
+
+// Histogram returns the registered fixed-bucket histogram, creating
+// it if needed. buckets must be sorted ascending; +Inf is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(buckets)
+	return r.register(name, help, "histogram", h, false).(*Histogram)
+}
+
+// HistogramVec returns a histogram family keyed by label values.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	v := &HistogramVec{labels: labels, buckets: normBuckets(buckets), kids: make(map[string]*Histogram)}
+	return r.register(name, help, "histogram", v, false).(*HistogramVec)
+}
+
+// WritePrometheus renders every family, sorted by name, in text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*familyEntry, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.col.typ())
+		f.col.samples(w, f.name)
+	}
+}
+
+// Counter is a monotonically increasing float64. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v; negative deltas are ignored to
+// preserve monotonicity.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+func (c *Counter) typ() string { return "counter" }
+
+func (c *Counter) samples(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(c.Value()))
+}
+
+// CounterVec is a counter family: one child per label-value tuple.
+type CounterVec struct {
+	labels []string
+	mu     sync.Mutex
+	kids   map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// declared label name, in order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	k := strings.Join(values, "\x1f")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[k]
+	if !ok {
+		c = &Counter{}
+		v.kids[k] = c
+	}
+	return c
+}
+
+// Total sums every child — handy for "requests served" style totals
+// surfaced outside the exposition endpoint.
+func (v *CounterVec) Total() float64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t float64
+	for _, c := range v.kids {
+		t += c.Value()
+	}
+	return t
+}
+
+func (v *CounterVec) typ() string { return "counter" }
+
+func (v *CounterVec) samples(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		labels string
+		val    float64
+	}
+	rows := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, kv{renderLabels(v.labels, strings.Split(k, "\x1f"), "", 0), v.kids[k].Value()})
+	}
+	v.mu.Unlock()
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s%s %s\n", name, row.labels, formatFloat(row.val))
+	}
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (typically seconds). A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	sum    Counter
+}
+
+func normBuckets(b []float64) []float64 {
+	if len(b) == 0 {
+		b = DefBuckets
+	}
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	return out
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	b := normBuckets(buckets)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(math.Max(v, 0))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+func (h *Histogram) typ() string { return "histogram" }
+
+func (h *Histogram) samples(w io.Writer, name string) {
+	h.write(w, name, nil, nil)
+}
+
+// write renders the bucket/sum/count series with optional extra
+// labels. The +Inf bucket and _count are the same computed total, so
+// the exposition is internally consistent by construction.
+func (h *Histogram) write(w io.Writer, name string, labelNames, labelValues []string) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labelNames, labelValues, "le", bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labelNames, labelValues, "le", math.Inf(1)), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labelNames, labelValues, "", 0), formatFloat(h.sum.Value()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labelNames, labelValues, "", 0), cum)
+}
+
+// HistogramVec is a histogram family: one child per label-value tuple.
+type HistogramVec struct {
+	labels  []string
+	buckets []float64
+	mu      sync.Mutex
+	kids    map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || len(values) != len(v.labels) {
+		return nil
+	}
+	k := strings.Join(values, "\x1f")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.kids[k]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.kids[k] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) typ() string { return "histogram" }
+
+func (v *HistogramVec) samples(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		kids[i] = v.kids[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		kids[i].write(w, name, v.labels, strings.Split(k, "\x1f"))
+	}
+}
+
+// funcMetric reads its value at scrape time.
+type funcMetric struct {
+	fn   func() float64
+	kind string
+}
+
+func (f funcMetric) typ() string { return f.kind }
+
+func (f funcMetric) samples(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(f.fn()))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// renderLabels renders {k="v",...}; leName, when non-empty, appends
+// the histogram le label last (Prometheus convention). Returns ""
+// when there is nothing to render.
+func renderLabels(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(val))
+		b.WriteString(`"`)
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		leVal := "+Inf"
+		if !math.IsInf(le, 1) {
+			leVal = formatFloat(le)
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(leVal)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

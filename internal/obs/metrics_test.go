@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("seedb_test_total", "a test counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	if again := r.Counter("seedb_test_total", "redefined"); again != c {
+		t.Fatalf("re-registering a counter must return the same instance")
+	}
+
+	v := r.CounterVec("seedb_test_labeled_total", "labeled", "route", "code")
+	v.With("/api/recommend", "200").Add(2)
+	v.With("/api/recommend", "503").Inc()
+	if got := v.Total(); got != 3 {
+		t.Fatalf("vec total = %v, want 3", got)
+	}
+	if v.With("only-one-value") != nil {
+		t.Fatalf("arity-mismatched With must return a nil no-op counter")
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP seedb_test_total a test counter",
+		"# TYPE seedb_test_total counter",
+		"seedb_test_total 3.5",
+		`seedb_test_labeled_total{route="/api/recommend",code="200"} 2`,
+		`seedb_test_labeled_total{route="/api/recommend",code="503"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("seedb_esc_total", "help with \\ and\nnewline", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `# HELP seedb_esc_total help with \\ and\nnewline`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `seedb_esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("seedb_test_seconds", "latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 2, 0.7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`seedb_test_seconds_bucket{le="0.1"} 2`, // 0.05 and the boundary 0.1
+		`seedb_test_seconds_bucket{le="0.5"} 3`,
+		`seedb_test_seconds_bucket{le="1"} 4`,
+		`seedb_test_seconds_bucket{le="+Inf"} 5`,
+		`seedb_test_seconds_sum 3.15`,
+		`seedb_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	hv := r.HistogramVec("seedb_test_rpc_seconds", "per shard", []float64{0.1}, "shard")
+	hv.With("1").Observe(0.05)
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `seedb_test_rpc_seconds_bucket{shard="1",le="0.1"} 1`) {
+		t.Errorf("histogram vec labels wrong:\n%s", b.String())
+	}
+}
+
+func TestFuncCollectorsAndReplacement(t *testing.T) {
+	r := NewRegistry()
+	val := 1.0
+	r.GaugeFunc("seedb_depth", "queue depth", func() float64 { return val })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "# TYPE seedb_depth gauge") || !strings.Contains(b.String(), "seedb_depth 1") {
+		t.Fatalf("gauge func missing:\n%s", b.String())
+	}
+	// Func collectors are replaced on re-registration (swapped backend).
+	r.GaugeFunc("seedb_depth", "queue depth", func() float64 { return 7 })
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "seedb_depth 7") {
+		t.Fatalf("gauge func not replaced:\n%s", b.String())
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "y")
+	c.Inc()
+	h := r.Histogram("z", "w", nil)
+	h.Observe(1)
+	r.CounterFunc("a", "b", func() float64 { return 1 })
+	r.GaugeFunc("a", "b", func() float64 { return 1 })
+	r.CounterVec("v", "v", "l").With("x").Inc()
+	r.HistogramVec("hv", "hv", nil, "l").With("x").Observe(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry rendered output: %q", b.String())
+	}
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil metrics accumulated values")
+	}
+}
+
+func TestFormatFloatInf(t *testing.T) {
+	if got := renderLabels(nil, nil, "le", math.Inf(1)); got != `{le="+Inf"}` {
+		t.Fatalf("inf le label = %q", got)
+	}
+}

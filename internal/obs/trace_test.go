@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndRing(t *testing.T) {
+	tr := NewTracer(2)
+	a := tr.New("t-a")
+	sp := a.StartSpan("scheduler-queue").SetAttr("sig", "abc")
+	time.Sleep(2 * time.Millisecond)
+	sp.Finish()
+	a.StartSpan("phase") // left unfinished: dump clamps it to trace end
+	tr.Finish(a)
+
+	d, ok := tr.Get("t-a")
+	if !ok {
+		t.Fatalf("finished trace not retained")
+	}
+	if d.ID != "t-a" || len(d.Spans) != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Spans[0].Name != "scheduler-queue" || d.Spans[0].Attrs["sig"] != "abc" {
+		t.Fatalf("span 0 = %+v", d.Spans[0])
+	}
+	if d.Spans[0].DurMillis <= 0 || d.Spans[0].DurMillis > d.WallMillis {
+		t.Fatalf("span duration %v outside wall %v", d.Spans[0].DurMillis, d.WallMillis)
+	}
+	if d.Spans[1].DurMillis < 0 {
+		t.Fatalf("unfinished span got negative duration: %+v", d.Spans[1])
+	}
+
+	// Ring evicts oldest past capacity.
+	tr.Finish(tr.New("t-b"))
+	tr.Finish(tr.New("t-c"))
+	if _, ok := tr.Get("t-a"); ok {
+		t.Fatalf("oldest trace not evicted at capacity 2")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2", tr.Len())
+	}
+	recent := tr.Recent(0)
+	if len(recent) != 2 || recent[0].ID != "t-c" || recent[1].ID != "t-b" {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTracer(1)
+	a := tr.New("t-cap")
+	for i := 0; i < maxSpans+10; i++ {
+		s := a.StartSpan("s")
+		s.Finish()
+	}
+	tr.Finish(a)
+	d, _ := tr.Get("t-cap")
+	if len(d.Spans) != maxSpans {
+		t.Fatalf("span count = %d, want cap %d", len(d.Spans), maxSpans)
+	}
+}
+
+func TestNilTracingIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tt := tr.New("x")
+	if tt != nil {
+		t.Fatalf("nil tracer produced a trace")
+	}
+	sp := tt.StartSpan("s").SetAttr("k", "v")
+	sp.Finish()
+	tr.Finish(tt)
+	if _, ok := tr.Get("x"); ok {
+		t.Fatalf("nil tracer retained a trace")
+	}
+	if tt.ID() != "" {
+		t.Fatalf("nil trace has an ID")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	tr := NewTracer(1)
+	a := tr.New("t-ctx")
+	ctx := ContextWithTrace(context.Background(), a)
+	if TraceFrom(ctx) != a {
+		t.Fatalf("trace not recoverable from context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatalf("empty context produced a trace")
+	}
+	// Attaching a nil trace leaves the context unchanged.
+	if ContextWithTrace(context.Background(), nil) != context.Background() {
+		t.Fatalf("nil trace attached to context")
+	}
+
+	ctx2, cap := WithIDCapture(context.Background())
+	if IDCaptureFrom(ctx2) != cap {
+		t.Fatalf("capture cell not recoverable")
+	}
+	cap.Set("t-1")
+	if cap.Get() != "t-1" {
+		t.Fatalf("capture get = %q", cap.Get())
+	}
+	var nilCap *IDCapture
+	nilCap.Set("x")
+	if nilCap.Get() != "" {
+		t.Fatalf("nil capture stored a value")
+	}
+	if IDCaptureFrom(context.Background()) != nil {
+		t.Fatalf("empty context produced a capture cell")
+	}
+}

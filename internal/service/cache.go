@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 )
 
 // CacheStats is a point-in-time snapshot of cache effectiveness
@@ -108,12 +109,20 @@ func NewViewCache(maxBytes int64) *ViewCache {
 // waiter whose context is still live takes over and computes with its
 // own.
 func (c *ViewCache) GetOrCompute(ctx context.Context, key string, compute func() (results []*engine.Result, cacheable bool, err error)) ([]*engine.Result, error) {
+	// One observation span per logical lookup; its outcome attribute
+	// mirrors exactly the counter the lookup lands in. No-op when the
+	// run carries no trace.
+	span := obs.TraceFrom(ctx).StartSpan("cache-lookup")
+	fin := func(outcome string) {
+		span.SetAttr("outcome", outcome).Finish()
+	}
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
 			c.hits.Add(1)
+			fin("hit")
 			return e.results, nil
 		}
 		fl, joined := c.flights[key]
@@ -137,8 +146,10 @@ func (c *ViewCache) GetOrCompute(ctx context.Context, key string, compute func()
 					c.shared.Add(-1)
 					continue
 				}
+				fin("shared")
 				return fl.results, fl.err
 			case <-ctx.Done():
+				fin("cancelled")
 				return nil, ctx.Err()
 			}
 		}
@@ -168,6 +179,7 @@ func (c *ViewCache) GetOrCompute(ctx context.Context, key string, compute func()
 			c.store(key, fl.results)
 		}
 		c.mu.Unlock()
+		fin("miss")
 		return fl.results, fl.err
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"seedb/internal/core"
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 	"seedb/internal/sql"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	// want the in-memory ingest path while keeping a config file's
 	// DataDir set.
 	DisableDurability bool
+
+	// DisableObservability leaves the obs hub uninstalled: no metrics
+	// registry, no tracing, and the frontend's /metrics and /api/trace
+	// endpoints answer 404. Instrumentation is observation-only either
+	// way — results are byte-identical with the hub on or off.
+	DisableObservability bool
 }
 
 // Manager is the concurrent entry point of the service layer: it owns
@@ -73,6 +80,7 @@ type Manager struct {
 	cache       *ViewCache
 	sched       *scheduler
 	maxSessions int
+	hub         atomic.Pointer[obs.Hub]
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -105,6 +113,77 @@ func NewManager(eng *core.Engine, cfg Config) *Manager {
 	}
 	return m
 }
+
+// SetObservability installs the obs hub: scrape-time collectors over
+// the scheduler, view-cache, and partial-store counters (reading the
+// very atomics /api/stats reports, so the two surfaces can never
+// disagree), event-time histograms for queue wait / run / phase
+// durations, and per-run tracing. Passing nil uninstalls everything.
+// Installation is observation-only: no instrumented path changes its
+// result bytes whether a hub is present or not.
+func (m *Manager) SetObservability(h *obs.Hub) {
+	if h == nil {
+		m.hub.Store(nil)
+		m.sched.obs.Store(nil)
+		return
+	}
+	m.hub.Store(h)
+	reg := h.Metrics
+	sch := m.sched
+	reg.CounterFunc("seedb_scheduler_runs_started_total", "Pipelines that began executing.",
+		func() float64 { return float64(sch.started.Load()) })
+	reg.CounterFunc("seedb_scheduler_runs_completed_total", "Pipelines that finished (success or error).",
+		func() float64 { return float64(sch.completed.Load()) })
+	reg.CounterFunc("seedb_scheduler_coalesced_total", "Requests that joined an in-flight identical run.",
+		func() float64 { return float64(sch.coalesced.Load()) })
+	reg.CounterFunc("seedb_scheduler_queued_total", "Runs admitted to the worker queue.",
+		func() float64 { return float64(sch.queuedTotal.Load()) })
+	reg.CounterFunc("seedb_scheduler_shed_total", "Requests rejected by admission control.",
+		func() float64 { return float64(sch.shed.Load()) })
+	reg.GaugeFunc("seedb_scheduler_queue_depth", "Runs waiting for a worker slot right now.",
+		func() float64 { return float64(sch.queued.Load()) })
+	reg.GaugeFunc("seedb_scheduler_running", "Pipelines holding a worker slot right now.",
+		func() float64 { return float64(sch.running.Load()) })
+	c := m.cache
+	reg.CounterFunc("seedb_cache_hits_total", "View-cache lookups answered from memory.",
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc("seedb_cache_misses_total", "View-cache lookups that computed (one scan each).",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc("seedb_cache_shared_total", "View-cache lookups that joined a concurrent identical miss.",
+		func() float64 { return float64(c.shared.Load()) })
+	reg.CounterFunc("seedb_cache_evictions_total", "View-cache entries evicted to stay under the byte budget.",
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.GaugeFunc("seedb_cache_entries", "View-cache entries resident.",
+		func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc("seedb_cache_bytes", "View-cache resident bytes (estimated).",
+		func() float64 { return float64(c.Stats().Bytes) })
+	reg.CounterFunc("seedb_pstore_hits_total", "Chunk-partial store hits (sealed chunks reused).",
+		func() float64 { return float64(m.PartialStoreStats().Hits) })
+	reg.CounterFunc("seedb_pstore_misses_total", "Chunk-partial store misses.",
+		func() float64 { return float64(m.PartialStoreStats().Misses) })
+	reg.CounterFunc("seedb_pstore_rows_reused_total", "Rows answered from sealed-chunk partials instead of scanning.",
+		func() float64 { return float64(m.PartialStoreStats().RowsReused) })
+	reg.CounterFunc("seedb_pstore_rows_scanned_total", "Rows scanned on the incremental path.",
+		func() float64 { return float64(m.PartialStoreStats().RowsScanned) })
+	reg.GaugeFunc("seedb_pstore_bytes", "Chunk-partial store resident bytes.",
+		func() float64 { return float64(m.PartialStoreStats().Bytes) })
+	reg.GaugeFunc("seedb_sessions", "Live analyst sessions.",
+		func() float64 { return float64(m.SessionCount()) })
+	m.sched.obs.Store(&schedObs{
+		tracer: h.Traces,
+		queueWait: reg.Histogram("seedb_scheduler_queue_wait_seconds",
+			"Time a run waited for a worker slot.", obs.DefBuckets),
+		runDur: reg.Histogram("seedb_run_duration_seconds",
+			"Wall time of one pipeline run.", obs.DefBuckets),
+		phaseDur: reg.Histogram("seedb_phase_duration_seconds",
+			"Wall time between phased-execution progress snapshots.", obs.DefBuckets),
+		phasePruned: reg.Counter("seedb_phase_pruned_total",
+			"Views discarded by confidence-interval pruning at phase boundaries."),
+	})
+}
+
+// Observability returns the installed obs hub, or nil.
+func (m *Manager) Observability() *obs.Hub { return m.hub.Load() }
 
 // PartialStoreStats snapshots the engine's chunk-partial store
 // counters; the zero value comes back when incremental execution is

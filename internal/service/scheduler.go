@@ -41,7 +41,21 @@ import (
 	"time"
 
 	"seedb/internal/core"
+	"seedb/internal/obs"
 )
+
+// schedObs bundles the scheduler's event-time observability state: the
+// trace ring runs are recorded into plus the latency histograms that
+// cannot be reconstructed from counters at scrape time. Held behind an
+// atomic pointer (nil = observability off) so installation on a live
+// scheduler is safe and the hot path pays one load.
+type schedObs struct {
+	tracer      *obs.Tracer
+	queueWait   *obs.Histogram
+	runDur      *obs.Histogram
+	phaseDur    *obs.Histogram
+	phasePruned *obs.Counter
+}
 
 // defaultMaxConcurrentRuns sizes the worker pool when the operator
 // does not: one pipeline per core (each run is internally parallel,
@@ -110,6 +124,12 @@ type run struct {
 	stream *Stream
 	cancel context.CancelFunc
 	refs   int // attached requests; guarded by scheduler.mu
+
+	// trace is the run's observability trace (nil with the hub off).
+	// Coalesced callers share it — a run has one trace ID no matter how
+	// many requests attached.
+	trace   *obs.Trace
+	traceID string
 }
 
 // scheduler owns the run registry, the worker pool, and the counters.
@@ -131,6 +151,8 @@ type scheduler struct {
 	queuedTotal atomic.Int64
 	shed        atomic.Int64
 	avgRunNanos atomic.Int64 // EWMA of pipeline wall time
+
+	obs atomic.Pointer[schedObs] // observability state; nil = off
 }
 
 func newScheduler(m *Manager, maxRuns, maxQueue int) *scheduler {
@@ -173,6 +195,9 @@ func (s *scheduler) attach(ctx context.Context, q core.Query, eff core.Options) 
 		r.refs++
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		// A coalesced request shares the run's trace ID: the HTTP layer
+		// learns it through the caller-context capture cell.
+		obs.IDCaptureFrom(ctx).Set(r.traceID)
 		return r.stream, func() { s.release(r) }, nil
 	}
 
@@ -204,10 +229,21 @@ func (s *scheduler) attach(ctx context.Context, q core.Query, eff core.Options) 
 	}
 	runCtx, cancel := context.WithCancel(context.Background())
 	r := &run{sig: sig, stream: newStream(), cancel: cancel, refs: 1}
+	if so := s.obs.Load(); so != nil {
+		// The trace ID is derived next to the coalescing signature and
+		// attached to the run's own context (not any single caller's), so
+		// the cache, cluster, and phased-executor spans below all land on
+		// this run's trace regardless of which caller triggered them.
+		r.traceID = core.RunTraceID(sig)
+		r.trace = so.tracer.New(r.traceID)
+		r.stream.traceID = r.traceID
+		runCtx = obs.ContextWithTrace(runCtx, r.trace)
+	}
 	s.runs[sig] = r
 	s.queued.Add(1)
 	s.mu.Unlock()
 	s.queuedTotal.Add(1)
+	obs.IDCaptureFrom(ctx).Set(r.traceID)
 	go s.execute(runCtx, r, q, eff)
 	return r.stream, func() { s.release(r) }, nil
 }
@@ -232,26 +268,39 @@ func (s *scheduler) release(r *run) {
 // the stream as they arrive, so SSE subscribers that coalesced onto
 // this run observe it live.
 func (s *scheduler) execute(ctx context.Context, r *run, q core.Query, eff core.Options) {
+	so := s.obs.Load()
+	queueSpan := r.trace.StartSpan("scheduler-queue")
+	queueStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 		s.queued.Add(-1)
+		queueSpan.Finish()
+		if so != nil {
+			so.queueWait.Observe(time.Since(queueStart).Seconds())
+		}
 	case <-ctx.Done():
 		// Every attached caller gave up while the run was queued: no
 		// pipeline ever executed, so the run counters stay untouched.
 		s.queued.Add(-1)
+		queueSpan.Finish()
 		s.finish(r, nil, ctx.Err())
 		return
 	}
 	s.started.Add(1)
 	s.running.Add(1)
 	start := time.Now()
+	runSpan := r.trace.StartSpan("run")
 	res, err := s.runPipeline(ctx, r, q, eff)
+	runSpan.Finish()
 	if err == nil {
 		// Only completed pipelines inform the wait estimate: folding in
 		// cancelled or instantly-failing runs (an impatient client, an
 		// unknown table) would deflate the EWMA and let doomed requests
 		// past the deadline check exactly when the server is saturated.
 		s.observe(time.Since(start))
+	}
+	if so != nil {
+		so.runDur.Observe(time.Since(start).Seconds())
 	}
 	s.running.Add(-1)
 	<-s.slots
@@ -270,7 +319,23 @@ func (s *scheduler) runPipeline(ctx context.Context, r *run, q core.Query, eff c
 			res, err = nil, fmt.Errorf("%w: %v", ErrRunPanicked, p)
 		}
 	}()
+	// The listener is the scheduler's seam onto phased execution; the
+	// observability wrapper measures inter-snapshot wall time and prune
+	// deltas without touching the snapshots themselves (the core engine
+	// calls the listener sequentially, so the closure state is safe).
+	so := s.obs.Load()
+	lastSnap := time.Now()
+	lastPruned := 0
 	return s.m.eng.RecommendProgress(ctx, q, eff, func(snap *core.ProgressSnapshot) {
+		if so != nil {
+			now := time.Now()
+			so.phaseDur.Observe(now.Sub(lastSnap).Seconds())
+			lastSnap = now
+			if d := snap.PrunedTotal - lastPruned; d > 0 {
+				so.phasePruned.Add(float64(d))
+				lastPruned = snap.PrunedTotal
+			}
+		}
 		r.stream.publish(StreamEvent{Snapshot: snap})
 	})
 }
@@ -284,6 +349,13 @@ func (s *scheduler) finish(r *run, res *core.Result, err error) {
 		delete(s.runs, r.sig)
 	}
 	s.mu.Unlock()
+	// The trace lands in the ring before the terminal event is
+	// delivered, so a client that saw "done" can always fetch its trace.
+	if r.trace != nil {
+		if so := s.obs.Load(); so != nil {
+			so.tracer.Finish(r.trace)
+		}
+	}
 	r.stream.finish(res, err)
 	r.cancel() // release the context even when no caller abandoned it
 }

@@ -56,6 +56,11 @@ type Stream struct {
 	subs  []*Subscriber
 	final *StreamEvent // set once, under mu
 	done  chan struct{}
+
+	// traceID is the observability trace ID of the run this stream
+	// observes ("" with the obs hub off). Written once by the scheduler
+	// before the stream is handed to any caller.
+	traceID string
 }
 
 func newStream() *Stream { return &Stream{done: make(chan struct{})} }
@@ -114,6 +119,10 @@ func (st *Stream) Subscribe(buf int) *Subscriber {
 	st.subs = append(st.subs, sub)
 	return sub
 }
+
+// TraceID returns the trace ID of the run this stream observes, or ""
+// when observability is off. Coalesced subscribers see the same ID.
+func (st *Stream) TraceID() string { return st.traceID }
 
 // Done is closed when the stream completes.
 func (st *Stream) Done() <-chan struct{} { return st.done }

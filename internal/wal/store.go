@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 )
 
 // Options configures a Store.
@@ -104,6 +105,34 @@ type Store struct {
 	fsyncEWMA   float64
 	replayed    int
 	skipped     int
+
+	// Observation-only latency histograms (nil until SetMetrics).
+	fsyncHist      *obs.Histogram
+	checkpointHist *obs.Histogram
+}
+
+// SetMetrics registers the store's counters with the metrics registry
+// and turns on the fsync / checkpoint latency histograms. Purely
+// observational: durability behavior is identical with or without it.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("seedb_wal_batches_total", "Append batches logged to the WAL.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.batches) })
+	reg.CounterFunc("seedb_wal_syncs_total", "WAL fsyncs issued.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.syncs) })
+	reg.CounterFunc("seedb_wal_checkpoints_total", "Snapshot+compaction cycles completed.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.checkpoints) })
+	reg.CounterFunc("seedb_wal_checkpoint_errors_total", "Checkpoint attempts that failed (WAL still covers the batches).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.checkpointE) })
+	reg.GaugeFunc("seedb_wal_bytes", "Current WAL length (returns to zero at each checkpoint).",
+		func() float64 { return float64(s.Stats().WALBytes) })
+	fsyncH := reg.Histogram("seedb_wal_fsync_seconds", "WAL fsync latency.", obs.FsyncBuckets)
+	ckptH := reg.Histogram("seedb_wal_checkpoint_seconds", "Checkpoint (sync + snapshot + compact) duration.", obs.DefBuckets)
+	s.mu.Lock()
+	s.fsyncHist, s.checkpointHist = fsyncH, ckptH
+	s.mu.Unlock()
 }
 
 // Open recovers durable state from opts.Dir into cat and returns a
@@ -243,6 +272,7 @@ func (s *Store) syncLocked() error {
 	if err := s.wal.sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	s.fsyncHist.Observe(time.Since(start).Seconds())
 	ms := float64(time.Since(start).Microseconds()) / 1e3
 	const alpha = 0.2
 	if s.syncs == 0 {
@@ -267,6 +297,8 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
+	ckptStart := time.Now()
+	defer func() { s.checkpointHist.Observe(time.Since(ckptStart).Seconds()) }()
 	// The WAL must be durable before the snapshot claims coverage:
 	// if the snapshot writes fail mid-way, replay still has the tail.
 	if err := s.syncLocked(); err != nil {
@@ -297,7 +329,17 @@ func (s *Store) CheckpointTable(t *engine.Table) error {
 	if s.closed {
 		return fmt.Errorf("wal: store is closed")
 	}
-	return s.writeSnapshotLocked(t)
+	if err := s.writeSnapshotLocked(t); err != nil {
+		return err
+	}
+	// The dirty set may still point at the replaced table object (its
+	// WAL records predate the swap). Re-aim it at the new table so the
+	// next cadence checkpoint snapshots the live contents instead of
+	// resurrecting the stale pre-replacement state over this snapshot.
+	if _, ok := s.dirty[t.Name()]; ok {
+		s.dirty[t.Name()] = t
+	}
+	return nil
 }
 
 // writeSnapshotLocked writes <name>.snap atomically: temp file, fsync,

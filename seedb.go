@@ -35,6 +35,7 @@ import (
 	"seedb/internal/cluster"
 	"seedb/internal/core"
 	"seedb/internal/engine"
+	"seedb/internal/obs"
 	"seedb/internal/service"
 	"seedb/internal/sql"
 	"seedb/internal/stats"
@@ -233,6 +234,7 @@ type DB struct {
 	cat  *engine.Catalog
 	ex   *engine.Executor
 	core *core.Engine
+	obs  *obs.Hub
 
 	serveOnce sync.Once
 	svc       atomic.Pointer[Service]
@@ -256,8 +258,17 @@ type (
 func Open() *DB {
 	cat := engine.NewCatalog()
 	ex := engine.NewExecutor(cat)
-	return &DB{cat: cat, ex: ex, core: core.New(ex)}
+	return &DB{cat: cat, ex: ex, core: core.New(ex), obs: obs.NewHub()}
 }
+
+// Observability returns the instance's metrics registry + trace ring.
+// The hub always exists; components feed it only once they are wired
+// (Serve, EnableDurability, ShardLocal/ShardRemote), and the HTTP
+// layer exposes it only when the service installed it (see
+// ServeConfig.DisableObservability). Everything it observes is
+// observation-only: results are byte-identical with the hub exported
+// or not.
+func (db *DB) Observability() *obs.Hub { return db.obs }
 
 // RegisterTable makes a table queryable under its name.
 func (db *DB) RegisterTable(t *Table) error { return db.cat.Register(t) }
@@ -339,6 +350,7 @@ func (db *DB) EnableDurability(dataDir string, syncEvery, snapshotEvery int) (*R
 		return nil, err
 	}
 	db.cat.SetAppendSink(s)
+	s.SetMetrics(db.obs.Metrics)
 	db.durStore = s
 	db.durInfo = info
 	return info, nil
@@ -582,7 +594,11 @@ func (db *DB) Serve(cfg ServeConfig) *Service {
 				db.durMu.Unlock()
 			}
 		}
-		db.svc.Store(service.NewManager(db.core, cfg))
+		m := service.NewManager(db.core, cfg)
+		if !cfg.DisableObservability {
+			m.SetObservability(db.obs)
+		}
+		db.svc.Store(m)
 	})
 	return db.svc.Load()
 }
@@ -639,6 +655,7 @@ func (db *DB) Backend() Backend { return db.core.Backend() }
 // per-query shard count below n.
 func (db *DB) ShardLocal(n int, cfg ClusterConfig) *ClusterBackend {
 	b := cluster.NewLocal(db.ex, n, cfg)
+	b.EnableMetrics(db.obs.Metrics)
 	db.core.SetBackend(b)
 	return b
 }
@@ -657,6 +674,7 @@ func (db *DB) ShardRemote(workers []string, timeout time.Duration, cfg ClusterCo
 		shards[i] = cluster.NewRemoteShard(url, timeout)
 	}
 	b := cluster.NewDistributed(db.ex, shards, cfg)
+	b.EnableMetrics(db.obs.Metrics)
 	db.core.SetBackend(b)
 	return b
 }
