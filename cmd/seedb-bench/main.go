@@ -42,6 +42,7 @@ func main() {
 	walBatchRows := flag.Int("wal-batch-rows", 2000, "rows per ingest batch for -wal")
 	loadBench := flag.String("load", "", "drive stepped concurrent HTTP load at a real frontend server and write BENCH_load.json to this path, then exit")
 	loadRequests := flag.Int("load-requests", 16, "requests per load step for -load (min 8)")
+	kernelBench := flag.String("kernel", "", "measure chunk-kernel vs reference scan throughput and write BENCH_kernel.json to this path, then exit")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +96,21 @@ func main() {
 		must(os.WriteFile(*loadBench, append(data, '\n'), 0o644))
 		fmt.Print(b.String())
 		fmt.Printf("-> %s\n", *loadBench)
+		return
+	}
+
+	if *kernelBench != "" {
+		n := *rows
+		if n == 0 {
+			n = 10_000_000
+		}
+		b, err := experiments.RunKernelBench(n, *seed, *baselineIters)
+		must(err)
+		data, err := b.JSON()
+		must(err)
+		must(os.WriteFile(*kernelBench, append(data, '\n'), 0o644))
+		fmt.Print(b.String())
+		fmt.Printf("-> %s\n", *kernelBench)
 		return
 	}
 

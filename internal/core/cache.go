@@ -5,7 +5,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -54,6 +53,13 @@ type ExecCache interface {
 // backend layout signature IS included: in-process layouts are provably
 // result-identical, but a remote fleet could run a heterogeneous build,
 // so entries are never shared across execution layouts.
+//
+// The plan portion (predicate, sampling, grouping sets, bin widths,
+// aggregates) is engine.PlanSignature — the same digest the engine's
+// chunk-partial store keys on — so the two caches can never drift on
+// what "same plan" means. This layer adds what the engine's signature
+// deliberately omits: table fingerprint, execution layout, and the
+// phased row range.
 func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.GroupingSet) string {
 	var b strings.Builder
 	b.Grow(256)
@@ -67,14 +73,8 @@ func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.Gr
 		b.WriteString(strconv.Itoa(q.Shards))
 	}
 	b.WriteByte('\n')
-	writePredicate(&b, q.Where)
-	b.WriteByte('\n')
-	// Sampling and the phased row range select which rows feed the
-	// aggregation, so both are part of the content address.
-	b.WriteString(strconv.FormatFloat(q.SampleFraction, 'g', -1, 64))
-	b.WriteByte(',')
-	b.WriteString(strconv.FormatUint(q.SampleSeed, 10))
-	b.WriteByte(',')
+	// The phased row range selects which rows feed the aggregation, so
+	// it is part of the content address.
 	b.WriteString(strconv.Itoa(q.RowLo))
 	b.WriteByte(',')
 	b.WriteString(strconv.Itoa(q.RowHi))
@@ -82,24 +82,7 @@ func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.Gr
 	if gsets == nil {
 		gsets = []engine.GroupingSet{{By: q.GroupBy, Aggs: q.Aggs, BinWidths: q.BinWidths}}
 	}
-	for _, gs := range gsets {
-		b.WriteString("set ")
-		b.WriteString(strings.Join(gs.By, ","))
-		writeBinWidths(&b, gs.BinWidths)
-		b.WriteByte('\n')
-		for _, a := range gs.Aggs {
-			b.WriteString(a.Func.String())
-			b.WriteByte('(')
-			b.WriteString(a.Column)
-			b.WriteByte(')')
-			b.WriteString(a.Alias)
-			if a.Filter != nil {
-				b.WriteString(" FILTER ")
-				writePredicate(&b, a.Filter)
-			}
-			b.WriteByte('\n')
-		}
-	}
+	b.WriteString(engine.PlanSignature(q, gsets))
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -161,21 +144,4 @@ func writePredicate(b *strings.Builder, p engine.Predicate) {
 		return
 	}
 	b.WriteString(p.String())
-}
-
-func writeBinWidths(b *strings.Builder, widths map[string]float64) {
-	if len(widths) == 0 {
-		return
-	}
-	cols := make([]string, 0, len(widths))
-	for c := range widths {
-		cols = append(cols, c)
-	}
-	sort.Strings(cols)
-	for _, c := range cols {
-		b.WriteString(" bin:")
-		b.WriteString(c)
-		b.WriteByte('=')
-		b.WriteString(strconv.FormatFloat(widths[c], 'g', -1, 64))
-	}
 }

@@ -196,7 +196,7 @@ func Synthetic(cfg SyntheticConfig) (*engine.Table, GroundTruth, error) {
 				if inSubset {
 					g = 0 // TargetValue is value 0 by construction
 				} else {
-					g = 1 + rng.Intn(maxInt(1, d.Card-1))
+					g = 1 + rng.Intn(max(1, d.Card-1))
 				}
 			case zipfs[di] != nil:
 				g = int(zipfs[di].Uint64())
@@ -235,13 +235,6 @@ func Synthetic(cfg SyntheticConfig) (*engine.Table, GroundTruth, error) {
 		PlantedViews: append([]Deviation(nil), cfg.Deviations...),
 	}
 	return t, gt, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ---------------------------------------------------------------------

@@ -126,6 +126,14 @@ func (a *accumulator) addValue(v float64, chunk int32) {
 		a.fold()
 		a.chunk = chunk
 	}
+	a.addHot(v)
+}
+
+// addHot is the fold-free body of addValue: callers must already have
+// folded a.chunk to the row's grid cell. Keeping the (non-inlinable)
+// fold call out of the body lets the compiler inline the per-row
+// arithmetic straight into the chunk-kernel loops.
+func (a *accumulator) addHot(v float64) {
 	a.count++
 	a.sum += v
 	a.sumsq += v * v
@@ -139,6 +147,15 @@ func (a *accumulator) addValue(v float64, chunk int32) {
 }
 
 func (a *accumulator) addCountOnly() { a.count++ }
+
+// addSlim is addHot reduced to the fields COUNT/SUM/AVG finalization
+// reads (count and the folded sums). Only valid on result-only plans —
+// exported partials serialize the full state, so they bind full
+// updates (see bindAggs).
+func (a *accumulator) addSlim(v float64) {
+	a.count++
+	a.sum += v
+}
 
 // fold moves the current chunk's running sums into the exact totals.
 func (a *accumulator) fold() {

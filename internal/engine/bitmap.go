@@ -38,6 +38,47 @@ func (b *nullBitmap) get(i int) bool {
 // path so fully non-null columns skip per-row null checks.
 func (b *nullBitmap) anySet() bool { return b.count > 0 }
 
+// wordsInto copies the bits covering positions [start, start+n) into
+// out (bit j of out word w = position start+64*w+j), shifting across
+// word boundaries when start is unaligned. Bits at positions >= n come
+// out zero. The scan kernels use this to mask NULL rows word-wise.
+func (b *nullBitmap) wordsInto(start, n int, out []uint64) {
+	nw := (n + 63) / 64
+	w0, sh := start>>6, uint(start&63)
+	for i := 0; i < nw; i++ {
+		var w uint64
+		if w0+i < len(b.words) {
+			w = b.words[w0+i] >> sh
+		}
+		if sh != 0 && w0+i+1 < len(b.words) {
+			w |= b.words[w0+i+1] << (64 - sh)
+		}
+		out[i] = w
+	}
+	trimBits(out[:nw], n)
+}
+
+// andNotInto clears the bits of out whose positions [start, start+n)
+// are set in b — i.e. out &^= b over the window. A no-op when b has no
+// set bits.
+func (b *nullBitmap) andNotInto(start, n int, out []uint64) {
+	if b.count == 0 {
+		return
+	}
+	nw := (n + 63) / 64
+	w0, sh := start>>6, uint(start&63)
+	for i := 0; i < nw; i++ {
+		var w uint64
+		if w0+i < len(b.words) {
+			w = b.words[w0+i] >> sh
+		}
+		if sh != 0 && w0+i+1 < len(b.words) {
+			w |= b.words[w0+i+1] << (64 - sh)
+		}
+		out[i] &^= w
+	}
+}
+
 // clone returns an independent copy.
 func (b *nullBitmap) clone() nullBitmap {
 	w := make([]uint64, len(b.words))

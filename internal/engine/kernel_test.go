@@ -1,0 +1,613 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// Differential harness: every query runs twice — once through the
+// retained row-at-a-time reference scan and once through the compiled
+// chunk kernels — and the results must be byte-identical.
+
+// buildKernelTable makes a randomized table exercising every column
+// kind, null patterns, a huge-range int column (forces the generic
+// grouper layout), and enough rows to straddle chunk boundaries.
+func buildKernelTable(tb testing.TB, rng *rand.Rand, rows int) *Table {
+	tb.Helper()
+	t := MustNewTable("kt", Schema{
+		{Name: "dim", Type: TypeString},
+		{Name: "cat", Type: TypeString},
+		{Name: "qty", Type: TypeInt},
+		{Name: "big", Type: TypeInt},
+		{Name: "amt", Type: TypeFloat},
+		{Name: "ts", Type: TypeTime},
+	})
+	l := t.StartLoad()
+	dim := l.Column(0).(*StringColumn)
+	cat := l.Column(1).(*StringColumn)
+	qty := l.Column(2).(*IntColumn)
+	big := l.Column(3).(*IntColumn)
+	amt := l.Column(4).(*FloatColumn)
+	ts := l.Column(5).(*TimeColumn)
+	base := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+	card := 2 + rng.Intn(12)
+	for i := 0; i < rows; i++ {
+		if rng.Intn(17) == 0 {
+			dim.AppendNull()
+		} else {
+			dim.AppendString(fmt.Sprintf("d%d", rng.Intn(card)))
+		}
+		cat.AppendString(fmt.Sprintf("c%d", rng.Intn(3)))
+		if rng.Intn(13) == 0 {
+			qty.AppendNull()
+		} else {
+			qty.AppendInt(int64(rng.Intn(41) - 20))
+		}
+		big.AppendInt(rng.Int63n(1 << 40))
+		if rng.Intn(11) == 0 {
+			amt.AppendNull()
+		} else {
+			amt.AppendFloat(rng.NormFloat64() * 50)
+		}
+		if rng.Intn(19) == 0 {
+			ts.AppendNull()
+		} else {
+			ts.AppendTime(base.Add(time.Duration(rng.Intn(90*24)) * time.Hour))
+		}
+	}
+	if err := l.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+// randomKernelPredicate builds a random predicate over buildKernelTable
+// columns, spanning every kernel shape: typed compares (including the
+// int-column-vs-float-constant conversion), IN lists, null tests, and
+// nested boolean combinators.
+func randomKernelPredicate(rng *rand.Rand, depth int) Predicate {
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	if depth > 0 && rng.Intn(3) == 0 {
+		a := randomKernelPredicate(rng, depth-1)
+		b := randomKernelPredicate(rng, depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return And(a, b)
+		case 1:
+			return Or(a, b)
+		default:
+			return Not(a)
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Compare("dim", ops[rng.Intn(len(ops))], String(fmt.Sprintf("d%d", rng.Intn(14))))
+	case 1:
+		return Compare("qty", ops[rng.Intn(len(ops))], Int(int64(rng.Intn(41)-20)))
+	case 2:
+		return Compare("qty", ops[rng.Intn(len(ops))], Float(float64(rng.Intn(40))-19.5))
+	case 3:
+		return Compare("amt", ops[rng.Intn(len(ops))], Float(rng.NormFloat64()*40))
+	case 4:
+		base := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+		return Compare("ts", ops[rng.Intn(len(ops))], Time(base.Add(time.Duration(rng.Intn(90*24))*time.Hour)))
+	case 5:
+		vals := []Value{String("d0"), String("d3"), String("nope")}
+		p := In("dim", vals...)
+		p.Negate = rng.Intn(2) == 0
+		return p
+	case 6:
+		if rng.Intn(2) == 0 {
+			return IsNull("amt")
+		}
+		return IsNotNull("qty")
+	default:
+		return Compare("big", ops[rng.Intn(len(ops))], Int(rng.Int63n(1<<40)))
+	}
+}
+
+// randomKernelQuery builds a random query over the table: 0-3 grouping
+// columns (hitting the dense fast layout, the two-attribute composite,
+// and the generic hash path), random bin widths, filtered aggregates,
+// sampling, parallelism, and row ranges.
+func randomKernelQuery(rng *rand.Rand, rows int) *Query {
+	q := &Query{Table: "kt", Parallelism: 1 + rng.Intn(4)}
+	if rng.Intn(3) > 0 {
+		q.Where = randomKernelPredicate(rng, 2)
+	}
+	groupPool := []string{"dim", "cat", "qty", "big", "ts", "amt"}
+	nby := rng.Intn(4)
+	perm := rng.Perm(len(groupPool))
+	for i := 0; i < nby; i++ {
+		q.GroupBy = append(q.GroupBy, groupPool[perm[i]])
+	}
+	for _, col := range q.GroupBy {
+		switch col {
+		case "qty":
+			if rng.Intn(2) == 0 {
+				q.BinWidths = mergeWidths(q.BinWidths, col, float64(1+rng.Intn(7)))
+			}
+		case "big", "ts":
+			// Unbinned big/ts stay viable (generic path); binned widths
+			// large enough to land in the dense layout sometimes.
+			if rng.Intn(2) == 0 {
+				q.BinWidths = mergeWidths(q.BinWidths, col, math.Exp2(float64(30+rng.Intn(10))))
+			}
+		case "amt":
+			if rng.Intn(2) == 0 {
+				q.BinWidths = mergeWidths(q.BinWidths, col, 25.5)
+			}
+		}
+	}
+	aggPool := []AggSpec{
+		{Func: AggCount},
+		{Func: AggCount, Column: "dim"},
+		{Func: AggSum, Column: "amt"},
+		{Func: AggAvg, Column: "qty"},
+		{Func: AggMin, Column: "amt"},
+		{Func: AggMax, Column: "big"},
+		{Func: AggStddev, Column: "amt"},
+		{Func: AggSum, Column: "qty"},
+	}
+	naggs := 1 + rng.Intn(4)
+	for i := 0; i < naggs; i++ {
+		a := aggPool[rng.Intn(len(aggPool))]
+		a.Alias = fmt.Sprintf("a%d", i)
+		if rng.Intn(3) == 0 {
+			a.Filter = randomKernelPredicate(rng, 1)
+		}
+		q.Aggs = append(q.Aggs, a)
+	}
+	if rng.Intn(4) == 0 {
+		q.SampleFraction = 0.2 + rng.Float64()*0.6
+		q.SampleSeed = rng.Uint64()
+	}
+	if rng.Intn(5) == 0 && rows > 10 {
+		lo := rng.Intn(rows / 2)
+		hi := lo + 1 + rng.Intn(rows-lo)
+		q.RowLo, q.RowHi = lo, hi
+	}
+	return q
+}
+
+func mergeWidths(m map[string]float64, col string, w float64) map[string]float64 {
+	if m == nil {
+		m = map[string]float64{}
+	}
+	m[col] = w
+	return m
+}
+
+// valuesEq compares two Values bit-exactly (NaN-safe, unlike ==).
+func valuesEq(a, b Value) bool {
+	if a.Kind != b.Kind || a.Null != b.Null {
+		return false
+	}
+	if a.Null {
+		return true
+	}
+	switch a.Kind {
+	case TypeFloat:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case TypeString:
+		return a.S == b.S
+	default:
+		return a.I == b.I
+	}
+}
+
+func resultsEq(a, b *Result) bool {
+	if !reflect.DeepEqual(a.Columns, b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if !valuesEq(a.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runBothScans runs q through the reference scan and the kernel scan on
+// fresh executors over the same table and fails the test on any drift.
+func runBothScans(t *testing.T, tab *Table, q *Query, withStore bool) {
+	t.Helper()
+	ctx := context.Background()
+
+	catRef := NewCatalog()
+	if err := catRef.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewExecutor(catRef)
+	ref.SetReferenceScan(true)
+	want, wantErr := ref.Run(ctx, q)
+
+	kern := NewExecutor(catRef)
+	if withStore {
+		kern.SetPartialStore(NewPartialStore(0))
+	}
+	got, gotErr := kern.Run(ctx, q)
+
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Fatalf("error drift: reference=%v kernel=%v (query %+v)", wantErr, gotErr, q)
+	}
+	if wantErr != nil {
+		return
+	}
+	if !resultsEq(want, got) {
+		t.Fatalf("kernel result differs from reference\nquery: %+v\nref:  %+v\nkern: %+v", q, want, got)
+	}
+	if withStore {
+		// Second run: every sealed chunk now comes from the store.
+		again, err := kern.Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEq(want, again) {
+			t.Fatalf("cached kernel result differs from reference (query %+v)", q)
+		}
+	}
+
+	// Partials must agree too (exact accumulator state, not just
+	// finalized values).
+	wantP, err := ref.RunPartials(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := kern.RunPartials(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantP) != len(gotP) {
+		t.Fatalf("partial count drift: %d vs %d", len(wantP), len(gotP))
+	}
+	for i := range wantP {
+		if !partialsEq(wantP[i], gotP[i]) {
+			t.Fatalf("kernel partials differ from reference\nquery: %+v\nref:  %#v\nkern: %#v", q, wantP[i], gotP[i])
+		}
+	}
+}
+
+// partialsEq compares two Partials semantically: nil and empty slices
+// are equal (the direct and chunked paths differ only in that
+// representation, never in JSON bytes), and float state compares
+// bit-exactly so NaN min/max still match.
+func partialsEq(a, b *Partial) bool {
+	if len(a.By) != len(b.By) || len(a.Cols) != len(b.Cols) || len(a.Funcs) != len(b.Funcs) || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.By {
+		if a.By[i] != b.By[i] {
+			return false
+		}
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] || a.Funcs[i] != b.Funcs[i] {
+			return false
+		}
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if len(ga.Key) != len(gb.Key) || len(ga.Accs) != len(gb.Accs) {
+			return false
+		}
+		for j := range ga.Key {
+			if !valuesEq(ga.Key[j], gb.Key[j]) {
+				return false
+			}
+		}
+		for j := range ga.Accs {
+			if !accStatesEq(ga.Accs[j], gb.Accs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func accStatesEq(a, b AccState) bool {
+	return a.Count == b.Count && a.Seen == b.Seen &&
+		math.Float64bits(a.Min) == math.Float64bits(b.Min) &&
+		math.Float64bits(a.Max) == math.Float64bits(b.Max) &&
+		exactStatesEq(a.Sum, b.Sum) && exactStatesEq(a.SumSq, b.SumSq)
+}
+
+func exactStatesEq(a, b ExactState) bool {
+	if a.Neg != b.Neg || a.Lo != b.Lo || a.Special != b.Special || len(a.Digits) != len(b.Digits) {
+		return false
+	}
+	for i := range a.Digits {
+		if a.Digits[i] != b.Digits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKernelDifferentialProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			rows := 200 + rng.Intn(4000) // straddles 1024-row chunk boundaries
+			tab := buildKernelTable(t, rng, rows)
+			for i := 0; i < 25; i++ {
+				q := randomKernelQuery(rng, rows)
+				runBothScans(t, tab, q, i%4 == 0)
+			}
+		})
+	}
+}
+
+// TestKernelNaNSemantics pins the kernel's NaN comparison behavior to
+// the reference: the three-way cmpFloat treats NaN as "equal" to
+// everything (both < and > are false), and the branch-free kernels must
+// reproduce that exactly.
+func TestKernelNaNSemantics(t *testing.T) {
+	tab := MustNewTable("kt", Schema{
+		{Name: "dim", Type: TypeString},
+		{Name: "amt", Type: TypeFloat},
+	})
+	nan := math.NaN()
+	vals := []float64{1.5, nan, -2, 0, nan, 42, nan, -0.0}
+	l := tab.StartLoad()
+	dim := l.Column(0).(*StringColumn)
+	amt := l.Column(1).(*FloatColumn)
+	for i, v := range vals {
+		dim.AppendString(fmt.Sprintf("d%d", i%2))
+		amt.AppendFloat(v)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		for _, rhs := range []float64{0, 1.5, nan} {
+			q := &Query{
+				Table:   "kt",
+				Where:   Compare("amt", op, Float(rhs)),
+				GroupBy: []string{"dim"},
+				Aggs:    []AggSpec{{Func: AggCount}, {Func: AggMin, Column: "amt"}},
+			}
+			runBothScans(t, tab, q, false)
+		}
+	}
+}
+
+// TestKernelChunkStraddlingAppend pins that a table grown by appends
+// that straddle chunk boundaries aggregates identically to a cold-built
+// copy, under both scan paths.
+func TestKernelChunkStraddlingAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const total = 2600 // crosses the 1024 and 2048 grid boundaries
+	cold := buildKernelTable(t, rng, total)
+
+	grown := MustNewTable("kt", cold.Schema())
+	cuts := []int{0, 700, 1700, total} // appends of 700/1000/900 rows
+	for ci := 0; ci+1 < len(cuts); ci++ {
+		lo, hi := cuts[ci], cuts[ci+1]
+		rows := make([][]Value, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			row := make([]Value, 0, 6)
+			for _, def := range cold.Schema() {
+				c, err := cold.Column(def.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row = append(row, c.Value(r))
+			}
+			rows = append(rows, row)
+		}
+		if _, err := grown.Append(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qrng := rand.New(rand.NewSource(11))
+	for i := 0; i < 15; i++ {
+		q := randomKernelQuery(qrng, total)
+		runBothScans(t, cold, q, false)
+		runBothScans(t, grown, q, i%3 == 0)
+
+		ctx := context.Background()
+		catA, catB := NewCatalog(), NewCatalog()
+		if err := catA.Register(cold); err != nil {
+			t.Fatal(err)
+		}
+		if err := catB.Register(grown); err != nil {
+			t.Fatal(err)
+		}
+		ra, err := NewExecutor(catA).Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := NewExecutor(catB).Run(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEq(ra, rb) {
+			t.Fatalf("append-grown table differs from cold-built (query %+v)", q)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Satellite regressions
+
+// stubColumn is a Column implementation the engine doesn't know how to
+// group by.
+type stubColumn struct{ rows int }
+
+func (c stubColumn) Name() string                  { return "weird" }
+func (c stubColumn) Type() Type                    { return TypeInt }
+func (c stubColumn) Len() int                      { return c.rows }
+func (c stubColumn) Value(i int) Value             { return Int(int64(i)) }
+func (c stubColumn) IsNull(int) bool               { return false }
+func (c stubColumn) Append(Value) error            { return nil }
+func (c stubColumn) AppendNull()                   {}
+func (c stubColumn) clone(string) Column           { return c }
+func (c stubColumn) gather(string, []int32) Column { return c }
+
+// TestGroupByUnknownColumnKindErrors: grouping by a column of unknown
+// concrete kind must fail loudly. The old key encoder's silent default
+// case encoded zero bytes and materialized NULL, collapsing every row
+// into one bogus group.
+func TestGroupByUnknownColumnKindErrors(t *testing.T) {
+	tab := &Table{
+		name:   "stub",
+		cols:   []Column{stubColumn{rows: 8}},
+		byName: map[string]int{"weird": 0},
+		rows:   8,
+	}
+	fs := &filterSet{index: map[Predicate]int{}}
+	_, err := newGrouperPlan(tab, GroupingSet{By: []string{"weird"}, Aggs: []AggSpec{{Func: AggCount}}}, fs, false, false)
+	if err == nil {
+		t.Fatal("grouping by an unknown column kind succeeded; want error")
+	}
+	if !strings.Contains(err.Error(), "unsupported column kind") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// End to end: the error must surface through Run, not produce a
+	// single bogus group.
+	cat := NewCatalog()
+	if err := cat.Register(tab); err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewExecutor(cat).Run(context.Background(), &Query{
+		Table:   "stub",
+		GroupBy: []string{"weird"},
+		Aggs:    []AggSpec{{Func: AggCount}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unsupported column kind") {
+		t.Fatalf("Run over unknown column kind: got %v, want unsupported-kind error", err)
+	}
+}
+
+// TestKeyEncoderNullBranchDifferential pins that the bind-time
+// null-branch split produces identical key bytes and values on non-null
+// rows whether or not the column carries any NULL (the no-null fast
+// branch must not change encoding).
+func TestKeyEncoderNullBranchDifferential(t *testing.T) {
+	vals := []int64{-7, -1, 0, 1, 5, 63, 64, 1023, -1024}
+	clean := &IntColumn{name: "v", vals: append([]int64(nil), vals...)}
+	dirty := &IntColumn{name: "v", vals: append(append([]int64(nil), vals...), 0)}
+	dirty.nulls.set(len(vals)) // one NULL past the shared prefix
+
+	for _, width := range []float64{0, 1, 4, 10} {
+		encClean, err := newKeyEncoder(clean, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encDirty, err := newKeyEncoder(dirty, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := range vals {
+			a := encClean.encode(row, nil)
+			b := encDirty.encode(row, nil)
+			if string(a) != string(b) {
+				t.Fatalf("width %v row %d: no-null branch encodes % x, null branch % x", width, row, a, b)
+			}
+			if va, vb := encClean.value(row), encDirty.value(row); !valuesEq(va, vb) {
+				t.Fatalf("width %v row %d: no-null branch value %+v, null branch %+v", width, row, va, vb)
+			}
+		}
+		// And the NULL row itself must encode as NULL.
+		if v := encDirty.value(len(vals)); !v.Null {
+			t.Fatalf("width %v: NULL row decoded to %+v", width, v)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Bitmap plumbing units
+
+func TestNullBitmapWordsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var nb nullBitmap
+	const n = 3000
+	ref := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			nb.set(i)
+			ref[i] = true
+		}
+	}
+	out := make([]uint64, kernelWords)
+	for _, tc := range [][2]int{{0, 64}, {0, 1}, {1, 63}, {63, 2}, {1000, 1024}, {2047, 130}, {2990, 10}, {999, 1024}} {
+		start, cnt := tc[0], tc[1]
+		nb.wordsInto(start, cnt, out)
+		for j := 0; j < cnt; j++ {
+			want := ref[start+j]
+			if got := bitAt(out, int32(j)); got != want {
+				t.Fatalf("wordsInto(%d,%d) bit %d: got %v want %v", start, cnt, j, got, want)
+			}
+		}
+		// Bits past cnt in the covering words must be zero.
+		nw := (cnt + 63) / 64
+		for j := cnt; j < nw*64; j++ {
+			if bitAt(out, int32(j)) {
+				t.Fatalf("wordsInto(%d,%d): stray bit %d set", start, cnt, j)
+			}
+		}
+
+		// andNotInto must equal out &^= wordsInto.
+		full := make([]uint64, kernelWords)
+		onesFill(full[:nw], cnt)
+		nb.andNotInto(start, cnt, full[:nw])
+		for j := 0; j < cnt; j++ {
+			if got, want := bitAt(full, int32(j)), !ref[start+j]; got != want {
+				t.Fatalf("andNotInto(%d,%d) bit %d: got %v want %v", start, cnt, j, got, want)
+			}
+		}
+	}
+}
+
+func TestExtractSel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	words := make([]uint64, kernelWords)
+	var want []int32
+	for i := 0; i < ChunkRows; i++ {
+		if rng.Intn(4) == 0 {
+			words[i/64] |= 1 << uint(i%64)
+			want = append(want, int32(i))
+		}
+	}
+	got := extractSel(words, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extractSel: got %v want %v", got, want)
+	}
+	if got := extractSel(make([]uint64, kernelWords), nil); len(got) != 0 {
+		t.Fatalf("extractSel on empty bitmap returned %v", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fuzz: kernel scan vs reference scan over fuzzer-chosen shapes.
+
+func FuzzKernelDifferential(f *testing.F) {
+	f.Add(int64(1), uint16(300), int64(2))
+	f.Add(int64(2), uint16(1500), int64(9))
+	f.Add(int64(3), uint16(2100), int64(40))
+	f.Add(int64(99), uint16(17), int64(0))
+	f.Fuzz(func(t *testing.T, tableSeed int64, rows uint16, querySeed int64) {
+		n := int(rows%4200) + 1
+		tab := buildKernelTable(t, rand.New(rand.NewSource(tableSeed)), n)
+		qrng := rand.New(rand.NewSource(querySeed))
+		q := randomKernelQuery(qrng, n)
+		runBothScans(t, tab, q, querySeed%3 == 0)
+	})
+}

@@ -96,7 +96,7 @@ func (e *Executor) RunPartials(ctx context.Context, q *Query, gsets []GroupingSe
 	} else if !errors.Is(err, errChunkPathNA) {
 		return nil, err
 	}
-	groupers, err := e.runGroupers(ctx, q, gsets)
+	groupers, err := e.runGroupers(ctx, q, gsets, false)
 	if err != nil {
 		return nil, err
 	}
@@ -107,10 +107,14 @@ func (e *Executor) RunPartials(ctx context.Context, q *Query, gsets []GroupingSe
 	return out, nil
 }
 
-// partial exports the grouper state, groups sorted by key.
+// partial exports the grouper state, groups sorted by key. Exported
+// state is fully owned by the Partial (accState snapshots fresh digit
+// slices, key []Value slices are never mutated afterwards), so the
+// grouper can be reset() and reused after this returns.
 func (g *grouper) partial() *Partial {
-	p := &Partial{By: append([]string(nil), g.set...)}
-	for _, a := range g.aggs {
+	plan := g.plan
+	p := &Partial{By: append([]string(nil), plan.set...)}
+	for _, a := range plan.aggs {
 		p.Cols = append(p.Cols, a.spec.Name())
 		p.Funcs = append(p.Funcs, a.spec.Func)
 	}
@@ -126,17 +130,11 @@ func (g *grouper) partial() *Partial {
 			if !seen {
 				continue
 			}
-			var key Value
-			if slot == len(g.fastSeen)-1 {
-				key = NullValue(TypeString)
-			} else {
-				key = String(g.fastDict[slot])
-			}
-			emit([]Value{key}, g.fastAccs[slot*g.nAggs:(slot+1)*g.nAggs])
+			emit(plan.slotKey(slot), g.fastAccs[slot*plan.nAggs:(slot+1)*plan.nAggs])
 		}
 	} else {
 		for slot := range g.keys {
-			emit(g.keys[slot], g.accs[slot*g.nAggs:(slot+1)*g.nAggs])
+			emit(g.keys[slot], g.accs[slot*plan.nAggs:(slot+1)*plan.nAggs])
 		}
 	}
 	sort.Slice(p.Groups, func(i, j int) bool {

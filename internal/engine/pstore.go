@@ -185,13 +185,16 @@ func partialsSize(partials []*Partial) int64 {
 // ---------------------------------------------------------------------
 // Plan signature
 
-// planSignature digests everything about a query that determines a
+// PlanSignature digests everything about a query that determines a
 // chunk's partial state besides the rows themselves: predicate,
 // sampling parameters, grouping structure, bin widths, and aggregate
 // list. Row range, table identity, and parallelism are deliberately
 // absent — the row position travels in the chunk key, the chunk hash
-// covers the data, and partials are partition-invariant.
-func planSignature(q *Query, gsets []GroupingSet) string {
+// covers the data, and partials are partition-invariant. The service
+// layer reuses this digest (plus table fingerprint and row range) as
+// its execution-cache key, so the two caches agree on what "same plan"
+// means.
+func PlanSignature(q *Query, gsets []GroupingSet) string {
 	var b strings.Builder
 	b.Grow(256)
 	if q.Where != nil {
@@ -312,7 +315,7 @@ func (e *Executor) runPartialsChunked(ctx context.Context, q *Query, gsets []Gro
 		return nil, err
 	}
 	smp := newSampler(q.SampleFraction, q.SampleSeed)
-	sig := planSignature(q, gsets)
+	sig := PlanSignature(q, gsets)
 
 	e.stats.Queries.Add(1)
 	e.stats.TableScans.Add(1)
@@ -350,32 +353,66 @@ func (e *Executor) runPartialsChunked(ctx context.Context, q *Query, gsets []Gro
 
 	// Scan the missing segments, using the query's parallelism budget
 	// across segments (each segment is one grid cell or remainder, so
-	// per-segment parallel scans would be pointless).
-	scanSeg := func(seg *chunkSeg) error {
-		groupers, err := buildGroupers(t, gsets, fs)
-		if err != nil {
-			return err
+	// per-segment parallel scans would be pointless). Plans — bound
+	// aggregates, key encoders, the fast group layout — are built ONCE
+	// for the whole query; each worker owns one grouper arena and one
+	// compiled kernel set, reset between segments, so per-segment cost
+	// is O(segment rows + groups seen), never O(plan).
+	ref := e.refScan.Load()
+	plans, err := buildGrouperPlans(t, gsets, fs, ref, false)
+	if err != nil {
+		return nil, err
+	}
+	newSegScanner := func() (func(seg *chunkSeg) error, error) {
+		groupers := newGroupers(plans)
+		var sk *scanKernels
+		if !ref {
+			var err error
+			if sk, err = compileScan(t, q.Where, fs, smp); err != nil {
+				return nil, err
+			}
 		}
-		if err := scanPartition(ctx, seg.lo, seg.hi, smp, where, fs, groupers); err != nil {
-			return err
-		}
-		seg.partials = make([]*Partial, len(groupers))
-		for i, g := range groupers {
-			seg.partials[i] = g.partial()
-		}
-		n := int64(seg.hi - seg.lo)
-		st.rowsScanned.Add(n)
-		e.stats.RowsRead.Add(n)
-		return nil
+		first := true
+		return func(seg *chunkSeg) error {
+			if !first {
+				for _, g := range groupers {
+					g.reset()
+				}
+			}
+			first = false
+			var err error
+			if ref {
+				err = scanPartitionRows(ctx, seg.lo, seg.hi, smp, where, fs, groupers)
+			} else {
+				err = sk.scanPartition(ctx, seg.lo, seg.hi, groupers)
+			}
+			if err != nil {
+				return err
+			}
+			seg.partials = make([]*Partial, len(groupers))
+			for i, g := range groupers {
+				seg.partials[i] = g.partial()
+			}
+			n := int64(seg.hi - seg.lo)
+			st.rowsScanned.Add(n)
+			e.stats.RowsRead.Add(n)
+			return nil
+		}, nil
 	}
 	workers := q.Parallelism
 	if workers > len(missing) {
 		workers = len(missing)
 	}
 	if workers <= 1 {
-		for _, seg := range missing {
-			if err := scanSeg(seg); err != nil {
+		if len(missing) > 0 {
+			scanSeg, err := newSegScanner()
+			if err != nil {
 				return nil, err
+			}
+			for _, seg := range missing {
+				if err := scanSeg(seg); err != nil {
+					return nil, err
+				}
 			}
 		}
 	} else {
@@ -386,6 +423,14 @@ func (e *Executor) runPartialsChunked(ctx context.Context, q *Query, gsets []Gro
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				scanSeg, err := newSegScanner()
+				if err != nil {
+					errs[w] = err
+					for range segCh {
+						// drain so the sender never blocks
+					}
+					return
+				}
 				for seg := range segCh {
 					if errs[w] != nil {
 						continue // drain after failure

@@ -68,6 +68,66 @@ type Table struct {
 	chunkMu     sync.Mutex
 	chunkHashes []string
 	schemaSig   string // memo of the schema digest folded into chunk hashes
+
+	// Per-column value-range memo (see int64RangeLocked). Extended
+	// incrementally — the table is append-only, so a range covering the
+	// first N rows stays a valid prefix forever. rangeMu is only ever
+	// acquired while already holding mu, like chunkMu.
+	rangeMu   sync.Mutex
+	colRanges []colRange
+}
+
+// colRange memoizes one column's min/max over non-null rows.
+type colRange struct {
+	rows     int // rows covered so far
+	min, max int64
+	seen     bool // any non-null row covered
+}
+
+// int64RangeLocked returns min/max over the non-null values of column
+// ci (must be an INT or TIME column), memoized per column and extended
+// incrementally as the table grows — so the fast group-by layout's
+// eligibility check costs O(delta) per query, not O(table). The caller
+// must hold t.mu (read or write).
+func (t *Table) int64RangeLocked(ci int) (lo, hi int64, any bool) {
+	var vals []int64
+	var nb *nullBitmap
+	switch c := t.cols[ci].(type) {
+	case *IntColumn:
+		vals, nb = c.vals, &c.nulls
+	case *TimeColumn:
+		vals, nb = c.vals, &c.nulls
+	default:
+		return 0, 0, false
+	}
+	t.rangeMu.Lock()
+	defer t.rangeMu.Unlock()
+	for len(t.colRanges) < len(t.cols) {
+		t.colRanges = append(t.colRanges, colRange{})
+	}
+	cr := &t.colRanges[ci]
+	if cr.rows > t.rows {
+		// A failed append rolls columns back to a previously published
+		// row count, which this memo never exceeds; recompute defensively
+		// if it somehow does.
+		*cr = colRange{}
+	}
+	hasNulls := nb.anySet()
+	for i := cr.rows; i < t.rows; i++ {
+		if hasNulls && nb.get(i) {
+			continue
+		}
+		v := vals[i]
+		if !cr.seen || v < cr.min {
+			cr.min = v
+		}
+		if !cr.seen || v > cr.max {
+			cr.max = v
+		}
+		cr.seen = true
+	}
+	cr.rows = t.rows
+	return cr.min, cr.max, cr.seen
 }
 
 // Fingerprint returns a cheap content-version identifier for the

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"time"
+
+	"seedb/internal/datagen"
+	"seedb/internal/engine"
+)
+
+// KernelBench is the committed record of the chunk-kernel scan rewrite
+// (BENCH_kernel.json): cold-scan throughput of the compiled
+// chunk-at-a-time pipeline versus the retained row-at-a-time reference
+// scan, on the shapes SeeDB's optimizer actually emits. Both paths run
+// the same queries on the same in-memory table with no caches
+// installed, so the ratio isolates the kernel rewrite itself; every
+// scenario also asserts the two paths return identical results.
+type KernelBench struct {
+	Rows       int   `json:"rows"`
+	Seed       int64 `json:"seed"`
+	Iterations int   `json:"iterations"`
+
+	Scenarios []KernelScenario `json:"scenarios"`
+
+	// RefRowsPerMs and KernelRowsPerMs aggregate scanned rows over
+	// median wall time across all scenarios; Speedup is their ratio.
+	RefRowsPerMs    float64 `json:"refRowsPerMs"`
+	KernelRowsPerMs float64 `json:"kernelRowsPerMs"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// KernelScenario is one query shape measured under both scan paths.
+type KernelScenario struct {
+	Name string `json:"name"`
+	// Desc says what the shape exercises (fast-path layout, predicate
+	// kernels, shared scan width).
+	Desc string `json:"desc"`
+
+	RefMillis       float64 `json:"refMillis"`
+	KernelMillis    float64 `json:"kernelMillis"`
+	RefRowsPerMs    float64 `json:"refRowsPerMs"`
+	KernelRowsPerMs float64 `json:"kernelRowsPerMs"`
+	Speedup         float64 `json:"speedup"`
+
+	// Groups is the result row count of the first grouping set and
+	// Identical confirms the two paths returned equal results.
+	Groups    int  `json:"groups"`
+	Identical bool `json:"identical"`
+}
+
+// JSON renders the benchmark as indented JSON.
+func (b *KernelBench) JSON() ([]byte, error) { return json.MarshalIndent(b, "", "  ") }
+
+// String renders a terminal summary.
+func (b *KernelBench) String() string {
+	s := fmt.Sprintf("kernel bench (rows=%d seed=%d iters=%d)\n", b.Rows, b.Seed, b.Iterations)
+	for _, sc := range b.Scenarios {
+		s += fmt.Sprintf("  %-14s ref=%8.1fms kernel=%8.1fms speedup=%5.2fx groups=%d identical=%v\n",
+			sc.Name, sc.RefMillis, sc.KernelMillis, sc.Speedup, sc.Groups, sc.Identical)
+	}
+	s += fmt.Sprintf("  overall: ref=%.0f rows/ms kernel=%.0f rows/ms speedup=%.2fx\n",
+		b.RefRowsPerMs, b.KernelRowsPerMs, b.Speedup)
+	return s
+}
+
+// kernelScenario pairs a name with the shared-scan call it measures.
+type kernelScenario struct {
+	name  string
+	desc  string
+	query *engine.Query
+	gsets []engine.GroupingSet
+}
+
+func kernelScenarios() []kernelScenario {
+	count := engine.AggSpec{Func: engine.AggCount}
+	sumSales := engine.AggSpec{Func: engine.AggSum, Column: "sales"}
+	avgProfit := engine.AggSpec{Func: engine.AggAvg, Column: "profit"}
+	maxProfit := engine.AggSpec{Func: engine.AggMax, Column: "profit"}
+	profitable := engine.AggSpec{
+		Func: engine.AggCount, Column: "profit", Alias: "profitable",
+		Filter: engine.Compare("profit", engine.OpGt, engine.Float(0)),
+	}
+	return []kernelScenario{
+		{
+			name: "shared-scan",
+			desc: "one scan feeding 4 dimension group-bys (SeeDB's combine-multiple-group-bys shape), dictionary fast path",
+			query: &engine.Query{
+				Table:       "orders",
+				Parallelism: 1,
+			},
+			gsets: []engine.GroupingSet{
+				{By: []string{"region"}, Aggs: []engine.AggSpec{count, sumSales, avgProfit}},
+				{By: []string{"category"}, Aggs: []engine.AggSpec{sumSales, profitable}},
+				{By: []string{"ship_mode"}, Aggs: []engine.AggSpec{count, avgProfit}},
+				{By: []string{"segment"}, Aggs: []engine.AggSpec{sumSales, maxProfit}},
+			},
+		},
+		{
+			name: "composite",
+			desc: "two-attribute composite code (region x binned quantity) in the dense fast layout",
+			query: &engine.Query{
+				Table:       "orders",
+				Parallelism: 1,
+			},
+			gsets: []engine.GroupingSet{
+				{
+					By:        []string{"region", "quantity"},
+					Aggs:      []engine.AggSpec{count, sumSales, avgProfit},
+					BinWidths: map[string]float64{"quantity": 2},
+				},
+			},
+		},
+		{
+			name: "binned-int",
+			desc: "binned int dimension via dense bin-index accumulators",
+			query: &engine.Query{
+				Table:       "orders",
+				Parallelism: 1,
+			},
+			gsets: []engine.GroupingSet{
+				{
+					By:        []string{"quantity"},
+					Aggs:      []engine.AggSpec{count, avgProfit, maxProfit},
+					BinWidths: map[string]float64{"quantity": 3},
+				},
+			},
+		},
+		{
+			name: "pair-views",
+			desc: "two-attribute dimension pair (region x category) — SeeDB's a1 x a2 view space; dense composite codes vs the hash path",
+			query: &engine.Query{
+				Table:       "orders",
+				Parallelism: 1,
+			},
+			gsets: []engine.GroupingSet{
+				{
+					By:   []string{"region", "category"},
+					Aggs: []engine.AggSpec{count, sumSales, avgProfit},
+				},
+			},
+		},
+		{
+			name: "filtered-where",
+			desc: "WHERE + aggregate-filter predicate kernels over the selection vector",
+			query: &engine.Query{
+				Table: "orders",
+				Where: engine.And(
+					engine.Eq("category", engine.String("Furniture")),
+					engine.Compare("discount", engine.OpGt, engine.Float(0.1)),
+				),
+				Parallelism: 1,
+			},
+			gsets: []engine.GroupingSet{
+				{By: []string{"region"}, Aggs: []engine.AggSpec{count, sumSales, profitable}},
+			},
+		},
+	}
+}
+
+// RunKernelBench measures the chunk-kernel scan against the reference
+// scan at the given scale. Medians over iterations keep scheduler noise
+// out of the record.
+func RunKernelBench(rows int, seed int64, iterations int) (*KernelBench, error) {
+	if iterations < 3 {
+		iterations = 3
+	}
+	b := &KernelBench{Rows: rows, Seed: seed, Iterations: iterations}
+
+	cat := engine.NewCatalog()
+	if err := cat.Register(datagen.Superstore("orders", rows, seed)); err != nil {
+		return nil, err
+	}
+	ex := engine.NewExecutor(cat)
+	ctx := context.Background()
+
+	measure := func(sc kernelScenario, ref bool) (millis float64, results []*engine.Result, err error) {
+		ex.SetReferenceScan(ref)
+		defer ex.SetReferenceScan(false)
+		times := make([]float64, 0, iterations)
+		for i := 0; i < iterations; i++ {
+			start := time.Now()
+			results, err = ex.RunSharedScan(ctx, sc.query, sc.gsets)
+			if err != nil {
+				return 0, nil, err
+			}
+			times = append(times, float64(time.Since(start).Microseconds())/1000)
+		}
+		return median(times), results, nil
+	}
+
+	var refTotal, kernTotal float64
+	for _, sc := range kernelScenarios() {
+		refMs, refRes, err := measure(sc, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s (reference): %w", sc.name, err)
+		}
+		kernMs, kernRes, err := measure(sc, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s (kernel): %w", sc.name, err)
+		}
+		identical := reflect.DeepEqual(refRes, kernRes)
+		if !identical {
+			return nil, fmt.Errorf("%s: kernel scan results differ from reference scan", sc.name)
+		}
+		refTotal += refMs
+		kernTotal += kernMs
+		b.Scenarios = append(b.Scenarios, KernelScenario{
+			Name:            sc.name,
+			Desc:            sc.desc,
+			RefMillis:       refMs,
+			KernelMillis:    kernMs,
+			RefRowsPerMs:    float64(rows) / refMs,
+			KernelRowsPerMs: float64(rows) / kernMs,
+			Speedup:         refMs / kernMs,
+			Groups:          len(refRes[0].Rows),
+			Identical:       identical,
+		})
+	}
+	scans := float64(len(b.Scenarios) * rows)
+	b.RefRowsPerMs = scans / refTotal
+	b.KernelRowsPerMs = scans / kernTotal
+	b.Speedup = refTotal / kernTotal
+	return b, nil
+}
