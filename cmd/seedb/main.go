@@ -19,6 +19,14 @@
 //	seedb -addr :8081 -coordinator http://coord:8080 \
 //	      -advertise http://w1:8081                            # worker (self-registers)
 //	seedb -shards 4                                            # single-node scatter-gather
+//
+// Data-partitioned placement mode — workers hold chunk-aligned
+// fragments (not full replicas), assigned by a consistent-hash ring
+// with the given replication factor; join/leave rebalances only the
+// placements that changed owners:
+//
+//	seedb -addr :8080 -replication 2 [-placement-chunks 4] \
+//	      [-workers http://w1:8081,http://w2:8082]             # placement coordinator
 package main
 
 import (
@@ -52,6 +60,8 @@ func main() {
 	noDemo := flag.Bool("no-demo", false, "skip loading the demo datasets")
 	shards := flag.Int("shards", 0, "enable in-process scatter-gather execution across N table shards")
 	workers := flag.String("workers", "", "comma-separated worker base URLs; makes this node a cluster coordinator")
+	replication := flag.Int("replication", 0, "enable data-partitioned placement with this replication factor (workers hold fragments, not full replicas)")
+	placementChunks := flag.Int("placement-chunks", 0, "1024-row grid cells per placement (0 = 4, i.e. 4096-row placements)")
 	coordinator := flag.String("coordinator", "", "coordinator base URL to register with at startup (worker mode)")
 	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default http://<hostname><addr>)")
 	maxRuns := flag.Int("max-concurrent", 0, "max recommendation pipelines executing at once (0 = one per core, min 2)")
@@ -127,6 +137,30 @@ func main() {
 	switch {
 	case *workers != "" && *shards > 0:
 		log.Fatal("seedb: -workers and -shards are mutually exclusive")
+	case *replication > 0:
+		// Data-partitioned placement: tables are cut into chunk-aligned
+		// placements assigned to workers by a consistent-hash ring;
+		// each worker holds only its owned fragments. Workers may also
+		// be empty at startup and register later (-coordinator on the
+		// worker side works unchanged).
+		var urls []string
+		if *workers != "" {
+			for _, u := range strings.Split(*workers, ",") {
+				urls = append(urls, strings.TrimSpace(u))
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		b, err := db.PlaceRemote(ctx, urls, 0, seedb.PlacementConfig{
+			Replication:     *replication,
+			PlacementChunks: *placementChunks,
+		})
+		cancel()
+		if err != nil {
+			log.Printf("seedb: WARNING: placement bring-up incomplete (%v); unreachable ranges fail over to local execution", err)
+		}
+		st := b.Counters()
+		log.Printf("seedb: placement coordinator (%s): %d placements over %d workers, rf=%d",
+			b.Signature(), st.Placements, st.Workers, st.Replication)
 	case *workers != "":
 		urls := strings.Split(*workers, ",")
 		for i := range urls {

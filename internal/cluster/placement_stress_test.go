@@ -1,0 +1,155 @@
+package cluster_test
+
+// Membership-churn stress: workers join and leave while coalesced
+// blocking recommendations and SSE streams are in flight. Run under
+// -race this pins the locking seams between scatter (mu.RLock +
+// per-member state), rebalancing (ingestMu + fragment ships that
+// replace tables mid-query), and the service layer's coalescing.
+// The invariant is the usual one: every result, whatever topology it
+// raced with, is byte-identical to single-node execution.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seedb"
+	"seedb/internal/frontend"
+)
+
+func TestPlacementMembershipChurnRace(t *testing.T) {
+	ctx := context.Background()
+	const rows = 3000
+	cfg := placementConfig(2)
+	cfg.Cooldown = time.Hour
+
+	want, err := newDB(t, rows).RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := render(want)
+
+	db, b, _ := placeManual(t, rows, 2, cfg)
+	db.Serve(seedb.ServeConfig{}) // session/coalescing layer in the loop
+	srv := httptest.NewServer(frontend.New(db, nil, log.New(testWriter{t}, "churn: ", 0)))
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var churnErr error
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		// One extra member cycles in and out of the fleet. Each join
+		// re-ships its share (it may still hold everything from the
+		// last cycle, in which case the hash diff ships nothing) and
+		// each leave re-homes it — all while queries are in flight.
+		extra := seedb.NewMemberShard("gate-churner")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				_, _, err = b.AddWorker(ctx, extra)
+			} else {
+				_, _, err = b.RemoveWorker(ctx, extra.ID())
+			}
+			if err != nil && churnErr == nil {
+				churnErr = err
+				return
+			}
+		}
+	}()
+
+	const queriers = 8
+	const streamers = 2
+	outs := make([][]string, queriers)
+	errs := make([]error, queriers+streamers)
+	var wg sync.WaitGroup
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				res, err := db.RecommendSQL(ctx, testQuery, testOptions())
+				if err != nil {
+					errs[i] = fmt.Errorf("iter %d: %w", iter, err)
+					return
+				}
+				outs[i] = append(outs[i], render(res))
+			}
+		}(i)
+	}
+	streamURL := srv.URL + "/api/recommend/stream?sql=" +
+		"SELECT+*+FROM+synthetic+WHERE+d0+%3D+%27d0_v0%27&k=5&phases=3"
+	for i := 0; i < streamers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for iter := 0; iter < 2; iter++ {
+				resp, err := http.Get(streamURL)
+				if err != nil {
+					errs[queriers+i] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[queriers+i] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[queriers+i] = fmt.Errorf("stream iter %d: HTTP %d: %s", iter, resp.StatusCode, body)
+					return
+				}
+				s := string(body)
+				if !strings.Contains(s, "event: done") || strings.Contains(s, "event: error") {
+					errs[queriers+i] = fmt.Errorf("stream iter %d did not finish cleanly:\n%s", iter, s)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	if churnErr != nil {
+		t.Fatalf("membership churn failed: %v", churnErr)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i, rendered := range outs {
+		for iter, got := range rendered {
+			if got != wantBytes {
+				t.Fatalf("querier %d iter %d diverged from single-node bytes under churn:\n%s\nvs\n%s",
+					i, iter, got, wantBytes)
+			}
+		}
+	}
+
+	// The fleet settles: one final pass leaves a clean, fully-held map.
+	if _, err := b.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RecommendSQL(ctx, testQuery, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(res) != wantBytes {
+		t.Fatal("post-churn steady state changed result bytes")
+	}
+}

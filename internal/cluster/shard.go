@@ -324,6 +324,27 @@ func (s *RemoteShard) SyncTable(ctx context.Context, table string, snapshot []by
 	return &resp, nil
 }
 
+// DropTable asks the worker to remove a table (fragment) it no longer
+// owns, via POST /api/shard/drop. Dropping a name the worker does not
+// hold succeeds — rebalance converges by re-issuing drops.
+func (s *RemoteShard) DropTable(ctx context.Context, name string) error {
+	u := s.baseURL + "/api/shard/drop?table=" + url.QueryEscape(name)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := s.client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: shard %s drop: %w", s.id, err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 4096))
+		return fmt.Errorf("cluster: shard %s drop %q: HTTP %d: %s", s.id, name, hres.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
 // Health implements Shard: GET /api/shard/health must answer 200.
 func (s *RemoteShard) Health(ctx context.Context) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, s.baseURL+"/api/shard/health", nil)

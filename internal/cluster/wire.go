@@ -34,14 +34,19 @@ type ShardRequest struct {
 	// (engine.Table.ContentHash — equal data hashes equal across
 	// processes); a worker whose replica differs must refuse (HTTP
 	// 409), which the coordinator treats as permanent shard failure.
-	ContentHash    string             `json:"contentHash,omitempty"`
-	WhereSQL       string             `json:"where,omitempty"`
-	SampleFraction float64            `json:"sampleFraction,omitempty"`
-	SampleSeed     uint64             `json:"sampleSeed,omitempty"`
-	RowLo          int                `json:"rowLo"`
-	RowHi          int                `json:"rowHi"`
-	Parallelism    int                `json:"parallelism,omitempty"`
-	Sets           []ShardGroupingSet `json:"sets"`
+	ContentHash    string  `json:"contentHash,omitempty"`
+	WhereSQL       string  `json:"where,omitempty"`
+	SampleFraction float64 `json:"sampleFraction,omitempty"`
+	SampleSeed     uint64  `json:"sampleSeed,omitempty"`
+	// SampleBase is the absolute row index the target table's row 0
+	// maps to (engine.Query.SampleBase). Zero for whole-table shards;
+	// the placement layer sets it so sampled fragment scans pick
+	// exactly the rows a single-node scan would.
+	SampleBase  int                `json:"sampleBase,omitempty"`
+	RowLo       int                `json:"rowLo"`
+	RowHi       int                `json:"rowHi"`
+	Parallelism int                `json:"parallelism,omitempty"`
+	Sets        []ShardGroupingSet `json:"sets"`
 }
 
 // ShardGroupingSet mirrors engine.GroupingSet on the wire.
@@ -107,6 +112,7 @@ func EncodeShardRequest(q *engine.Query, gsets []engine.GroupingSet, contentHash
 		ContentHash:    contentHash,
 		SampleFraction: q.SampleFraction,
 		SampleSeed:     q.SampleSeed,
+		SampleBase:     q.SampleBase,
 		RowLo:          lo,
 		RowHi:          hi,
 		Parallelism:    parallelism,
@@ -156,6 +162,7 @@ func (r *ShardRequest) Decode(cat *engine.Catalog) (*engine.Query, []engine.Grou
 		Table:          r.Table,
 		SampleFraction: r.SampleFraction,
 		SampleSeed:     r.SampleSeed,
+		SampleBase:     r.SampleBase,
 		RowLo:          r.RowLo,
 		RowHi:          r.RowHi,
 		Parallelism:    r.Parallelism,

@@ -29,6 +29,12 @@ type Query struct {
 	SampleFraction float64
 	// SampleSeed makes the sample deterministic.
 	SampleSeed uint64
+	// SampleBase is the absolute row index this table's row 0 maps to.
+	// Single-node tables leave it 0; a cluster worker scanning a
+	// placement fragment sets it to the fragment's first absolute row so
+	// the Bernoulli sample picks exactly the rows a single-node scan of
+	// the full table would pick in that range.
+	SampleBase int
 	// GroupBy lists grouping attributes; empty means one global group.
 	GroupBy []string
 	// Aggs lists the aggregate outputs; must be non-empty.
@@ -334,7 +340,7 @@ func (e *Executor) runGroupers(ctx context.Context, q *Query, gsets []GroupingSe
 	if err != nil {
 		return nil, err
 	}
-	smp := newSampler(q.SampleFraction, q.SampleSeed)
+	smp := newSampler(q.SampleFraction, q.SampleSeed, q.SampleBase)
 
 	lo, hi := 0, t.rows
 	if q.RowHi > 0 {
@@ -1656,7 +1662,7 @@ func (e *Executor) MaterializeSample(table, name string, fraction float64, seed 
 	if err != nil {
 		return nil, err
 	}
-	smp := newSampler(fraction, seed)
+	smp := newSampler(fraction, seed, 0)
 	if smp == nil {
 		return t.Clone(name), nil
 	}

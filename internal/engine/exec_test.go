@@ -878,7 +878,7 @@ func TestResultHelpers(t *testing.T) {
 
 func TestSplitmixDistribution(t *testing.T) {
 	// splitmix64 should produce a roughly uniform keep-rate.
-	s := newSampler(0.5, 1)
+	s := newSampler(0.5, 1, 0)
 	kept := 0
 	for i := 0; i < 100000; i++ {
 		if s.keep(i) {

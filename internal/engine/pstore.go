@@ -204,6 +204,8 @@ func PlanSignature(q *Query, gsets []GroupingSet) string {
 	b.WriteString(strconv.FormatFloat(q.SampleFraction, 'g', -1, 64))
 	b.WriteByte(',')
 	b.WriteString(strconv.FormatUint(q.SampleSeed, 10))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.SampleBase))
 	b.WriteByte('\n')
 	// NUL separators everywhere a field could itself contain the
 	// neighboring punctuation (column names come from CSV headers and
@@ -314,7 +316,7 @@ func (e *Executor) runPartialsChunked(ctx context.Context, q *Query, gsets []Gro
 	if err != nil {
 		return nil, err
 	}
-	smp := newSampler(q.SampleFraction, q.SampleSeed)
+	smp := newSampler(q.SampleFraction, q.SampleSeed, q.SampleBase)
 	sig := PlanSignature(q, gsets)
 
 	e.stats.Queries.Add(1)

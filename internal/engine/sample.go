@@ -3,28 +3,35 @@ package engine
 import "math"
 
 // sampler implements deterministic Bernoulli row sampling. Whether a
-// row is kept depends only on (seed, row index), never on scan order or
-// partitioning, so serial and parallel executions of a sampled query
-// see exactly the same rows — a property the optimizer experiments rely
-// on when comparing plans.
+// row is kept depends only on (seed, base+row index), never on scan
+// order or partitioning, so serial and parallel executions of a sampled
+// query see exactly the same rows — a property the optimizer
+// experiments rely on when comparing plans. base is the absolute row
+// index the scanned table's row 0 corresponds to: 0 for whole tables,
+// and the placement's first absolute row when a cluster worker scans a
+// placement fragment — so a sampled scan of a fragment picks exactly
+// the rows a single-node scan of the full table would pick in that
+// range.
 type sampler struct {
 	threshold uint64
 	seed      uint64
+	base      int
 }
 
 // newSampler returns a sampler keeping ~fraction of rows, or nil when
-// fraction is outside (0,1) meaning "no sampling".
-func newSampler(fraction float64, seed uint64) *sampler {
+// fraction is outside (0,1) meaning "no sampling". base offsets every
+// row index (see Query.SampleBase).
+func newSampler(fraction float64, seed uint64, base int) *sampler {
 	if fraction <= 0 || fraction >= 1 {
 		return nil
 	}
 	t := uint64(fraction * float64(math.MaxUint64))
-	return &sampler{threshold: t, seed: seed}
+	return &sampler{threshold: t, seed: seed, base: base}
 }
 
 // keep reports whether the row participates in the sample.
 func (s *sampler) keep(row int) bool {
-	return splitmix64(s.seed^uint64(row)*0x9E3779B97F4A7C15) < s.threshold
+	return splitmix64(s.seed^uint64(row+s.base)*0x9E3779B97F4A7C15) < s.threshold
 }
 
 // splitmix64 is the SplitMix64 finalizer — a strong, cheap 64-bit

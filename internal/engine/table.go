@@ -497,3 +497,36 @@ func (t *Table) Clone(name string) *Table {
 	t.chunkMu.Unlock()
 	return out
 }
+
+// ExtractRange materializes rows [lo, hi) of the table as a new table
+// under the given name. The cluster's placement layer uses it to cut a
+// chunk-aligned fragment out of the coordinator's replica before
+// shipping it to the worker that owns those rows. Rows keep their
+// relative order, so a fragment extracted at a 1024-row grid boundary
+// sees the same cell cut points a whole-table scan would.
+func (t *Table) ExtractRange(name string, lo, hi int) (*Table, error) {
+	t.mu.RLock()
+	rows := t.rows
+	t.mu.RUnlock()
+	if lo < 0 || hi < lo || hi > rows {
+		return nil, fmt.Errorf("engine: table %q: extract range [%d,%d) out of bounds (rows=%d)", t.name, lo, hi, rows)
+	}
+	sel := make([]int32, hi-lo)
+	for i := range sel {
+		sel[i] = int32(lo + i)
+	}
+	return t.Gather(name, sel), nil
+}
+
+// RangeContentHash digests rows [lo, hi) as if they were a standalone
+// table named name — i.e. exactly what ExtractRange(name, lo, hi) would
+// hash via ContentHash. The placement layer compares it against a
+// worker's fragment hash to verify a rebalance shipped the right bytes
+// without keeping the extracted copy around.
+func (t *Table) RangeContentHash(name string, lo, hi int) (string, error) {
+	frag, err := t.ExtractRange(name, lo, hi)
+	if err != nil {
+		return "", err
+	}
+	return frag.ContentHash()
+}

@@ -114,6 +114,11 @@ func NewWithConfig(db *seedb.DB, cfg seedb.ServeConfig, templates []QueryTemplat
 	mux.HandleFunc("/api/shard/health", s.handleShardHealth)
 	mux.HandleFunc("/api/shard/register", s.handleShardRegister)
 	mux.HandleFunc("/api/shard/sync", s.handleShardSync)
+	mux.HandleFunc("/api/shard/drop", s.handleShardDrop)
+	// Placement endpoints (data-partitioned coordinators only): the
+	// placement map and an operator-triggered rebalance pass.
+	mux.HandleFunc("/api/placement", s.handlePlacement)
+	mux.HandleFunc("/api/placement/rebalance", s.handlePlacementRebalance)
 	s.mux = mux
 	s.installObs(svc.Observability())
 	return s
@@ -644,6 +649,16 @@ type clusterStats struct {
 	Shards    []cluster.ShardStatus `json:"shards"`
 }
 
+// placementStats is the /api/stats section for a data-partitioned
+// coordinator: layout signature, cumulative counters (rebalance bytes
+// moved, fragments shipped/dropped, failovers), and per-worker health
+// with fragment counts.
+type placementStats struct {
+	Signature string                          `json:"signature"`
+	Counters  cluster.PlacementStats          `json:"counters"`
+	Workers   []cluster.PlacementWorkerStatus `json:"workers"`
+}
+
 // incrementalStats surfaces the chunk-partial store's delta-reuse
 // effectiveness: how much aggregation work queries over live tables
 // served from sealed-chunk cache instead of re-scanning.
@@ -665,6 +680,10 @@ type statsResponse struct {
 	Incremental *incrementalStats `json:"incremental,omitempty"`
 	// Cluster reports shard health when a sharded backend is active.
 	Cluster *clusterStats `json:"cluster,omitempty"`
+	// Placement reports the data-partitioned layout (placement
+	// counts, rebalance movement, ownership skew) when a placement
+	// backend is active.
+	Placement *placementStats `json:"placement,omitempty"`
 	// Durability reports the WAL'd store (log size, checkpoint times,
 	// fsync latency) when the server runs with a data dir.
 	Durability *durabilityStats `json:"durability,omitempty"`
@@ -713,6 +732,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shards:    b.Status(),
 		}
 	}
+	if b := s.placementBackend(); b != nil {
+		resp.Placement = &placementStats{
+			Signature: b.Signature(),
+			Counters:  b.Counters(),
+			Workers:   b.Status(),
+		}
+	}
 	if st, ok := s.db.DurabilityStats(); ok {
 		resp.Durability = &durabilityStats{DurabilityStats: st, Recovery: s.db.RecoveryReport()}
 	}
@@ -751,8 +777,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
+	// Both coordinator backends expose the same Ingest contract:
+	// apply locally (through the durability seam), forward to the
+	// replicas/owners, verify content hashes.
+	var ing interface {
+		Ingest(ctx context.Context, table string, rows [][]any) (*cluster.IngestSummary, error)
+	}
 	if b := s.clusterBackend(); b != nil {
-		sum, err := b.Ingest(ctx, req.Table, req.Rows)
+		ing = b
+	} else if b := s.placementBackend(); b != nil {
+		ing = b
+	}
+	if ing != nil {
+		sum, err := ing.Ingest(ctx, req.Table, req.Rows)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
@@ -805,6 +842,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // plain in-process backend is active.
 func (s *Server) clusterBackend() *cluster.ShardedBackend {
 	b, _ := s.db.Backend().(*cluster.ShardedBackend)
+	return b
+}
+
+// placementBackend returns the DB's placement backend, or nil when a
+// different backend is active.
+func (s *Server) placementBackend() *cluster.PlacementBackend {
+	b, _ := s.db.Backend().(*cluster.PlacementBackend)
 	return b
 }
 
@@ -898,7 +942,8 @@ func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b := s.clusterBackend()
-	if b == nil {
+	pb := s.placementBackend()
+	if b == nil && pb == nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: this node is not a cluster coordinator"))
 		return
 	}
@@ -912,6 +957,23 @@ func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	if err := shard.Health(ctx); err != nil {
 		s.writeError(w, http.StatusBadGateway, fmt.Errorf("frontend: worker %s failed its health probe: %w", req.URL, err))
+		return
+	}
+	if pb != nil {
+		// Placement coordinator: the joining worker receives only the
+		// fragments the ring assigns it — not full replicas. AddWorker
+		// holds ingest, rebalances, and verifies every shipped
+		// fragment's ContentHash.
+		syncCtx, cancelSync := context.WithTimeout(r.Context(), 2*time.Minute)
+		defer cancelSync()
+		rep, added, err := pb.AddWorker(syncCtx, shard)
+		if err != nil {
+			s.writeError(w, http.StatusBadGateway, fmt.Errorf("frontend: worker %s failed placement rebalance: %w", req.URL, err))
+			return
+		}
+		s.logger.Printf("frontend: placement worker %s %s (epoch %d, shipped %d fragments / %d bytes)",
+			req.URL, map[bool]string{true: "registered", false: "re-announced"}[added], rep.Epoch, rep.Shipped, rep.BytesMoved)
+		s.writeJSON(w, http.StatusOK, map[string]any{"added": added, "workers": pb.NumWorkers(), "rebalance": rep})
 		return
 	}
 	// Bootstrap before admission: push every table the worker is
@@ -981,6 +1043,77 @@ func (s *Server) handleShardSync(w http.ResponseWriter, r *http.Request) {
 // table); 1 GiB is far above any demo dataset while still refusing
 // unbounded bodies.
 const maxSyncSnapshotBytes = 1 << 30
+
+// handleShardDrop is the worker half of placement rebalancing's
+// shrink side: a coordinator asks this node to remove a fragment it no
+// longer owns. With durability enabled the fragment's snapshot is
+// removed too, so a durable worker checkpoints only owned placements.
+// Dropping an unknown name succeeds — drops are re-issued until the
+// map converges.
+func (s *Server) handleShardDrop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("table")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: drop needs a table query parameter"))
+		return
+	}
+	if err := s.db.DropTable(name); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logger.Printf("frontend: dropped table %q (coordinator request)", name)
+	s.writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// handlePlacement dumps the placement map: every table's placements
+// with expected content hashes, assigned owners, and whether each
+// owner verifiably holds its fragment.
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	b := s.placementBackend()
+	if b == nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: this node is not a placement coordinator"))
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	dump, err := b.Dump()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, dump)
+}
+
+// handlePlacementRebalance runs one reconcile pass: ship
+// owned-but-missing fragments, drop no-longer-owned ones. Operators
+// (and the placement smoke test) call it after membership churn to
+// force convergence instead of waiting for the next join.
+func (s *Server) handlePlacementRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	b := s.placementBackend()
+	if b == nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("frontend: this node is not a placement coordinator"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Minute)
+	defer cancel()
+	rep, err := b.Rebalance(ctx)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logger.Printf("frontend: rebalance pass: shipped %d, dropped %d, %d bytes moved", rep.Shipped, rep.Dropped, rep.BytesMoved)
+	s.writeJSON(w, http.StatusOK, rep)
+}
 
 // ---------------------------------------------------------------------
 // index page

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seedb/internal/engine"
+)
+
+// DropTable is the durability half of table removal (the placement
+// layer leans on it when a worker loses ownership of a fragment): the
+// table's snapshot must be removed so a restart does not resurrect
+// data the coordinator believes gone.
+func TestDropTableRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cat, live, s, _ := newStoreWithBase(t, dir, Options{SyncEvery: 1, SnapshotEvery: 4})
+
+	// A "keep" table rides along to prove the drop has no collateral.
+	keep := engine.MustNewTable("keep", testSchema())
+	if err := cat.Register(keep); err != nil {
+		t.Fatal(err)
+	}
+	// keep batches 1-3, live batches 4-6: the checkpoint fires at batch
+	// 4 (SnapshotEvery=4), leaving live's last two batches as the WAL
+	// tail — the resurrection vector the drop must neutralize.
+	for k := 0; k < 3; k++ {
+		if _, err := cat.Append(keep, testBatch(10+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := cat.Append(live, testBatch(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "live.snap")); err != nil {
+		t.Fatalf("precondition: live snapshot should exist: %v", err)
+	}
+	keepHash := contentHash(t, keep)
+
+	// The DB.DropTable sequence: catalog first, then durable state.
+	cat.Drop("live")
+	if err := s.DropTable("live"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "live.snap")); !os.IsNotExist(err) {
+		t.Fatalf("live snapshot still on disk after DropTable: %v", err)
+	}
+	// Idempotent: dropping a table with no snapshot is a no-op.
+	if err := s.DropTable("live"); err != nil {
+		t.Fatalf("second DropTable: %v", err)
+	}
+	if err := s.DropTable("never-existed"); err != nil {
+		t.Fatalf("DropTable of unknown table: %v", err)
+	}
+	// No Close: crash after the drop.
+
+	// Restart. Dropped tables are simply not registered (a placement
+	// worker only re-registers fragments it is shipped), so recovery
+	// must skip any WAL tail for "live" instead of resurrecting it —
+	// while "keep" comes back byte-identical.
+	cat2 := engine.NewCatalog()
+	keep2 := engine.MustNewTable("keep", testSchema())
+	if err := cat2.Register(keep2); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open(Options{Dir: dir}, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat2.Table("live"); err == nil {
+		t.Fatal("dropped table resurrected by recovery")
+	}
+	if info.SkippedBatches == 0 {
+		t.Fatalf("WAL tail for the dropped table should be skipped, got %+v", info)
+	}
+	kt, err := cat2.Table("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := contentHash(t, kt); got != keepHash {
+		t.Fatalf("keep table perturbed by the drop: %s != %s", got, keepHash)
+	}
+}

@@ -342,6 +342,30 @@ func (s *Store) CheckpointTable(t *engine.Table) error {
 	return nil
 }
 
+// DropTable removes a table from durable coverage: its snapshot file
+// is deleted and its dirty entry cleared, so neither a cadence
+// checkpoint nor recovery resurrects it. The placement layer uses it
+// when a worker loses ownership of a fragment — a durable worker then
+// checkpoints only the placements it still owns. WAL records naming
+// the table may remain in the current log; replay skips records whose
+// table is not registered, so they are inert.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store is closed")
+	}
+	delete(s.dirty, name)
+	path := filepath.Join(s.dir, snapshotFileName(name))
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: removing snapshot for dropped table %q: %w", name, err)
+	}
+	return syncDir(s.dir)
+}
+
 // writeSnapshotLocked writes <name>.snap atomically: temp file, fsync,
 // rename, fsync the directory so the rename itself is durable.
 func (s *Store) writeSnapshotLocked(t *engine.Table) error {

@@ -27,6 +27,7 @@ package seedb
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -273,8 +274,20 @@ func (db *DB) Observability() *obs.Hub { return db.obs }
 // RegisterTable makes a table queryable under its name.
 func (db *DB) RegisterTable(t *Table) error { return db.cat.Register(t) }
 
-// DropTable removes a table; missing names are a no-op.
-func (db *DB) DropTable(name string) { db.cat.Drop(name) }
+// DropTable removes a table; missing names are a no-op. With
+// durability enabled the table's snapshot is removed too, so a
+// restart does not resurrect it — the placement layer relies on this
+// when a worker loses ownership of a fragment.
+func (db *DB) DropTable(name string) error {
+	db.cat.Drop(name)
+	db.durMu.Lock()
+	s := db.durStore
+	db.durMu.Unlock()
+	if s != nil {
+		return s.DropTable(name)
+	}
+	return nil
+}
 
 // Table returns a registered table.
 func (db *DB) Table(name string) (*Table, error) { return db.cat.Table(name) }
@@ -307,7 +320,19 @@ func (db *DB) LoadCSV(name string, r io.Reader) (*Table, error) {
 // would leave the fleet permanently diverged. It returns the table's
 // new row count.
 func (db *DB) Append(name string, rows [][]Value) (int, error) {
-	if b, ok := db.core.Backend().(*cluster.ShardedBackend); ok && b.HasRemoteShards() {
+	switch b := db.core.Backend().(type) {
+	case *cluster.ShardedBackend:
+		if b.HasRemoteShards() {
+			sum, err := b.Ingest(context.Background(), name, engine.FormatRowsWire(rows))
+			if err != nil {
+				return 0, err
+			}
+			return sum.Rows, nil
+		}
+	case *cluster.PlacementBackend:
+		// Placement workers always hold private fragments (even
+		// in-process members), so the append must fan the delta out to
+		// the owners of the placements it lands in.
 		sum, err := b.Ingest(context.Background(), name, engine.FormatRowsWire(rows))
 		if err != nil {
 			return 0, err
@@ -637,7 +662,26 @@ type (
 	ClusterBackend = cluster.ShardedBackend
 	// ShardStatus is one shard's health snapshot.
 	ShardStatus = cluster.ShardStatus
+	// PlacementConfig tunes a data-partitioned placement backend
+	// (replication factor, placement size, failover).
+	PlacementConfig = cluster.PlacementConfig
+	// PlacementBackend is the data-partitioned coordinator backend:
+	// tables are cut into chunk-aligned placements assigned to workers
+	// via a consistent-hash ring.
+	PlacementBackend = cluster.PlacementBackend
+	// PlacementWorker is what the placement layer needs from a worker
+	// node (shard execution + fragment lifecycle).
+	PlacementWorker = cluster.PlacementWorker
+	// MemberShard is an in-process placement worker holding only its
+	// owned fragments in a private catalog.
+	MemberShard = cluster.MemberShard
+	// RebalanceReport describes one placement rebalance pass.
+	RebalanceReport = cluster.RebalanceReport
 )
+
+// NewMemberShard creates an empty in-process placement worker (see
+// DB.PlaceMembers).
+func NewMemberShard(id string) *MemberShard { return cluster.NewMemberShard(id) }
 
 // SetBackend installs a custom execution backend (nil restores the
 // in-process executor). Safe on a live DB; in-flight requests keep the
@@ -679,11 +723,61 @@ func (db *DB) ShardRemote(workers []string, timeout time.Duration, cfg ClusterCo
 	return b
 }
 
+// PlaceRemote switches the instance into placement-coordinator mode:
+// every table is cut into chunk-aligned placements assigned to the
+// given worker base URLs via a consistent-hash ring with cfg's
+// replication factor, and each scan range is routed to a live owner
+// of that range. The local replica remains authoritative (ingest
+// entry point and degraded path); workers hold only their owned
+// fragments, so the fleet can serve tables no single worker could
+// hold whole. Workers are rebalanced in as they are added; more can
+// register later via /api/shard/register or AddWorker on the
+// returned backend.
+func (db *DB) PlaceRemote(ctx context.Context, workers []string, timeout time.Duration, cfg PlacementConfig) (*PlacementBackend, error) {
+	b := cluster.NewPlacement(db.ex, cfg)
+	b.EnableMetrics(db.obs.Metrics)
+	db.core.SetBackend(b)
+	var firstErr error
+	for _, url := range workers {
+		if _, _, err := b.AddWorker(ctx, cluster.NewRemoteShard(url, timeout)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return b, firstErr
+}
+
+// PlaceMembers is PlaceRemote with n in-process MemberShard workers —
+// single-binary data partitioning. Each member holds only the
+// fragments the ring assigns it, in its own private catalog, so the
+// full ship/verify/rebalance machinery runs (and is testable) without
+// a fleet.
+func (db *DB) PlaceMembers(ctx context.Context, n int, cfg PlacementConfig) (*PlacementBackend, error) {
+	b := cluster.NewPlacement(db.ex, cfg)
+	b.EnableMetrics(db.obs.Metrics)
+	db.core.SetBackend(b)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if _, _, err := b.AddWorker(ctx, cluster.NewMemberShard(fmt.Sprintf("member-%d", i))); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return b, firstErr
+}
+
 // ClusterStatus returns the sharded backend's shard health snapshot,
-// or nil when the instance runs the plain in-process backend.
+// or nil when the instance runs the plain in-process backend. In
+// placement mode it reports the worker health snapshots.
 func (db *DB) ClusterStatus() []ShardStatus {
-	if b, ok := db.core.Backend().(*cluster.ShardedBackend); ok {
+	switch b := db.core.Backend().(type) {
+	case *cluster.ShardedBackend:
 		return b.Status()
+	case *cluster.PlacementBackend:
+		sts := b.Status()
+		out := make([]ShardStatus, len(sts))
+		for i, st := range sts {
+			out[i] = st.ShardStatus
+		}
+		return out
 	}
 	return nil
 }
