@@ -27,6 +27,11 @@ func main() {
 	k := flag.Int("k", 5, "number of views to recommend")
 	worst := flag.Int("worst", 0, "also show the N worst views")
 	metric := flag.String("metric", "emd", "deviation metric: emd | euclidean | kl | js | l1 | hellinger | chebyshev")
+	operator := flag.String("operator", "", "exploration operator: deviation | similarity | outlier | typical | trend (default deviation; an EXPLORE clause in -q overrides)")
+	probeDim := flag.String("probe-dimension", "", "similarity probe dimension (the view other views are compared against)")
+	probeMeasure := flag.String("probe-measure", "", "similarity probe measure column (default: count(*))")
+	probeFunc := flag.String("probe-func", "", "similarity probe aggregate: count | sum | avg | min | max")
+	probeBin := flag.Float64("probe-bin", 0, "similarity probe bin width for numeric probe dimensions (0 = categorical)")
 	rows := flag.Int("rows", 20000, "demo dataset size")
 	seed := flag.Int64("seed", 42, "demo dataset seed")
 	width := flag.Int("width", 92, "chart width in characters")
@@ -102,6 +107,11 @@ func main() {
 	opts.K = *k
 	opts.Metric = *metric
 	opts.IncludeWorst = *worst
+	opts.Operator = *operator
+	opts.ProbeDimension = *probeDim
+	opts.ProbeMeasure = *probeMeasure
+	opts.ProbeFunc = *probeFunc
+	opts.ProbeBinWidth = *probeBin
 	if *sample > 0 && *sample < 1 {
 		opts.SampleFraction = *sample
 		opts.SampleMinRows = 0
@@ -129,8 +139,8 @@ func main() {
 	}
 
 	fmt.Printf("query: %s\n", res.Query)
-	fmt.Printf("|D_Q| = %d rows · metric %s · %d candidate views, %d executed, %d queries, %.1f ms",
-		res.TargetRowCount, res.Metric, res.Stats.CandidateViews, res.Stats.ExecutedViews,
+	fmt.Printf("|D_Q| = %d rows · operator %s · metric %s · %d candidate views, %d executed, %d queries, %.1f ms",
+		res.TargetRowCount, res.Operator, res.Metric, res.Stats.CandidateViews, res.Stats.ExecutedViews,
 		res.Stats.QueriesIssued, res.Stats.ElapsedMillis)
 	if res.Stats.Sampled {
 		fmt.Printf(" · sampled %.0f%%", res.Stats.SampleFraction*100)
@@ -149,7 +159,7 @@ func main() {
 		spec := seedb.Chart(rec.Data, *normalized)
 		fmt.Print(spec.ASCII(*width))
 		key, delta := rec.Data.MaxDeltaKey()
-		fmt.Printf("max change at %q (Δ %.3f)\n", key, delta)
+		fmt.Printf("recommended chart: %s · max change at %q (Δ %.3f)\n", rec.ChartType, key, delta)
 		if len(rec.Represents) > 0 {
 			fmt.Printf("also represents correlated attributes: %s\n", strings.Join(rec.Represents, ", "))
 		}

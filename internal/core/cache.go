@@ -58,12 +58,23 @@ type ExecCache interface {
 // aggregates) is engine.PlanSignature — the same digest the engine's
 // chunk-partial store keys on — so the two caches can never drift on
 // what "same plan" means. This layer adds what the engine's signature
-// deliberately omits: table fingerprint, execution layout, and the
-// phased row range.
-func execCacheKey(fingerprint, layout string, q *engine.Query, gsets []engine.GroupingSet) string {
+// deliberately omits: table fingerprint, execution layout, the phased
+// row range, and the exploration operator that issued the query.
+//
+// The operator is part of the key even though an engine query's result
+// does not depend on it: entries stay partitioned per operator family,
+// matching RunSignature's semantics, at the cost of not sharing the
+// operator-independent comparison scan across operators. The engine's
+// chunk-partial store deliberately does NOT key on the operator: it
+// sits below the operator seam and is content-addressed purely by plan
+// shape (engine.PlanSignature), so sealed-chunk partials remain
+// reusable across operators and table versions alike.
+func execCacheKey(fingerprint, layout, operator string, q *engine.Query, gsets []engine.GroupingSet) string {
 	var b strings.Builder
 	b.Grow(256)
 	b.WriteString(fingerprint)
+	b.WriteByte('\n')
+	b.WriteString(operator)
 	b.WriteByte('\n')
 	b.WriteString(layout)
 	if q.Shards > 0 {

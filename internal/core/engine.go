@@ -10,6 +10,7 @@ import (
 	"seedb/internal/distance"
 	"seedb/internal/engine"
 	"seedb/internal/stats"
+	"seedb/internal/viz"
 )
 
 // Engine is the SeeDB backend: it owns an executor over a catalog plus
@@ -105,6 +106,10 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 	if err != nil {
 		return nil, err
 	}
+	op, err := GetOperator(opts.Operator)
+	if err != nil {
+		return nil, err
+	}
 	tb, err := e.ex.Catalog().Table(q.Table)
 	if err != nil {
 		return nil, err
@@ -137,6 +142,7 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 	res := &Result{
 		Query:          q,
 		Metric:         metric.Name(),
+		Operator:       op.Name(),
 		TargetRowCount: targetRows,
 	}
 	res.Stats.CandidateViews = len(views)
@@ -145,10 +151,28 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.ExecutedViews = len(outcome.views)
 	if len(outcome.views) == 0 {
 		return nil, fmt.Errorf("core: every candidate view was pruned; relax pruning options")
 	}
+	// Views the operator declares it cannot run without (similarity's
+	// probe) are force-included: enumeration or pruning may have
+	// skipped them, but the operator needs their data to score the rest.
+	for _, rv := range op.RequiredViews(opts) {
+		if err := validateRequiredView(rv, ts, op.Name()); err != nil {
+			return nil, err
+		}
+		present := false
+		for _, v := range outcome.views {
+			if v.Key() == rv.Key() {
+				present = true
+				break
+			}
+		}
+		if !present {
+			outcome.views = append(outcome.views, rv)
+		}
+	}
+	res.Stats.ExecutedViews = len(outcome.views)
 
 	sample := opts.SampleFraction > 0 && tb.NumRows() >= opts.SampleMinRows
 	res.Stats.Sampled = sample
@@ -160,15 +184,23 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 	var data []*ViewData
 	phasesUsed := 1
 	if opts.Phases > 1 {
-		data, phasesUsed, err = e.runPhased(ctx, outcome.views, ts, q, opts, metric, sample, &res.Stats, listener)
+		data, phasesUsed, err = e.runPhased(ctx, outcome.views, ts, q, opts, op, metric, sample, &res.Stats, listener)
 	} else {
 		var p *plan
 		p, err = buildPlan(outcome.views, ts, q, opts)
 		if err == nil {
 			res.Stats.PlanSummary = p.summary(opts.CombineTargetComparison)
-			data, err = executePlan(ctx, e, p, q, opts, metric, sample, 0, 0)
+			data, err = executePlan(ctx, e, p, q, opts, op.NeedsReference(), sample, 0, 0)
 		}
 	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Exploration operator: score the evaluated batch. Both execution
+	// paths hand the operator unscored views, so single-pass and phased
+	// runs score through exactly one code path.
+	data, err = op.Score(&ScoreContext{Metric: metric, Opts: opts}, data)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +223,7 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 		k = len(data)
 	}
 	for i := 0; i < k; i++ {
-		res.Recommendations = append(res.Recommendations, e.packageRec(i+1, data[i], q, outcome))
+		res.Recommendations = append(res.Recommendations, e.packageRec(i+1, data[i], q, outcome, op.Intent()))
 	}
 	if opts.IncludeWorst > 0 {
 		w := opts.IncludeWorst
@@ -200,7 +232,7 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 		}
 		for i := 0; i < w; i++ {
 			d := data[len(data)-1-i]
-			res.WorstViews = append(res.WorstViews, e.packageRec(i+1, d, q, outcome))
+			res.WorstViews = append(res.WorstViews, e.packageRec(i+1, d, q, outcome, op.Intent()))
 		}
 	}
 
@@ -212,14 +244,32 @@ func (e *Engine) RecommendProgress(ctx context.Context, q Query, opts Options, l
 	return res, nil
 }
 
-func (e *Engine) packageRec(rank int, d *ViewData, q Query, outcome pruneOutcome) Recommendation {
+func (e *Engine) packageRec(rank int, d *ViewData, q Query, outcome pruneOutcome, intent viz.Intent) Recommendation {
 	return Recommendation{
 		Rank:          rank,
 		Data:          d,
 		Represents:    outcome.represents[d.View.Dimension],
 		TargetSQL:     d.View.TargetSQL(q.Table, q.Predicate),
 		ComparisonSQL: d.View.ComparisonSQL(q.Table),
+		// Chart-type recommendation (DataVizard-style): scored from the
+		// view's dimension cardinality, its measure shape, and the
+		// operator's presentation intent.
+		ChartType: viz.RecommendType(viz.ChartInputs{Keys: d.Keys, Values: d.TargetRaw, Intent: intent}).String(),
 	}
+}
+
+// validateRequiredView checks that an operator-required view references
+// real columns before it is injected into the execution set.
+func validateRequiredView(v View, ts *stats.TableStats, opName string) error {
+	if _, err := ts.Column(v.Dimension); err != nil {
+		return fmt.Errorf("core: %s operator: probe dimension %q: %w", opName, v.Dimension, err)
+	}
+	if v.Measure != "" {
+		if _, err := ts.Column(v.Measure); err != nil {
+			return fmt.Errorf("core: %s operator: probe measure %q: %w", opName, v.Measure, err)
+		}
+	}
+	return nil
 }
 
 // countTarget runs SELECT COUNT(*) FROM D WHERE predicate. It goes

@@ -10,15 +10,18 @@ import (
 )
 
 // runUnit executes one unit's queries and converts the engine results
-// into scored ViewData (the View Processor of Figure 4: results are
-// normalized, utilities computed). cache, tb, and fingerprint are the
-// snapshot taken by executePlan — passed together so a SetCache racing
-// with an in-flight plan can never pair a live cache with an empty
-// fingerprint (tb is nil exactly when the cache path is off). With a
-// cache installed, identical queries (the comparison side of every
-// request against the same table, repeated target queries, concurrent
-// duplicates) skip the scan entirely.
-func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *engine.Table, fingerprint string, u *execUnit, q Query, opts Options, metric distance.Metric, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
+// into aligned ViewData (the View Processor of Figure 4: results are
+// normalized; utilities are assigned afterwards by the exploration
+// operator's Score). cache, tb, and fingerprint are the snapshot taken
+// by executePlan — passed together so a SetCache racing with an
+// in-flight plan can never pair a live cache with an empty fingerprint
+// (tb is nil exactly when the cache path is off). With a cache
+// installed, identical queries (the comparison side of every request
+// against the same table, repeated target queries, concurrent
+// duplicates) skip the scan entirely. needsRef comes from the
+// operator's data declaration: when false only the target-side query
+// runs and its results are mirrored into the comparison slot.
+func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *engine.Table, fingerprint string, u *execUnit, q Query, opts Options, needsRef, sample bool, scanPar, rowLo, rowHi int) ([]*ViewData, error) {
 	mkQuery := func(aggs []engine.AggSpec, where engine.Predicate) *engine.Query {
 		eq := &engine.Query{Table: q.Table, Where: where, Aggs: aggs, Parallelism: scanPar, Shards: opts.Shards, RowLo: rowLo, RowHi: rowHi}
 		if sample {
@@ -67,7 +70,7 @@ func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *en
 		if cache == nil || fingerprint == "" {
 			return do()
 		}
-		return cache.GetOrCompute(ctx, execCacheKey(fingerprint, be.Signature(), eq, gsets), func() ([]*engine.Result, bool, error) {
+		return cache.GetOrCompute(ctx, execCacheKey(fingerprint, be.Signature(), opts.Operator, eq, gsets), func() ([]*engine.Result, bool, error) {
 			res, err := do()
 			if err != nil {
 				return nil, false, err
@@ -85,13 +88,22 @@ func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *en
 		})
 	}
 
-	if opts.CombineTargetComparison {
+	switch {
+	case opts.CombineTargetComparison:
 		results, err := run(true, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: unit %v: %w", u.dims, err)
 		}
 		compRes, targRes = results, results
-	} else {
+	case !needsRef:
+		// Target-only operator: one scan of D_Q; the comparison slot
+		// mirrors it so ViewData keeps its shape (Target == Comparison).
+		results, err := run(false, q.Predicate)
+		if err != nil {
+			return nil, fmt.Errorf("core: unit %v target: %w", u.dims, err)
+		}
+		compRes, targRes = results, results
+	default:
 		var err error
 		if compRes, err = run(false, nil); err != nil {
 			return nil, fmt.Errorf("core: unit %v comparison: %w", u.dims, err)
@@ -115,7 +127,7 @@ func runUnit(ctx context.Context, e *Engine, be Backend, cache ExecCache, tb *en
 				cMap, cAux = extractSide(cRes, vc, false, opts.CombineTargetComparison)
 				tMap, tAux = extractSide(tRes, vc, true, opts.CombineTargetComparison)
 			}
-			vd := buildViewData(vc.view, tMap, cMap, metric)
+			vd := buildViewData(vc.view, tMap, cMap)
 			if vd != nil {
 				attachAvgAux(vd, tAux, cAux)
 				out = append(out, vd)
@@ -294,10 +306,13 @@ func marginalize(res *engine.Result, dimPos int, vc viewCols, targetSide, combin
 	return out, avgAux
 }
 
-// buildViewData aligns the two sides, normalizes, and scores. A view
-// whose comparison side is entirely empty (no groups at all) cannot be
-// scored and yields nil.
-func buildViewData(v View, tMap, cMap map[string]float64, metric distance.Metric) *ViewData {
+// buildViewData aligns the two sides and normalizes. Scoring is the
+// exploration operator's job (ExplorationOperator.Score), which runs on
+// the gathered batch — per-view utilities like deviation come out
+// byte-identical to scoring here, and batch operators (outlier,
+// similarity) get the cross-view context they need. A view with no
+// groups on either side cannot be evaluated and yields nil.
+func buildViewData(v View, tMap, cMap map[string]float64) *ViewData {
 	if len(tMap) == 0 && len(cMap) == 0 {
 		return nil
 	}
@@ -308,10 +323,6 @@ func buildViewData(v View, tMap, cMap map[string]float64, metric distance.Metric
 		tRaw[i] = tMap[k]
 		cRaw[i] = cMap[k]
 	}
-	utility, err := metric.Distance(tDist, cDist)
-	if err != nil {
-		return nil
-	}
 	return &ViewData{
 		View:          v,
 		Keys:          keys,
@@ -319,13 +330,12 @@ func buildViewData(v View, tMap, cMap map[string]float64, metric distance.Metric
 		ComparisonRaw: cRaw,
 		Target:        tDist,
 		Comparison:    cDist,
-		Utility:       utility,
 	}
 }
 
 // executePlan dispatches units across a worker pool ("Parallel Query
-// Execution", §3.3) and gathers scored views.
-func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options, metric distance.Metric, sample bool, rowLo, rowHi int) ([]*ViewData, error) {
+// Execution", §3.3) and gathers evaluated (not yet scored) views.
+func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options, needsRef, sample bool, rowLo, rowHi int) ([]*ViewData, error) {
 	if len(p.units) == 0 {
 		return nil, nil
 	}
@@ -351,7 +361,7 @@ func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options,
 	if workers <= 1 {
 		var all []*ViewData
 		for _, u := range p.units {
-			vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+			vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, needsRef, sample, p.scanParallelism, rowLo, rowHi)
 			if err != nil {
 				return nil, err
 			}
@@ -373,7 +383,7 @@ func executePlan(ctx context.Context, e *Engine, p *plan, q Query, opts Options,
 		go func(w int) {
 			defer wg.Done()
 			for u := range unitCh {
-				vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, metric, sample, p.scanParallelism, rowLo, rowHi)
+				vds, err := runUnit(ctx, e, be, cache, tb, fingerprint, u, q, opts, needsRef, sample, p.scanParallelism, rowLo, rowHi)
 				if err != nil {
 					errs[w] = err
 					continue

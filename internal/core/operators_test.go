@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"seedb/internal/distance"
+	"seedb/internal/engine"
+)
+
+// mkVD hand-builds a ViewData for operator-level tests: Target is the
+// normalized form of the raw vector, Comparison mirrors it (operators
+// under test here never read the comparison side).
+func mkVD(v View, keys []string, raw []float64) *ViewData {
+	d := &ViewData{
+		View:      v,
+		Keys:      append([]string(nil), keys...),
+		TargetRaw: append([]float64(nil), raw...),
+	}
+	d.Target = distance.Normalize(raw)
+	d.ComparisonRaw = append([]float64(nil), raw...)
+	d.Comparison = distance.Normalize(raw)
+	return d
+}
+
+func TestOperatorRegistry(t *testing.T) {
+	names := OperatorNames()
+	for _, want := range []string{"deviation", "similarity", "outlier", "typical", "trend"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("operator %q not registered (have %v)", want, names)
+		}
+	}
+	op, err := GetOperator("")
+	if err != nil || op.Name() != "deviation" {
+		t.Errorf(`GetOperator("") = %v, %v; want deviation`, op, err)
+	}
+	if _, err := GetOperator("bogus"); err == nil {
+		t.Error("unknown operator should error")
+	}
+}
+
+// TestDeviationScoreMatchesMetric pins the byte-identity contract: the
+// deviation operator's utility is exactly the metric distance on the
+// view's aligned distributions, computed in batch order.
+func TestDeviationScoreMatchesMetric(t *testing.T) {
+	for _, name := range []string{"emd", "js", "kl", "l1"} {
+		metric, err := distance.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := mkVD(View{Dimension: "d", Func: engine.AggCount}, []string{"a", "b"}, []float64{3, 1})
+		d.Comparison = distance.Distribution{0.5, 0.5}
+		want, err := metric.Distance(d.Target, d.Comparison)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scored, err := (deviationOperator{}).Score(&ScoreContext{Metric: metric}, []*ViewData{d})
+		if err != nil || len(scored) != 1 {
+			t.Fatalf("%s: score: %v (%d views)", name, err, len(scored))
+		}
+		if scored[0].Utility != want {
+			t.Errorf("%s: utility %v != metric distance %v (must be bit-identical)", name, scored[0].Utility, want)
+		}
+	}
+}
+
+func TestResampleMass(t *testing.T) {
+	cases := []distance.Distribution{
+		{1},
+		{0.5, 0.5},
+		{0.1, 0.2, 0.3, 0.4},
+		{0.25, 0, 0.5, 0.25, 0},
+	}
+	for _, p := range cases {
+		out := resampleMass(p, 64)
+		if len(out) != 64 {
+			t.Fatalf("resample(%v): len = %d", p, len(out))
+		}
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				t.Errorf("resample(%v): negative mass %v", p, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("resample(%v): mass %v, want 1 (mass-preserving)", p, sum)
+		}
+	}
+	// Same length: exact copy.
+	p := distance.Distribution{0.25, 0.75}
+	out := resampleMass(p, 2)
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Errorf("same-length resample should be identity, got %v", out)
+	}
+	if resampleMass(nil, 64) != nil {
+		t.Error("empty distribution should resample to nil")
+	}
+}
+
+func TestSimilarityScore(t *testing.T) {
+	metric, _ := distance.Get("l1")
+	opts := Options{ProbeDimension: "p"}
+	pv, err := opts.probeView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Func != engine.AggCount || pv.Dimension != "p" {
+		t.Fatalf("default probe view = %v, want count(*) BY p", pv)
+	}
+
+	probe := mkVD(pv, []string{"x", "y"}, []float64{1, 0})
+	same := mkVD(View{Dimension: "a", Func: engine.AggCount}, []string{"u", "v"}, []float64{1, 0})
+	opposite := mkVD(View{Dimension: "b", Func: engine.AggCount}, []string{"u", "v"}, []float64{0, 1})
+
+	scored, err := (similarityOperator{}).Score(
+		&ScoreContext{Metric: metric, Opts: opts},
+		[]*ViewData{probe, same, opposite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != 2 {
+		t.Fatalf("probe must be excluded from ranking: got %d views", len(scored))
+	}
+	for _, d := range scored {
+		if d.View.Key() == pv.Key() {
+			t.Error("probe view leaked into the ranking")
+		}
+	}
+	if same.Utility != 1 {
+		t.Errorf("identical shape utility = %v, want 1", same.Utility)
+	}
+	if !(same.Utility > opposite.Utility) {
+		t.Errorf("similar view must outrank dissimilar: %v vs %v", same.Utility, opposite.Utility)
+	}
+
+	// Missing probe data is an error, not a silent empty ranking.
+	if _, err := (similarityOperator{}).Score(&ScoreContext{Metric: metric, Opts: opts}, []*ViewData{same}); err == nil {
+		t.Error("missing probe view should error")
+	} else if !strings.Contains(err.Error(), "probe view") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSiblingScore(t *testing.T) {
+	metric, _ := distance.Get("l1")
+	dim := func(m string) View { return View{Dimension: "d", Measure: m, Func: engine.AggSum} }
+	v1 := mkVD(dim("m1"), []string{"a", "b"}, []float64{1, 0})
+	v2 := mkVD(dim("m2"), []string{"a", "b"}, []float64{0, 1})
+	v3 := mkVD(dim("m3"), []string{"a", "b"}, []float64{1, 1})
+	// Singleton sibling group: no centroid to compare against → dropped.
+	lone := mkVD(View{Dimension: "e", Func: engine.AggCount}, []string{"a"}, []float64{1})
+
+	data := []*ViewData{v1, v2, v3, lone}
+	scored, err := (siblingOperator{outlier: true}).Score(&ScoreContext{Metric: metric}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != 3 {
+		t.Fatalf("singleton group must be dropped: got %d views", len(scored))
+	}
+	// Leave-one-out centroids (L1): v1 vs mean(v2,v3) = (0.25,0.75) → 1.5;
+	// v3 vs mean(v1,v2) = (0.5,0.5) → 0.
+	if math.Abs(v1.Utility-1.5) > 1e-12 {
+		t.Errorf("outlier utility(v1) = %v, want 1.5", v1.Utility)
+	}
+	if v3.Utility != 0 {
+		t.Errorf("outlier utility(v3) = %v, want 0 (it IS the centroid)", v3.Utility)
+	}
+
+	// Typicality inverts the ranking: the centroid-like view wins.
+	v1b, v2b, v3b := mkVD(dim("m1"), v1.Keys, []float64{1, 0}), mkVD(dim("m2"), v2.Keys, []float64{0, 1}), mkVD(dim("m3"), v3.Keys, []float64{1, 1})
+	if _, err := (siblingOperator{outlier: false}).Score(&ScoreContext{Metric: metric}, []*ViewData{v1b, v2b, v3b}); err != nil {
+		t.Fatal(err)
+	}
+	if v3b.Utility != 1 {
+		t.Errorf("typical utility(centroid view) = %v, want 1", v3b.Utility)
+	}
+	if !(v3b.Utility > v1b.Utility) {
+		t.Errorf("typical must invert outlier ranking: %v vs %v", v3b.Utility, v1b.Utility)
+	}
+}
+
+func TestKendallTrend(t *testing.T) {
+	if tau, ok := kendallTrend([]string{"1", "2", "3", "4"}, []float64{1, 2, 4, 8}); !ok || tau != 1 {
+		t.Errorf("increasing series: tau = %v, ok = %v; want 1", tau, ok)
+	}
+	if tau, ok := kendallTrend([]string{"1", "2", "3"}, []float64{9, 5, 2}); !ok || tau != -1 {
+		t.Errorf("decreasing series: tau = %v, ok = %v; want -1", tau, ok)
+	}
+	// Month names carry intrinsic order.
+	if tau, ok := kendallTrend([]string{"Jan", "Feb", "Mar"}, []float64{1, 2, 3}); !ok || tau != 1 {
+		t.Errorf("month series: tau = %v, ok = %v; want 1", tau, ok)
+	}
+	if _, ok := kendallTrend([]string{"x", "y", "z"}, []float64{1, 2, 3}); ok {
+		t.Error("nominal keys have no trend")
+	}
+	if _, ok := kendallTrend([]string{"1", "2"}, []float64{1, 2}); ok {
+		t.Error("fewer than 3 groups have no trend")
+	}
+	if _, ok := kendallTrend([]string{"1", "1", "1"}, []float64{1, 2, 3}); ok {
+		t.Error("all-tied positions have no trend")
+	}
+
+	// Through the operator: dropped views and |τ| utility.
+	metric, _ := distance.Get("emd")
+	up := mkVD(View{Dimension: "t", Func: engine.AggCount}, []string{"1", "2", "3"}, []float64{1, 2, 3})
+	down := mkVD(View{Dimension: "t", Measure: "m", Func: engine.AggSum}, []string{"1", "2", "3"}, []float64{3, 2, 1})
+	nominal := mkVD(View{Dimension: "n", Func: engine.AggCount}, []string{"x", "y", "z"}, []float64{1, 2, 3})
+	scored, err := (trendOperator{}).Score(&ScoreContext{Metric: metric}, []*ViewData{up, down, nominal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scored) != 2 {
+		t.Fatalf("nominal view must be dropped: got %d", len(scored))
+	}
+	if up.Utility != 1 || down.Utility != 1 {
+		t.Errorf("trend utility is |tau|: up=%v down=%v, want 1,1", up.Utility, down.Utility)
+	}
+}
+
+// TestMaxDeltaKeyTieBreak pins the deterministic tie-break: equal
+// absolute deltas resolve to the lexicographically smallest key even
+// when the keys arrive unsorted.
+func TestMaxDeltaKeyTieBreak(t *testing.T) {
+	d := &ViewData{
+		Keys:       []string{"b", "a"},
+		Target:     distance.Distribution{0.6, 0.4},
+		Comparison: distance.Distribution{0.4, 0.6},
+	}
+	k, delta := d.MaxDeltaKey()
+	if k != "a" {
+		t.Errorf("tie-break key = %q, want %q (lexicographically smallest)", k, "a")
+	}
+	if math.Abs(delta-0.2) > 1e-12 {
+		t.Errorf("delta = %v, want 0.2", delta)
+	}
+}
+
+func TestNormalizeOperator(t *testing.T) {
+	o := DefaultOptions()
+	o.Operator = "bogus"
+	if _, err := o.normalize(); err == nil {
+		t.Error("unknown operator must fail normalize")
+	}
+
+	o = DefaultOptions()
+	o.Operator = "similarity"
+	if _, err := o.normalize(); err == nil {
+		t.Error("similarity without a probe must fail normalize")
+	}
+	o.ProbeDimension = "d"
+	o.ProbeMeasure = "m" // measure without func is ambiguous
+	if _, err := o.normalize(); err == nil {
+		t.Error("probe measure without ProbeFunc must fail normalize")
+	}
+	o.ProbeFunc = "sum"
+	n, err := o.normalize()
+	if err != nil {
+		t.Fatalf("valid similarity options: %v", err)
+	}
+	if n.CombineTargetComparison {
+		t.Error("target-only operators must disable the combined target+comparison scan")
+	}
+
+	// Reference operators keep the combined-scan optimization.
+	o = DefaultOptions()
+	o.Operator = "deviation"
+	n, err = o.normalize()
+	if err != nil || !n.CombineTargetComparison {
+		t.Errorf("deviation must keep CombineTargetComparison: %v, %v", n.CombineTargetComparison, err)
+	}
+
+	for _, name := range []string{"outlier", "typical", "trend"} {
+		o = DefaultOptions()
+		o.Operator = name
+		n, err = o.normalize()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if n.CombineTargetComparison {
+			t.Errorf("%s is target-only; combined scan must be off", name)
+		}
+	}
+}

@@ -48,6 +48,25 @@ type Options struct {
 	// Metric names the distance function (see internal/distance).
 	Metric string
 
+	// Operator names the exploration operator that scores views
+	// ("deviation" when empty; see ExplorationOperator and
+	// OperatorNames). The operator travels inside Options on purpose:
+	// RunSignature, the scheduler's coalescing key, session defaults,
+	// and the SSE resume digest all derive from the option set, so a
+	// new operator knob propagates through every layer without any of
+	// them learning what an operator is.
+	Operator string
+
+	// ProbeDimension / ProbeMeasure / ProbeFunc / ProbeBinWidth name
+	// the probe view for the similarity operator ("views shaped like
+	// f(m) BY a"). ProbeFunc is the aggregate name ("sum", "count",
+	// ...); it is kept as a string so Options stays a value-only
+	// struct (see RunSignature).
+	ProbeDimension string
+	ProbeMeasure   string
+	ProbeFunc      string
+	ProbeBinWidth  float64
+
 	// AggFuncs lists the aggregate functions F to enumerate.
 	AggFuncs []engine.AggFunc
 	// Dimensions / Measures override automatic attribute detection
@@ -191,6 +210,22 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Metric == "" {
 		o.Metric = "emd"
+	}
+	if o.Operator == "" {
+		o.Operator = "deviation"
+	}
+	op, err := GetOperator(o.Operator)
+	if err != nil {
+		return o, err
+	}
+	if err := op.Validate(o); err != nil {
+		return o, err
+	}
+	if !op.NeedsReference() {
+		// Target-only operators run a single side per view; the
+		// conditional-aggregate rewrite that merges target+comparison
+		// scans has nothing to merge.
+		o.CombineTargetComparison = false
 	}
 	if len(o.AggFuncs) == 0 {
 		o.AggFuncs = []engine.AggFunc{engine.AggSum}

@@ -170,12 +170,16 @@ func metricBound(name string, maxGroups int) float64 {
 
 // runPhased executes the surviving views in opts.Phases row-range
 // chunks with confidence-interval pruning between phases, returning
-// exact ViewData for every view that survived to the end plus the
-// actual phase count used (opts.Phases clamped to the row count).
-// listener, when non-nil, receives a ProgressSnapshot after every
-// non-final phase; the final snapshot is emitted by RecommendProgress
-// once the ranking is sorted.
-func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableStats, q Query, opts Options, metric distance.Metric, sample bool, st *RunStats, listener ProgressListener) ([]*ViewData, int, error) {
+// exact (unscored) ViewData for every view that survived to the end
+// plus the actual phase count used (opts.Phases clamped to the row
+// count). Interim pruning decisions score through the exploration
+// operator, so the Hoeffding machinery works for any operator: the
+// utility scale B is the largest interim utility the operator
+// produced, with op.UtilityBound as the degenerate fallback. listener,
+// when non-nil, receives a ProgressSnapshot after every non-final
+// phase; the final snapshot is emitted by RecommendProgress once the
+// ranking is sorted.
+func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableStats, q Query, opts Options, op ExplorationOperator, metric distance.Metric, sample bool, st *RunStats, listener ProgressListener) ([]*ViewData, int, error) {
 	for _, v := range views {
 		switch v.Func {
 		case engine.AggCount, engine.AggSum, engine.AggMin, engine.AggMax, engine.AggAvg:
@@ -194,6 +198,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 	}
 
 	delta := 1 - opts.PhaseConfidence
+	sc := &ScoreContext{Metric: metric, Opts: opts}
 
 	accs := make(map[string]*phasedAcc, len(views))
 	order := make([]string, 0, len(views))
@@ -223,7 +228,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 			span.Finish()
 			return nil, 0, err
 		}
-		phaseData, err := executePlan(ctx, e, p, q, opts, metric, sample, lo, hi)
+		phaseData, err := executePlan(ctx, e, p, q, opts, op.NeedsReference(), sample, lo, hi)
 		if err != nil {
 			span.Finish()
 			return nil, 0, err
@@ -245,6 +250,21 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		m := float64(phase + 1)
 		n := float64(phases)
 
+		var interimData []*ViewData
+		for _, key := range order {
+			acc := accs[key]
+			if acc.pruned {
+				continue
+			}
+			tm, cm := acc.valueMaps()
+			if d := buildViewData(acc.view, tm, cm); d != nil {
+				interimData = append(interimData, d)
+			}
+		}
+		scoredData, err := op.Score(sc, interimData)
+		if err != nil {
+			return nil, 0, err
+		}
 		type scored struct {
 			key  string
 			view View
@@ -252,24 +272,15 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 		}
 		var interim []scored
 		maxU := 0.0
-		for _, key := range order {
-			acc := accs[key]
-			if acc.pruned {
-				continue
-			}
-			tm, cm := acc.valueMaps()
-			d := buildViewData(acc.view, tm, cm, metric)
-			if d == nil {
-				continue
-			}
-			interim = append(interim, scored{key, acc.view, d.Utility})
+		for _, d := range scoredData {
+			interim = append(interim, scored{d.View.Key(), d.View, d.Utility})
 			if d.Utility > maxU {
 				maxU = d.Utility
 			}
 		}
 		bound := maxU
 		if bound <= 0 {
-			bound = metricBound(metric.Name(), 2)
+			bound = op.UtilityBound(metric.Name(), 2)
 		}
 		eps := bound * math.Sqrt((1-m/n)*math.Log(2/delta)/(2*m))
 		var prunedNow []ProgressEntry
@@ -322,7 +333,7 @@ func (e *Engine) runPhased(ctx context.Context, views []View, ts *stats.TableSta
 			continue
 		}
 		tm, cm := acc.valueMaps()
-		if d := buildViewData(acc.view, tm, cm, metric); d != nil {
+		if d := buildViewData(acc.view, tm, cm); d != nil {
 			out = append(out, d)
 		}
 	}

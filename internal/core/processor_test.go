@@ -113,18 +113,24 @@ func TestMarginalize(t *testing.T) {
 func TestBuildViewData(t *testing.T) {
 	metric, _ := distance.Get("emd")
 	// Empty both sides → nil.
-	if buildViewData(View{}, nil, nil, metric) != nil {
+	if buildViewData(View{}, nil, nil) != nil {
 		t.Error("empty view data should be nil")
 	}
 	// Target-only group aligns with zero comparison mass.
 	d := buildViewData(View{Dimension: "d"},
 		map[string]float64{"a": 1},
-		map[string]float64{"a": 1, "b": 1}, metric)
+		map[string]float64{"a": 1, "b": 1})
 	if d == nil {
 		t.Fatal("view data should build")
 	}
 	if len(d.Keys) != 2 || d.TargetRaw[1] != 0 {
 		t.Errorf("alignment wrong: keys=%v targetRaw=%v", d.Keys, d.TargetRaw)
+	}
+	// Scoring is the operator's job: the deviation operator assigns
+	// the metric distance as the utility.
+	scored, err := (deviationOperator{}).Score(&ScoreContext{Metric: metric}, []*ViewData{d})
+	if err != nil || len(scored) != 1 {
+		t.Fatalf("deviation score: %v (%d views)", err, len(scored))
 	}
 	if d.Utility <= 0 {
 		t.Errorf("utility = %v, want > 0 for differing distributions", d.Utility)

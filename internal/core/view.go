@@ -140,7 +140,11 @@ type AvgAux struct {
 
 // MaxDeltaKey returns the group label with the largest absolute
 // probability difference between target and comparison — the "value
-// with maximum change" statistic the frontend shows per view.
+// with maximum change" statistic the frontend shows per view. Equal
+// deltas break toward the lexicographically smallest key, explicitly:
+// Keys are sorted by construction (distance.Align), but operator
+// annotations must stay stable even for a hand-built ViewData whose
+// keys arrive in arbitrary order.
 func (d *ViewData) MaxDeltaKey() (string, float64) {
 	best, bestDelta := "", -1.0
 	for i, k := range d.Keys {
@@ -148,7 +152,7 @@ func (d *ViewData) MaxDeltaKey() (string, float64) {
 		if delta < 0 {
 			delta = -delta
 		}
-		if delta > bestDelta {
+		if delta > bestDelta || (delta == bestDelta && k < best) {
 			best, bestDelta = k, delta
 		}
 	}
@@ -168,6 +172,12 @@ type Recommendation struct {
 	// TargetSQL / ComparisonSQL are the display SQL texts.
 	TargetSQL     string
 	ComparisonSQL string
+
+	// ChartType is the recommended visualization family ("bar",
+	// "line", or "table"), scored by internal/viz from the view's
+	// dimension cardinality, measure shape, and the exploration
+	// operator's intent.
+	ChartType string
 }
 
 // ViewScore is a (view, utility) pair; the processor records one per
@@ -233,6 +243,9 @@ type Result struct {
 	Query Query
 	// Metric is the distance metric used for utilities.
 	Metric string
+	// Operator is the exploration operator that scored the views
+	// ("deviation", "similarity", "outlier", "typical", "trend").
+	Operator string
 	// TargetRowCount is |D_Q| (rows matching the predicate).
 	TargetRowCount int64
 

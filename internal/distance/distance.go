@@ -293,6 +293,46 @@ func (Hellinger) Distance(p, q Distribution) (float64, error) {
 }
 
 // ---------------------------------------------------------------------
+// Cosine — extension metric (shape matching)
+
+// Cosine is the cosine distance 1 − (p·q)/(‖p‖‖q‖) ∈ [0,1] for
+// non-negative inputs. It compares the *shape* of two distributions
+// while ignoring their overall scale, which makes it the natural
+// kernel for similarity-style exploration operators ("views shaped
+// like this probe view") where the absolute mass per group matters
+// less than where the mass sits.
+type Cosine struct{}
+
+// Name implements Metric.
+func (Cosine) Name() string { return "cosine" }
+
+// Distance implements Metric.
+func (Cosine) Distance(p, q Distribution) (float64, error) {
+	if err := checkPair("cosine", p, q); err != nil {
+		return 0, err
+	}
+	var dot, pp, qq float64
+	for i := range p {
+		dot += p[i] * q[i]
+		pp += p[i] * p[i]
+		qq += q[i] * q[i]
+	}
+	if pp == 0 || qq == 0 {
+		// A zero vector has no direction; treat it as maximally far
+		// from everything except another zero vector.
+		if pp == qq {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	d := 1 - dot/(math.Sqrt(pp)*math.Sqrt(qq))
+	if d < 0 { // numerical noise: cos similarity can exceed 1 by ulps
+		d = 0
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------
 // Chebyshev — extension metric
 
 // Chebyshev is the L∞ distance: the largest single-group probability
@@ -334,6 +374,7 @@ func init() {
 	MustRegister(L1{})
 	MustRegister(Hellinger{})
 	MustRegister(Chebyshev{})
+	MustRegister(Cosine{})
 }
 
 // Register adds a metric under its Name; duplicate names error.

@@ -8,7 +8,7 @@ import (
 )
 
 func allMetrics() []Metric {
-	return []Metric{EMD{}, Euclidean{}, KL{}, JS{}, L1{}, Hellinger{}, Chebyshev{}}
+	return []Metric{EMD{}, Euclidean{}, KL{}, JS{}, L1{}, Hellinger{}, Chebyshev{}, Cosine{}}
 }
 
 // randomDistPair generates two aligned random distributions.
@@ -126,7 +126,7 @@ func TestMetricNonNegativity(t *testing.T) {
 
 func TestMetricSymmetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	symmetric := []Metric{EMD{}, Euclidean{}, JS{}, L1{}, Hellinger{}, Chebyshev{}}
+	symmetric := []Metric{EMD{}, Euclidean{}, JS{}, L1{}, Hellinger{}, Chebyshev{}, Cosine{}}
 	for _, m := range symmetric {
 		for trial := 0; trial < 100; trial++ {
 			p, q := randomDistPair(rng)
@@ -267,6 +267,58 @@ func TestChebyshevKnownValues(t *testing.T) {
 	}
 }
 
+func TestCosineKnownValues(t *testing.T) {
+	// Identical shape at different scales is distance 0 only after
+	// normalization; on normalized inputs, equal vectors → 0.
+	d, _ := Cosine{}.Distance(Distribution{0.5, 0.3, 0.2}, Distribution{0.5, 0.3, 0.2})
+	if d > 1e-12 {
+		t.Errorf("cosine identity = %v, want 0", d)
+	}
+	// Disjoint support (orthogonal vectors) → maximal distance 1.
+	d, _ = Cosine{}.Distance(Distribution{1, 0}, Distribution{0, 1})
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("orthogonal cosine = %v, want 1", d)
+	}
+	// 45° between (1,0) and uniform: 1 − 1/√2.
+	d, _ = Cosine{}.Distance(Distribution{1, 0}, Distribution{0.5, 0.5})
+	if math.Abs(d-(1-1/math.Sqrt2)) > 1e-12 {
+		t.Errorf("cosine = %v, want %v", d, 1-1/math.Sqrt2)
+	}
+	// Zero vectors have no direction: equal-zero pairs compare as 0,
+	// zero-vs-nonzero as maximally far.
+	if d, _ = (Cosine{}).Distance(Distribution{0, 0}, Distribution{0, 0}); d != 0 {
+		t.Errorf("zero/zero cosine = %v, want 0", d)
+	}
+	if d, _ = (Cosine{}).Distance(Distribution{0, 0}, Distribution{1, 0}); d != 1 {
+		t.Errorf("zero/nonzero cosine = %v, want 1", d)
+	}
+}
+
+// TestCosineProperties checks the satellite's property triple —
+// symmetry, identity, range — over random distribution pairs.
+func TestCosineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := Cosine{}
+	for trial := 0; trial < 500; trial++ {
+		p, q := randomDistPair(rng)
+		d, err := m.Distance(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 || d > 1 || math.IsNaN(d) {
+			t.Fatalf("cosine out of [0,1]: %v for p=%v q=%v", d, p, q)
+		}
+		d2, _ := m.Distance(q, p)
+		if math.Abs(d-d2) > 1e-12 {
+			t.Fatalf("cosine asymmetric: %v vs %v", d, d2)
+		}
+		self, _ := m.Distance(p, p)
+		if self > 1e-12 {
+			t.Fatalf("cosine d(p,p) = %v, want ~0", self)
+		}
+	}
+}
+
 func TestMetricErrorCases(t *testing.T) {
 	for _, m := range allMetrics() {
 		if _, err := m.Distance(Distribution{0.5, 0.5}, Distribution{1}); err == nil {
@@ -279,7 +331,7 @@ func TestMetricErrorCases(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	for _, name := range []string{"emd", "euclidean", "kl", "js", "l1", "hellinger", "chebyshev"} {
+	for _, name := range []string{"emd", "euclidean", "kl", "js", "l1", "hellinger", "chebyshev", "cosine"} {
 		m, err := Get(name)
 		if err != nil {
 			t.Errorf("Get(%q): %v", name, err)

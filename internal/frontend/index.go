@@ -89,6 +89,12 @@ const indexHTML = `<!DOCTYPE html>
     </fieldset>
     <fieldset>
       <legend>Settings</legend>
+      <label for="operator">Exploration operator</label>
+      <select id="operator"></select>
+      <div id="probeRow" style="display:none">
+        <label for="probeDim">Similarity probe: count(*) BY</label>
+        <select id="probeDim"></select>
+      </div>
       <label for="metric">Deviation metric</label>
       <select id="metric"></select>
       <label for="k">Number of views (k)</label>
@@ -143,6 +149,7 @@ function refreshColumns() {
   const t = currentTable();
   if (!t) return;
   fillSelect(el('predCol'), t.columns, c => c.name, c => c.name + ' (' + c.type.toLowerCase() + ')');
+  fillSelect(el('probeDim'), t.columns, c => c.name, c => c.name);
   refreshValues();
 }
 
@@ -157,6 +164,8 @@ async function loadMeta() {
   META = await getJSON('/api/meta');
   fillSelect(el('table'), META.tables, t => t.name, t => t.name + ' (' + t.rows + ' rows)');
   fillSelect(el('metric'), META.metrics, m => m, m => m);
+  fillSelect(el('operator'), META.operators || ['deviation'], o => o, o => o);
+  el('operator').value = 'deviation';
   const ts = el('templates');
   for (const t of META.templates) {
     const o = document.createElement('option');
@@ -180,6 +189,7 @@ function cardHTML(v, idx) {
   const opts = (v.keys || []).map(k => '<option>' + k.replaceAll('<','&lt;') + '</option>').join('');
   let h = '<div class="card"><h3>#' + v.rank + ' ' + v.title + '</h3>' +
     '<div class="meta">utility ' + v.utility.toFixed(4) + ' · ' + v.groups + ' groups' +
+    (v.chartType ? ' · ' + v.chartType + ' chart' : '') +
     ' · max change at <b>' + v.maxDeltaKey + '</b> (Δ ' + v.maxDelta.toFixed(3) + ')' +
     (v.represents && v.represents.length ? ' · also represents: ' + v.represents.join(', ') : '') +
     '</div>' + v.svg +
@@ -248,6 +258,9 @@ function streamParams() {
   });
   const sf = parseFloat(el('sample').value) || 0;
   if (sf > 0) params.set('sampleFraction', sf);
+  const op = el('operator').value;
+  if (op && op !== 'deviation') params.set('operator', op);
+  if (op === 'similarity') params.set('probeDimension', el('probeDim').value);
   return params;
 }
 
@@ -329,6 +342,9 @@ async function recommend() {
       // streaming path; unchecking "stream" restores exact single-pass
       // execution on this blocking path.
     };
+    const op = el('operator').value;
+    if (op && op !== 'deviation') body.operator = op;
+    if (op === 'similarity') body.probeDimension = el('probeDim').value;
     const res = await getJSON('/api/recommend', {
       method: 'POST', headers: {'Content-Type': 'application/json'},
       body: JSON.stringify(body)
@@ -366,7 +382,8 @@ function renderRecommendation(res) {
   el('badTitle').style.display = 'none';
   VIEWS = {};
   el('stats').innerHTML = '<div class="stats">' + res.query +
-    ' → |D_Q| = ' + res.targetRowCount + ' rows · metric ' + res.metric +
+    ' → |D_Q| = ' + res.targetRowCount + ' rows · operator ' + (res.operator || 'deviation') +
+    ' · metric ' + res.metric +
     ' · ' + res.candidateViews + ' candidate views, ' + res.executedViews + ' executed' +
     ' · ' + res.queriesIssued + ' queries · ' + res.elapsedMillis.toFixed(1) + ' ms' +
     (res.sampled ? ' · SAMPLED' : '') +
@@ -403,6 +420,9 @@ async function preview() {
 
 el('table').addEventListener('change', refreshColumns);
 el('predCol').addEventListener('change', refreshValues);
+el('operator').addEventListener('change', () => {
+  el('probeRow').style.display = el('operator').value === 'similarity' ? '' : 'none';
+});
 el('build').addEventListener('click', () => {
   const t = currentTable();
   const col = el('predCol').value, op = el('predOp').value, val = el('predVal').value;

@@ -211,6 +211,7 @@ type tableMeta struct {
 type metaResponse struct {
 	Tables    []tableMeta     `json:"tables"`
 	Metrics   []string        `json:"metrics"`
+	Operators []string        `json:"operators"`
 	Templates []QueryTemplate `json:"templates"`
 }
 
@@ -219,7 +220,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	resp := metaResponse{Metrics: distance.Names(), Templates: s.templates}
+	resp := metaResponse{Metrics: distance.Names(), Operators: seedb.OperatorNames(), Templates: s.templates}
 	if resp.Templates == nil {
 		resp.Templates = []QueryTemplate{}
 	}
@@ -268,6 +269,19 @@ type recommendRequest struct {
 	K          int    `json:"k"`
 	Normalized bool   `json:"normalized"`
 
+	// Operator selects the exploration operator scoring the view space
+	// ("deviation", "similarity", "outlier", "typical", "trend"); empty
+	// keeps the session default (deviation). The similarity operator
+	// additionally needs a probe view: probeDimension (required), plus
+	// optional probeFunc/probeMeasure (count(*) when absent) and
+	// probeBin (bin width for continuous probe dimensions). A trailing
+	// EXPLORE clause in the SQL text overrides all of these.
+	Operator       string  `json:"operator,omitempty"`
+	ProbeDimension string  `json:"probeDimension,omitempty"`
+	ProbeMeasure   string  `json:"probeMeasure,omitempty"`
+	ProbeFunc      string  `json:"probeFunc,omitempty"`
+	ProbeBin       float64 `json:"probeBin,omitempty"`
+
 	// Tri-state toggles: absent keeps the session default, true/false
 	// overrides it either way.
 	ShowWorst *bool `json:"showWorst"`
@@ -304,6 +318,7 @@ type viewJSON struct {
 	Func          string   `json:"func"`
 	BinWidth      float64  `json:"binWidth,omitempty"`
 	Utility       float64  `json:"utility"`
+	ChartType     string   `json:"chartType"`
 	Keys          []string `json:"keys"`
 	SVG           string   `json:"svg"`
 	TargetSQL     string   `json:"targetSql"`
@@ -317,6 +332,7 @@ type viewJSON struct {
 type recommendResponse struct {
 	Query          string     `json:"query"`
 	Metric         string     `json:"metric"`
+	Operator       string     `json:"operator"`
 	TargetRowCount int64      `json:"targetRowCount"`
 	ElapsedMillis  float64    `json:"elapsedMillis"`
 	CandidateViews int        `json:"candidateViews"`
@@ -382,6 +398,15 @@ func (s *Server) optionsFrom(req recommendRequest, base seedb.Options) seedb.Opt
 	if req.K > 0 {
 		opts.K = req.K
 	}
+	if req.Operator != "" {
+		opts.Operator = req.Operator
+	}
+	if req.ProbeDimension != "" {
+		opts.ProbeDimension = req.ProbeDimension
+		opts.ProbeMeasure = req.ProbeMeasure
+		opts.ProbeFunc = req.ProbeFunc
+		opts.ProbeBinWidth = req.ProbeBin
+	}
 	if req.ShowWorst != nil {
 		if *req.ShowWorst {
 			opts.IncludeWorst = 3
@@ -434,6 +459,7 @@ func (s *Server) recommendResponseFrom(res *seedb.Result, normalized bool) recom
 	resp := recommendResponse{
 		Query:          res.Query.String(),
 		Metric:         res.Metric,
+		Operator:       res.Operator,
 		TargetRowCount: res.TargetRowCount,
 		ElapsedMillis:  res.Stats.ElapsedMillis,
 		CandidateViews: res.Stats.CandidateViews,
@@ -476,6 +502,7 @@ func toViewJSON(rec seedb.Recommendation, normalized bool) viewJSON {
 		Func:          d.View.Func.String(),
 		BinWidth:      d.View.BinWidth,
 		Utility:       d.Utility,
+		ChartType:     rec.ChartType,
 		Keys:          d.Keys,
 		SVG:           seedb.Chart(d, normalized).SVG(430, 300),
 		TargetSQL:     rec.TargetSQL,

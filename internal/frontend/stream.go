@@ -106,9 +106,20 @@ func toStreamEntry(e seedb.ProgressEntry) streamEntryJSON {
 func streamRequestFromQuery(r *http.Request) (recommendRequest, error) {
 	q := r.URL.Query()
 	req := recommendRequest{
-		SQL:     q.Get("sql"),
-		Session: q.Get("session"),
-		Metric:  q.Get("metric"),
+		SQL:            q.Get("sql"),
+		Session:        q.Get("session"),
+		Metric:         q.Get("metric"),
+		Operator:       q.Get("operator"),
+		ProbeDimension: q.Get("probeDimension"),
+		ProbeMeasure:   q.Get("probeMeasure"),
+		ProbeFunc:      q.Get("probeFunc"),
+	}
+	if q.Has("probeBin") {
+		f, err := strconv.ParseFloat(q.Get("probeBin"), 64)
+		if err != nil {
+			return req, fmt.Errorf("frontend: bad probeBin %q", q.Get("probeBin"))
+		}
+		req.ProbeBin = f
 	}
 	intParam := func(name string) (*int, error) {
 		if !q.Has(name) {

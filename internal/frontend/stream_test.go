@@ -386,3 +386,70 @@ func TestStreamSessionOptions(t *testing.T) {
 		t.Errorf("session-default phases: got %d phase events, want 3", phases)
 	}
 }
+
+// TestStreamOperatorsDoneMatchesBlocking extends the done-equals-
+// blocking guarantee to every non-deviation exploration operator: the
+// SSE terminal payload must be byte-identical to the blocking
+// /api/recommend response for the same operator knobs, carry the
+// operator name back, and annotate every view with a chart type. The
+// request plumbing is knob-only, so this is the end-to-end check that
+// no operator-specific branch leaked into the streaming path.
+func TestStreamOperatorsDoneMatchesBlocking(t *testing.T) {
+	cases := []struct{ op, probeDim string }{
+		{"similarity", "region"},
+		{"outlier", ""},
+		{"typical", ""},
+		{"trend", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.op, func(t *testing.T) {
+			db := streamTestDB(t)
+			s := New(db, nil, nil)
+
+			req := map[string]any{
+				"sql":      "SELECT * FROM orders WHERE category = 'Furniture'",
+				"k":        3,
+				"phases":   4,
+				"operator": tc.op,
+			}
+			target := streamQueryTarget + "&operator=" + tc.op
+			if tc.probeDim != "" {
+				req["probeDimension"] = tc.probeDim
+				target += "&probeDimension=" + tc.probeDim
+			}
+			if warm := postJSON(t, s, "/api/recommend", req); warm.Code != http.StatusOK {
+				t.Fatalf("warm-up status %d: %s", warm.Code, warm.Body.String())
+			}
+			blocking := postJSON(t, s, "/api/recommend", req)
+			if blocking.Code != http.StatusOK {
+				t.Fatalf("blocking status %d: %s", blocking.Code, blocking.Body.String())
+			}
+			blockingBody := string(bytes.TrimSuffix(blocking.Body.Bytes(), []byte("\n")))
+
+			evs := getStream(t, s, target, nil)
+			last := evs[len(evs)-1]
+			if last.event != "done" {
+				t.Fatalf("last event %q, want done", last.event)
+			}
+			if got, want := normalizeElapsed([]byte(last.data)), normalizeElapsed([]byte(blockingBody)); got != want {
+				t.Fatalf("stream done payload differs from blocking response:\n%s\nvs\n%s", got, want)
+			}
+
+			var done recommendResponse
+			if err := json.Unmarshal([]byte(last.data), &done); err != nil {
+				t.Fatal(err)
+			}
+			if done.Operator != tc.op {
+				t.Errorf("done operator = %q, want %q", done.Operator, tc.op)
+			}
+			if len(done.Views) == 0 {
+				t.Fatal("done payload has no views")
+			}
+			for _, v := range done.Views {
+				if v.ChartType == "" {
+					t.Errorf("view %q carries no chartType", v.Title)
+				}
+			}
+		})
+	}
+}

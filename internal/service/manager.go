@@ -179,6 +179,8 @@ func (m *Manager) SetObservability(h *obs.Hub) {
 			"Wall time between phased-execution progress snapshots.", obs.DefBuckets),
 		phasePruned: reg.Counter("seedb_phase_pruned_total",
 			"Views discarded by confidence-interval pruning at phase boundaries."),
+		runsByOp: reg.CounterVec("seedb_runs_by_operator_total",
+			"Pipelines that began executing, by exploration operator.", "operator"),
 	})
 }
 
@@ -404,13 +406,32 @@ func (s *Session) Recommend(ctx context.Context, q core.Query, opts *core.Option
 
 // RecommendSQL is Recommend with the analyst query given as SQL text.
 // The statement must be a plain selection (it defines the data subset,
-// not a view).
+// not a view), optionally with a trailing EXPLORE clause selecting the
+// exploration operator (e.g. "... EXPLORE trend").
 func (s *Session) RecommendSQL(ctx context.Context, sqlText string, opts *core.Options) (*core.Result, error) {
-	table, where, err := sql.AnalystQuery(sqlText, s.manager.eng.Executor().Catalog())
+	table, where, explore, err := sql.AnalystQueryExplore(sqlText, s.manager.eng.Executor().Catalog())
 	if err != nil {
 		return nil, err
 	}
+	opts = s.applyExplore(opts, explore)
 	return s.Recommend(ctx, core.Query{Table: table, Predicate: where}, opts)
+}
+
+// applyExplore folds a SQL EXPLORE clause onto the request's effective
+// option set: the clause is part of the query text, so it wins over
+// both per-call options and session defaults. A nil clause returns
+// opts unchanged.
+func (s *Session) applyExplore(opts *core.Options, e *sql.ExploreClause) *core.Options {
+	if e == nil {
+		return opts
+	}
+	eff := s.effectiveOptions(opts)
+	eff.Operator = e.Operator
+	eff.ProbeFunc = e.ProbeFunc
+	eff.ProbeMeasure = e.ProbeMeasure
+	eff.ProbeDimension = e.ProbeDimension
+	eff.ProbeBinWidth = e.ProbeBinWidth
+	return &eff
 }
 
 // DrillDown refines a previous analyst query by one group of a

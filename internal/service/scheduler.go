@@ -55,6 +55,7 @@ type schedObs struct {
 	runDur      *obs.Histogram
 	phaseDur    *obs.Histogram
 	phasePruned *obs.Counter
+	runsByOp    *obs.CounterVec
 }
 
 // defaultMaxConcurrentRuns sizes the worker pool when the operator
@@ -288,6 +289,13 @@ func (s *scheduler) execute(ctx context.Context, r *run, q core.Query, eff core.
 	}
 	s.started.Add(1)
 	s.running.Add(1)
+	if so != nil {
+		op := eff.Operator
+		if op == "" {
+			op = "deviation"
+		}
+		so.runsByOp.With(op).Inc()
+	}
 	start := time.Now()
 	runSpan := r.trace.StartSpan("run")
 	res, err := s.runPipeline(ctx, r, q, eff)

@@ -388,24 +388,42 @@ func TestInFlightSessionSurvivesCapEviction(t *testing.T) {
 	}
 }
 
-// TestSchedulerStressRace mixes coalesced blocking requests, streaming
-// subscribers, and at-cap session churn — run under -race in CI. Every
-// answer must match the sequential reference, and the scheduler must
-// drain to zero.
+// TestSchedulerStressRace mixes coalesced blocking requests (across
+// different exploration operators, whose signatures must never
+// coalesce into each other), streaming subscribers, and at-cap session
+// churn — run under -race in CI. Every answer must match the
+// sequential reference for its (query, operator) pair, and the
+// scheduler must drain to zero.
 func TestSchedulerStressRace(t *testing.T) {
 	eng, _ := newTestBackend(t, 3000)
 	m := NewManager(eng, Config{MaxConcurrentRuns: 2, MaxQueueDepth: 256, MaxSessions: 4})
 	ctx := context.Background()
 
 	queries := []core.Query{furnitureQuery(), technologyQuery(), eastQuery()}
-	ref := m.NewSession(testOptions())
-	want := make([]string, len(queries))
-	for i, q := range queries {
-		res, err := ref.Recommend(ctx, q, nil)
-		if err != nil {
-			t.Fatal(err)
+	// Each blocking request runs one of these operators; identical
+	// (query, operator) pairs coalesce, different operators never may —
+	// the per-pair reference comparison below would catch a ranking
+	// leaking across operators.
+	operatorOpts := func(op string) *core.Options {
+		o := testOptions()
+		o.Operator = op
+		if op == "similarity" {
+			o.ProbeDimension = "region"
 		}
-		want[i] = renderTopK(res)
+		return &o
+	}
+	operators := []string{"deviation", "outlier", "trend", "similarity"}
+	ref := m.NewSession(testOptions())
+	want := make([][]string, len(queries))
+	for i, q := range queries {
+		want[i] = make([]string, len(operators))
+		for j, op := range operators {
+			res, err := ref.Recommend(ctx, q, operatorOpts(op))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i][j] = renderTopK(res)
+		}
 	}
 
 	const workers = 12
@@ -421,13 +439,15 @@ func TestSchedulerStressRace(t *testing.T) {
 				qi := (w + i) % len(queries)
 				switch (w + i) % 3 {
 				case 0: // blocking (identical concurrent calls coalesce)
-					res, err := sess.Recommend(ctx, queries[qi], nil)
+					oi := (w + 3*i) % len(operators)
+					res, err := sess.Recommend(ctx, queries[qi], operatorOpts(operators[oi]))
 					if err != nil {
-						errCh <- fmt.Errorf("worker %d blocking: %w", w, err)
+						errCh <- fmt.Errorf("worker %d blocking %s: %w", w, operators[oi], err)
 						return
 					}
-					if got := renderTopK(res); got != want[qi] {
-						errCh <- fmt.Errorf("worker %d query %d diverged:\n%s\nvs\n%s", w, qi, got, want[qi])
+					if got := renderTopK(res); got != want[qi][oi] {
+						errCh <- fmt.Errorf("worker %d query %d op %s diverged:\n%s\nvs\n%s",
+							w, qi, operators[oi], got, want[qi][oi])
 						return
 					}
 				case 1: // streaming subscriber

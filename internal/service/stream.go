@@ -226,12 +226,14 @@ func (s *Session) RecommendStream(ctx context.Context, q core.Query, opts *core.
 }
 
 // RecommendSQLStream is RecommendStream with the analyst query given
-// as SQL text. Parse and admission errors are returned synchronously;
-// execution errors arrive as the stream's terminal event.
+// as SQL text (including any trailing EXPLORE clause). Parse and
+// admission errors are returned synchronously; execution errors arrive
+// as the stream's terminal event.
 func (s *Session) RecommendSQLStream(ctx context.Context, sqlText string, opts *core.Options) (*Stream, error) {
-	table, where, err := sql.AnalystQuery(sqlText, s.manager.eng.Executor().Catalog())
+	table, where, explore, err := sql.AnalystQueryExplore(sqlText, s.manager.eng.Executor().Catalog())
 	if err != nil {
 		return nil, err
 	}
+	opts = s.applyExplore(opts, explore)
 	return s.RecommendStream(ctx, core.Query{Table: table, Predicate: where}, opts)
 }

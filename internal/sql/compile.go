@@ -52,6 +52,10 @@ func Compile(stmt *SelectStmt, cat *engine.Catalog) (*Compiled, error) {
 		}
 	}
 
+	if stmt.Explore != nil && stmt.HasAggregates() {
+		return nil, fmt.Errorf("sql: EXPLORE applies to plain analyst queries, not aggregate queries")
+	}
+
 	if !stmt.HasAggregates() {
 		if len(stmt.GroupBy) > 0 {
 			return nil, fmt.Errorf("sql: GROUP BY requires at least one aggregate in the SELECT list")
@@ -157,16 +161,28 @@ func ParseAndCompile(src string, cat *engine.Catalog) (*Compiled, error) {
 // SeeDB analyst query. The statement must be a plain selection — it
 // defines the data subset, not a view — so aggregate queries are
 // rejected. Both the public DB API and the service layer route their
-// RecommendSQL front doors through this single validation point.
+// RecommendSQL front doors through this single validation point. A
+// trailing EXPLORE clause, if present, parses but is discarded; callers
+// that honor it use AnalystQueryExplore.
 func AnalystQuery(src string, cat *engine.Catalog) (table string, where engine.Predicate, err error) {
+	table, where, _, err = AnalystQueryExplore(src, cat)
+	return table, where, err
+}
+
+// AnalystQueryExplore is AnalystQuery plus the optional trailing
+// EXPLORE clause, which selects the exploration operator (and, for
+// similarity, the probe view) the recommendation run should use. The
+// clause is returned verbatim — operator names are validated by the
+// core registry, not here — and is nil when the query carries none.
+func AnalystQueryExplore(src string, cat *engine.Catalog) (table string, where engine.Predicate, explore *ExploreClause, err error) {
 	c, err := ParseAndCompile(src, cat)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	if c.Scan == nil {
-		return "", nil, fmt.Errorf("sql: the analyst query must be a plain SELECT (it defines the data subset); got an aggregate query")
+		return "", nil, nil, fmt.Errorf("sql: the analyst query must be a plain SELECT (it defines the data subset); got an aggregate query")
 	}
-	return c.Scan.Table, c.Scan.Where, nil
+	return c.Scan.Table, c.Scan.Where, c.Stmt.Explore, nil
 }
 
 // coercePredicate rewrites literals so their types line up with the

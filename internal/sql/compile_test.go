@@ -194,3 +194,36 @@ func TestCompileGlobalAggregate(t *testing.T) {
 		t.Errorf("COUNT(*) = %v", res.Rows[0][0])
 	}
 }
+
+func TestAnalystQueryExplore(t *testing.T) {
+	cat, _ := compileCatalog(t)
+
+	table, where, explore, err := AnalystQueryExplore(
+		"SELECT * FROM sales WHERE product = 'Laserwave' EXPLORE similarity PROBE sum(amount) BY store", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "sales" || where == nil {
+		t.Fatalf("table=%q where=%v", table, where)
+	}
+	if explore == nil || explore.Operator != "similarity" || explore.ProbeFunc != "sum" ||
+		explore.ProbeMeasure != "amount" || explore.ProbeDimension != "store" {
+		t.Fatalf("explore = %+v", explore)
+	}
+
+	// No clause → nil.
+	_, _, explore, err = AnalystQueryExplore("SELECT * FROM sales", cat)
+	if err != nil || explore != nil {
+		t.Fatalf("want nil clause, got %+v, %v", explore, err)
+	}
+
+	// AnalystQuery tolerates (and discards) the clause.
+	if _, _, err := AnalystQuery("SELECT * FROM sales EXPLORE trend", cat); err != nil {
+		t.Fatalf("AnalystQuery with EXPLORE: %v", err)
+	}
+
+	// EXPLORE on an aggregate query is rejected at compile time.
+	if _, err := ParseAndCompile("SELECT store, COUNT(*) FROM sales GROUP BY store EXPLORE trend", cat); err == nil {
+		t.Error("EXPLORE on an aggregate query should fail to compile")
+	}
+}

@@ -32,6 +32,26 @@ type GroupItem struct {
 	BinWidth float64
 }
 
+// ExploreClause is the parsed trailing EXPLORE clause of an analyst
+// query: it names the exploration operator that should score the view
+// space, plus — for similarity — the probe view to compare against:
+//
+//	EXPLORE trend
+//	EXPLORE similarity PROBE category
+//	EXPLORE similarity PROBE sum(sales) BY bin(price, 100)
+//
+// The parser does not validate the operator name: the registry of
+// operators lives in the core layer, and an unknown name fails there
+// with the full list of valid choices. A bare PROBE dimension defaults
+// to the count(*) probe, matching the core option defaults.
+type ExploreClause struct {
+	Operator       string
+	ProbeFunc      string // aggregate name, lower-case; "" = default
+	ProbeMeasure   string // "" for count(*)
+	ProbeDimension string // "" when no PROBE clause
+	ProbeBinWidth  float64
+}
+
 // SelectStmt is the parsed form of a SeeDB SELECT statement.
 type SelectStmt struct {
 	Items   []SelectItem
@@ -39,7 +59,8 @@ type SelectStmt struct {
 	Where   engine.Predicate // nil when absent
 	GroupBy []GroupItem
 	OrderBy []OrderItem
-	Limit   int // 0 means no limit
+	Limit   int            // 0 means no limit
+	Explore *ExploreClause // nil when absent
 }
 
 // HasAggregates reports whether any select item is an aggregate.
@@ -105,6 +126,24 @@ func (s *SelectStmt) String() string {
 	}
 	if s.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Explore != nil {
+		b.WriteString(" EXPLORE " + s.Explore.Operator)
+		if s.Explore.ProbeDimension != "" {
+			b.WriteString(" PROBE ")
+			if s.Explore.ProbeFunc != "" {
+				arg := s.Explore.ProbeMeasure
+				if arg == "" {
+					arg = "*"
+				}
+				fmt.Fprintf(&b, "%s(%s) BY ", strings.ToUpper(s.Explore.ProbeFunc), arg)
+			}
+			if s.Explore.ProbeBinWidth > 0 {
+				fmt.Fprintf(&b, "bin(%s, %g)", s.Explore.ProbeDimension, s.Explore.ProbeBinWidth)
+			} else {
+				b.WriteString(s.Explore.ProbeDimension)
+			}
+		}
 	}
 	return b.String()
 }
@@ -261,10 +300,68 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 		stmt.Limit = limit
 	}
+	if p.atKeyword("explore") {
+		p.advance()
+		ec, err := p.parseExplore()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Explore = ec
+	}
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("unexpected %q", p.cur().text)
 	}
 	return stmt, nil
+}
+
+// parseExplore parses the clause body after the EXPLORE keyword:
+// an operator name, optionally followed by
+// PROBE [agg(col|*) BY] (dimension | bin(dimension, width)).
+func (p *parser) parseExplore() (*ExploreClause, error) {
+	opTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToLower(opTok.text)] {
+		return nil, p.errf("expected operator name after EXPLORE, found keyword %q", opTok.text)
+	}
+	ec := &ExploreClause{Operator: strings.ToLower(opTok.text)}
+	if !p.atKeyword("probe") {
+		return ec, nil
+	}
+	p.advance()
+	t := p.cur()
+	// Aggregate probe form: agg(col|*) BY dimension.
+	if t.kind == tokIdent && p.toks[p.i+1].kind == tokLParen && !strings.EqualFold(t.text, "bin") {
+		if _, err := engine.ParseAggFunc(t.text); err != nil {
+			return nil, p.errf("unknown aggregate %q in PROBE", t.text)
+		}
+		ec.ProbeFunc = strings.ToLower(t.text)
+		p.advance() // name
+		p.advance() // (
+		switch p.cur().kind {
+		case tokStar:
+			p.advance()
+		case tokIdent:
+			ec.ProbeMeasure = p.cur().text
+			p.advance()
+		default:
+			return nil, p.errf("expected column or '*' in PROBE %s(...)", ec.ProbeFunc)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+	}
+	gi, err := p.parseGroupItem()
+	if err != nil {
+		return nil, err
+	}
+	ec.ProbeDimension = gi.Column
+	ec.ProbeBinWidth = gi.BinWidth
+	return ec, nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {

@@ -243,3 +243,79 @@ func TestParseInNullLiteral(t *testing.T) {
 		t.Error("NULL literal should parse to null value")
 	}
 }
+
+func TestParseExplore(t *testing.T) {
+	// Bare operator.
+	stmt, err := Parse("SELECT * FROM t WHERE a = 'x' EXPLORE trend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Explore == nil || stmt.Explore.Operator != "trend" {
+		t.Fatalf("Explore = %+v, want trend", stmt.Explore)
+	}
+
+	// Bare probe dimension defaults to count(*).
+	stmt, err = Parse("SELECT * FROM t EXPLORE similarity PROBE category")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := stmt.Explore
+	if e.Operator != "similarity" || e.ProbeDimension != "category" || e.ProbeFunc != "" {
+		t.Fatalf("Explore = %+v", e)
+	}
+
+	// Full probe form with binning.
+	stmt, err = Parse("SELECT * FROM t EXPLORE similarity PROBE sum(sales) BY bin(price, 100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = stmt.Explore
+	if e.ProbeFunc != "sum" || e.ProbeMeasure != "sales" || e.ProbeDimension != "price" || e.ProbeBinWidth != 100 {
+		t.Fatalf("Explore = %+v", e)
+	}
+
+	// COUNT(*) probe.
+	stmt, err = Parse("SELECT * FROM t EXPLORE similarity PROBE count(*) BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = stmt.Explore
+	if e.ProbeFunc != "count" || e.ProbeMeasure != "" || e.ProbeDimension != "region" {
+		t.Fatalf("Explore = %+v", e)
+	}
+
+	// Round-trip: String must re-parse to the same clause.
+	for _, src := range []string{
+		"SELECT * FROM t EXPLORE outlier",
+		"SELECT * FROM t WHERE a > 1 LIMIT 5 EXPLORE trend",
+		"SELECT * FROM t EXPLORE similarity PROBE category",
+		"SELECT * FROM t EXPLORE similarity PROBE SUM(sales) BY bin(price, 100)",
+	} {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", s1.String(), err)
+		}
+		if *s1.Explore != *s2.Explore || s1.String() != s2.String() {
+			t.Errorf("round trip drifted: %q vs %q", s1.String(), s2.String())
+		}
+	}
+
+	// Errors.
+	bad := []string{
+		"SELECT * FROM t EXPLORE",
+		"SELECT * FROM t EXPLORE where",
+		"SELECT * FROM t EXPLORE similarity PROBE",
+		"SELECT * FROM t EXPLORE similarity PROBE frobnicate(x) BY d",
+		"SELECT * FROM t EXPLORE similarity PROBE sum(sales) d",
+		"SELECT * FROM t EXPLORE trend trailing",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}

@@ -5,21 +5,37 @@ import (
 	"strings"
 	"testing"
 
-	"seedb/internal/core"
 	"seedb/internal/distance"
-	"seedb/internal/engine"
 )
 
-func sampleViewData() *core.ViewData {
-	return &core.ViewData{
-		View:          core.View{Dimension: "store", Measure: "amount", Func: engine.AggSum},
-		Keys:          []string{"Cambridge, MA", "New York, NY", "San Francisco, CA", "Seattle, WA"},
-		TargetRaw:     []float64{180.55, 122.00, 90.13, 145.50},
-		ComparisonRaw: []float64{10000, 33000, 40000, 28000},
-		Target:        distance.Normalize([]float64{180.55, 122.00, 90.13, 145.50}),
-		Comparison:    distance.Normalize([]float64{10000, 33000, 40000, 28000}),
-		Utility:       0.42,
+// sampleSpec mirrors what seedb.Chart builds for a scored SUM(amount)
+// BY store view; viz itself is core-free, so the test constructs the
+// Spec directly.
+func sampleSpec(normalized bool) Spec {
+	keys := []string{"Cambridge, MA", "New York, NY", "San Francisco, CA", "Seattle, WA"}
+	target := []float64{180.55, 122.00, 90.13, 145.50}
+	comparison := []float64{10000, 33000, 40000, 28000}
+	spec := Spec{
+		Title:    "SUM(amount) BY store",
+		Subtitle: "utility 0.4200",
+		XLabel:   "store",
+		YLabel:   "SUM(amount)",
+		Type:     ChooseType(keys),
+		Keys:     keys,
 	}
+	if normalized {
+		spec.YLabel = "P[SUM(amount)]"
+		spec.Series = []Series{
+			{Name: "query subset", Values: distance.Normalize(target)},
+			{Name: "overall", Values: distance.Normalize(comparison)},
+		}
+	} else {
+		spec.Series = []Series{
+			{Name: "query subset", Values: target},
+			{Name: "overall", Values: comparison},
+		}
+	}
+	return spec
 }
 
 func TestChooseType(t *testing.T) {
@@ -61,35 +77,89 @@ func TestChartTypeString(t *testing.T) {
 	}
 }
 
-func TestFromViewData(t *testing.T) {
-	d := sampleViewData()
-	spec := FromViewData(d, true)
-	if spec.Title != "SUM(amount) BY store" {
-		t.Errorf("title = %q", spec.Title)
+func TestKeyOrder(t *testing.T) {
+	cases := []struct {
+		key  string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"-1.5", -1.5, true},
+		{"Mar", 3, true},
+		{"q2", 2, true},
+		{"03-Mar", 3, true},
+		{"", 0, false},
+		{"NULL", 0, false},
+		{"Boston", 0, false},
 	}
-	if !strings.Contains(spec.Subtitle, "0.42") {
-		t.Errorf("subtitle = %q", spec.Subtitle)
+	for _, tc := range cases {
+		got, ok := KeyOrder(tc.key)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("KeyOrder(%q) = (%v, %v), want (%v, %v)", tc.key, got, ok, tc.want, tc.ok)
+		}
 	}
-	if spec.Type != BarChart {
-		t.Errorf("type = %v", spec.Type)
+	// Timestamps order chronologically.
+	a, okA := KeyOrder("2014-01-02")
+	b, okB := KeyOrder("2014-02-02")
+	if !okA || !okB || a >= b {
+		t.Errorf("timestamp order: %v vs %v", a, b)
 	}
-	if len(spec.Series) != 2 || len(spec.Series[0].Values) != 4 {
-		t.Fatalf("series shape wrong: %+v", spec.Series)
+}
+
+func TestRecommendType(t *testing.T) {
+	nominal := []string{"Boston", "Seattle", "Austin"}
+	months := []string{"Jan", "Feb", "Mar", "Apr"}
+	cases := []struct {
+		name string
+		in   ChartInputs
+		want ChartType
+	}{
+		// Neutral intent agrees with ChooseType.
+		{"nominal small", ChartInputs{Keys: nominal, Intent: IntentDeviation}, BarChart},
+		{"ordinal run", ChartInputs{Keys: months, Intent: IntentDeviation}, LineChart},
+		{"two ordinal points", ChartInputs{Keys: []string{"1", "2"}, Intent: IntentDeviation}, BarChart},
+		{"empty", ChartInputs{}, TableChart},
+		// Trend intent tips two ordinal points into a line.
+		{"trend two points", ChartInputs{Keys: []string{"1", "2"}, Intent: IntentTrend}, LineChart},
+		// Outlier intent keeps nominal domains on bars.
+		{"outlier nominal", ChartInputs{Keys: nominal, Intent: IntentOutlier}, BarChart},
+		// Similarity over ordinal keys stays a line.
+		{"similarity ordinal", ChartInputs{Keys: months, Intent: IntentSimilarity}, LineChart},
 	}
-	if spec.YLabel != "P[SUM(amount)]" {
-		t.Errorf("normalized ylabel = %q", spec.YLabel)
+	for _, tc := range cases {
+		if got := RecommendType(tc.in); got != tc.want {
+			t.Errorf("%s: RecommendType = %v, want %v", tc.name, got, tc.want)
+		}
 	}
-	raw := FromViewData(d, false)
-	if raw.YLabel != "SUM(amount)" {
-		t.Errorf("raw ylabel = %q", raw.YLabel)
+	// Huge nominal domains degrade to tables regardless of intent.
+	var many []string
+	for i := 0; i <= maxBarKeys; i++ {
+		many = append(many, strings.Repeat("x", i+1))
 	}
-	if raw.Series[0].Values[0] != 180.55 {
-		t.Errorf("raw values not used: %v", raw.Series[0].Values)
+	if got := RecommendType(ChartInputs{Keys: many, Intent: IntentOutlier}); got != TableChart {
+		t.Errorf("huge nominal domain = %v, want table", got)
+	}
+	// Signed measures favor diverging bars on small nominal domains.
+	if got := RecommendType(ChartInputs{Keys: nominal, Values: []float64{-5, 3, 2}}); got != BarChart {
+		t.Errorf("signed nominal = %v, want bar", got)
+	}
+	// Monotone ordinal series reinforce the line choice.
+	if got := RecommendType(ChartInputs{Keys: months, Values: []float64{1, 2, 3, 4}}); got != LineChart {
+		t.Errorf("monotone ordinal = %v, want line", got)
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	if !isMonotone([]float64{1, 2, 2, 3}) || !isMonotone([]float64{3, 2, 1}) {
+		t.Error("monotone series not detected")
+	}
+	if isMonotone([]float64{1, 3, 2}) || isMonotone([]float64{1, 2}) {
+		t.Error("non-monotone or too-short series misdetected")
 	}
 }
 
 func TestASCIIRender(t *testing.T) {
-	spec := FromViewData(sampleViewData(), true)
+	spec := sampleSpec(true)
 	out := spec.ASCII(80)
 	for _, frag := range []string{"SUM(amount) BY store", "Cambridge, MA", "█", "░", "query subset", "overall"} {
 		if !strings.Contains(out, frag) {
@@ -157,7 +227,7 @@ func TestSparkline(t *testing.T) {
 }
 
 func TestSVGRender(t *testing.T) {
-	spec := FromViewData(sampleViewData(), false)
+	spec := sampleSpec(false)
 	out := spec.SVG(480, 320)
 	for _, frag := range []string{"<svg", "</svg>", "<rect", "SUM(amount) BY store", "query subset", "overall"} {
 		if !strings.Contains(out, frag) {
@@ -190,7 +260,7 @@ func TestSVGEmptyAndClamped(t *testing.T) {
 	if !strings.Contains(empty.SVG(400, 300), "(no data)") {
 		t.Error("empty spec should say no data")
 	}
-	tiny := FromViewData(sampleViewData(), true).SVG(1, 1)
+	tiny := sampleSpec(true).SVG(1, 1)
 	if !strings.Contains(tiny, "<svg") {
 		t.Error("tiny sizes must clamp, not fail")
 	}
@@ -210,7 +280,7 @@ func TestSVGNegativeBars(t *testing.T) {
 }
 
 func TestHTMLTable(t *testing.T) {
-	spec := FromViewData(sampleViewData(), false)
+	spec := sampleSpec(false)
 	out := spec.HTMLTable(50)
 	for _, frag := range []string{"<table", "</table>", "Cambridge, MA", "query subset", "overall", "<caption>"} {
 		if !strings.Contains(out, frag) {

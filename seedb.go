@@ -119,6 +119,22 @@ type (
 	ChartSpec = viz.Spec
 	// TableStats summarizes a table's metadata.
 	TableStats = stats.TableStats
+	// ExplorationOperator is the pluggable scoring seam: deviation (the
+	// paper's operator), similarity, outlier, typical, and trend ship
+	// built in; RegisterOperator adds custom ones.
+	ExplorationOperator = core.ExplorationOperator
+	// ScoreContext carries the run-scoped inputs an operator scores
+	// with (metric, normalized options).
+	ScoreContext = core.ScoreContext
+)
+
+// Exploration-operator registry.
+var (
+	// OperatorNames lists the registered exploration operators, sorted.
+	OperatorNames = core.OperatorNames
+	// RegisterOperator adds a custom exploration operator; its name
+	// becomes valid in Options.Operator and the SQL EXPLORE clause.
+	RegisterOperator = core.RegisterOperator
 )
 
 // Multi-group-by combining strategies.
@@ -532,13 +548,32 @@ func (db *DB) Recommend(ctx context.Context, table string, predicate Predicate, 
 // RecommendSQL is Recommend with the analyst query given as SQL, e.g.
 // "SELECT * FROM sales WHERE product = 'Laserwave'". The statement
 // must be a plain selection (no aggregates or grouping) — it defines
-// the data subset, not a view.
+// the data subset, not a view. A trailing EXPLORE clause selects the
+// exploration operator for the run, overriding Options.Operator:
+//
+//	SELECT * FROM sales WHERE region = 'West' EXPLORE trend
+//	SELECT * FROM sales WHERE region = 'West'
+//	    EXPLORE similarity PROBE sum(profit) BY month
 func (db *DB) RecommendSQL(ctx context.Context, sqlText string, opts Options) (*Result, error) {
-	table, where, err := sql.AnalystQuery(sqlText, db.cat)
+	table, where, explore, err := sql.AnalystQueryExplore(sqlText, db.cat)
 	if err != nil {
 		return nil, err
 	}
+	applyExplore(&opts, explore)
 	return db.core.Recommend(ctx, core.Query{Table: table, Predicate: where}, opts)
+}
+
+// applyExplore folds a SQL EXPLORE clause onto an option set; the
+// clause is part of the query text, so it wins over the options.
+func applyExplore(o *Options, e *sql.ExploreClause) {
+	if e == nil {
+		return
+	}
+	o.Operator = e.Operator
+	o.ProbeFunc = e.ProbeFunc
+	o.ProbeMeasure = e.ProbeMeasure
+	o.ProbeDimension = e.ProbeDimension
+	o.ProbeBinWidth = e.ProbeBinWidth
 }
 
 // RecommendProgress is Recommend with a progress seam: listener (when
@@ -553,12 +588,13 @@ func (db *DB) RecommendProgress(ctx context.Context, table string, predicate Pre
 }
 
 // RecommendSQLProgress is RecommendProgress with the analyst query
-// given as SQL text.
+// given as SQL text (including any trailing EXPLORE clause).
 func (db *DB) RecommendSQLProgress(ctx context.Context, sqlText string, opts Options, listener ProgressListener) (*Result, error) {
-	table, where, err := sql.AnalystQuery(sqlText, db.cat)
+	table, where, explore, err := sql.AnalystQueryExplore(sqlText, db.cat)
 	if err != nil {
 		return nil, err
 	}
+	applyExplore(&opts, explore)
 	return db.core.RecommendProgress(ctx, core.Query{Table: table, Predicate: where}, opts, listener)
 }
 
@@ -645,7 +681,34 @@ func (db *DB) CacheStats() CacheStats {
 // probability distributions the utility metric compared; otherwise the
 // raw aggregate values.
 func Chart(d *ViewData, normalized bool) ChartSpec {
-	return viz.FromViewData(d, normalized)
+	m := d.View.Measure
+	if m == "" {
+		m = "*"
+	}
+	ylabel := fmt.Sprintf("%s(%s)", d.View.Func, m)
+	if normalized {
+		ylabel = "P[" + ylabel + "]"
+	}
+	spec := ChartSpec{
+		Title:    d.View.String(),
+		Subtitle: fmt.Sprintf("utility %.4f", d.Utility),
+		XLabel:   d.View.Dimension,
+		YLabel:   ylabel,
+		Type:     viz.ChooseType(d.Keys),
+		Keys:     d.Keys,
+	}
+	if normalized {
+		spec.Series = []viz.Series{
+			{Name: "query subset", Values: d.Target},
+			{Name: "overall", Values: d.Comparison},
+		}
+	} else {
+		spec.Series = []viz.Series{
+			{Name: "query subset", Values: d.TargetRaw},
+			{Name: "overall", Values: d.ComparisonRaw},
+		}
+	}
+	return spec
 }
 
 // ---------------------------------------------------------------------
